@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 5: the instance-availability traces.
+ *
+ * A_S and B_S are the spot-only 20-minute segments; A_S+O and B_S+O mix
+ * on-demand instances allocated by Algorithm 1.  Prints the availability
+ * series (spot / on-demand / total) sampled every 60 s, the format of the
+ * paper's four subplots.
+ */
+
+#include <cstdio>
+
+#include "cluster/trace_library.h"
+#include "costmodel/cost_params.h"
+
+using namespace spotserve;
+
+int
+main()
+{
+    const cost::CostParams params = cost::CostParams::awsG4dn();
+
+    std::printf("=== Figure 5: instance availability traces "
+                "(4 GPUs per instance) ===\n");
+    for (const auto &trace : cluster::figure5Traces()) {
+        std::printf("\nTrace %-6s  (%d preemptions over %.0f min)\n",
+                    trace.name().c_str(), trace.totalPreemptions(),
+                    trace.duration() / 60.0);
+        std::printf("  %-8s %-6s %-10s %-6s\n", "t[s]", "spot", "on-demand",
+                    "total");
+        for (const auto &s : trace.series(60.0, params.gracePeriod)) {
+            std::printf("  %-8.0f %-6d %-10d %-6d  |%s\n", s.time, s.spot,
+                        s.onDemand, s.total(),
+                        std::string(static_cast<std::size_t>(s.total()), '#')
+                            .c_str());
+        }
+    }
+    return 0;
+}

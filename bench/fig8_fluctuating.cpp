@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Figure 8: comparison on the fluctuating (MAF-style) workload, GPT-20B.
+ *
+ * Prints: (a/b) the rescaled arrival-rate trace, (c/d) the availability
+ * traces A'_S+O and B'_S+O, (e/f) end-to-end latency statistics per
+ * system, and (g/h) the per-request latency timeline (30 s buckets) with
+ * each system's (D,P,M) reconfiguration points annotated.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cluster/trace_library.h"
+#include "serving/presets.h"
+#include "workload/maf_trace.h"
+
+using namespace spotserve;
+
+namespace {
+
+const char *kSystems[] = {"SpotServe", "Reparallelization", "Rerouting"};
+
+void
+latencyRow(const serving::ExperimentResult &r)
+{
+    const auto s = r.latencies.summary();
+    std::printf("  %-18s avg %7.2f  P90 %7.2f  P95 %7.2f  P97 %7.2f  "
+                "P99 %7.2f  (done %ld/%ld)\n",
+                r.systemName.c_str(), s.avg, s.p90, s.p95, s.p97, s.p99,
+                r.completed, r.arrived);
+}
+
+void
+timeline(const std::vector<serving::ExperimentResult> &results,
+         sim::SimTime duration)
+{
+    std::printf("  per-request latency, mean over 30 s arrival buckets "
+                "(seconds):\n");
+    std::printf("  %-8s", "t[s]");
+    for (const auto &r : results)
+        std::printf(" %-18s", r.systemName.c_str());
+    std::printf("\n");
+    const double dt = 30.0;
+    for (double t = 0.0; t < duration; t += dt) {
+        std::printf("  %-8.0f", t);
+        for (const auto &r : results) {
+            double sum = 0.0;
+            int n = 0;
+            for (const auto &c : r.perRequest) {
+                if (c.arrival >= t && c.arrival < t + dt) {
+                    sum += c.latency;
+                    ++n;
+                }
+            }
+            if (n > 0)
+                std::printf(" %-18.1f", sum / n);
+            else
+                std::printf(" %-18s", "-");
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const cost::CostParams params = cost::CostParams::awsG4dn();
+    const cost::SeqSpec seq{};
+    const auto maf = wl::MafTrace::fig8Segment();
+
+    std::printf("=== Figure 8: fluctuating workload (GPT-20B, MAF-style "
+                "trace) ===\n");
+
+    std::printf("\n(a/b) arrival-rate trace (req/s per minute bucket):\n ");
+    for (double r : maf.rates())
+        std::printf(" %.2f", r);
+    std::printf("\n  mean %.2f req/s, peak %.2f req/s\n", maf.meanRate(),
+                maf.peakRate());
+
+    for (const auto &trace :
+         {cluster::traceFig8A(), cluster::traceFig8B()}) {
+        std::printf("\n(c/d) availability trace %s:\n", trace.name().c_str());
+        for (const auto &s : trace.series(60.0, params.gracePeriod)) {
+            std::printf("  t=%5.0f  spot %2d  od %2d  total %2d\n", s.time,
+                        s.spot, s.onDemand, s.total());
+        }
+
+        // One workload sample shared by all systems.
+        sim::Rng rng(11);
+        const auto workload = wl::fluctuating(
+            [&maf](sim::SimTime t) { return maf.rateAt(t); }, 6.0,
+            trace.duration(), seq, rng);
+
+        std::vector<serving::ExperimentResult> results;
+        for (const char *system : kSystems) {
+            const auto factory = presets::factoryByName(
+                system, spec, params, seq, /*design_rate=*/0.55);
+            results.push_back(serving::runExperiment(spec, params, trace,
+                                                     workload, factory));
+        }
+
+        std::printf("\n(e/f) end-to-end latency on %s:\n",
+                    trace.name().c_str());
+        for (const auto &r : results)
+            latencyRow(r);
+        const double spot_p99 = results[0].latencies.percentile(99);
+        std::printf("  SpotServe improvement: P99 %.2fx vs Repar, "
+                    "%.2fx vs Rerouting\n",
+                    results[1].latencies.percentile(99) / spot_p99,
+                    results[2].latencies.percentile(99) / spot_p99);
+
+        std::printf("\n(g/h) timeline on %s:\n", trace.name().c_str());
+        timeline(results, trace.duration());
+
+        for (const auto &r : results) {
+            std::printf("  %s configurations:", r.systemName.c_str());
+            for (const auto &c : r.configHistory)
+                std::printf("  t=%.0f %s", c.time,
+                            c.config.shortStr().c_str());
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot algorithmic paths:
+ * Kuhn-Munkres matching, the configuration optimizer, the migration
+ * planner, and the discrete-event core.  The paper claims the online
+ * optimizer overhead is negligible (<1 s); these benches verify our
+ * implementation is comfortably inside that budget.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/controller.h"
+#include "core/device_mapper.h"
+#include "core/migration_planner.h"
+#include "matching/hungarian.h"
+#include "simcore/rng.h"
+#include "simcore/simulation.h"
+
+using namespace spotserve;
+
+namespace {
+
+const cost::CostParams kParams = cost::CostParams::awsG4dn();
+const cost::SeqSpec kSeq{};
+
+void
+BM_KuhnMunkres(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::Rng rng(42);
+    match::Matrix w(n, std::vector<double>(n));
+    for (auto &row : w) {
+        for (auto &v : row)
+            v = rng.uniform(0.0, 1e9);
+    }
+    for (auto _ : state) {
+        auto a = match::maxWeightAssignment(w);
+        benchmark::DoNotOptimize(a.totalWeight);
+    }
+}
+BENCHMARK(BM_KuhnMunkres)->Arg(8)->Arg(16)->Arg(32)->Arg(48)->Arg(64);
+
+void
+BM_ConfigOptimizer(benchmark::State &state)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    core::ParallelizationController ctrl(spec, kParams, kSeq);
+    const int instances = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto d = ctrl.chooseConfig(instances, 0.35);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_ConfigOptimizer)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+struct MapperSetup
+{
+    model::ModelSpec spec = model::ModelSpec::gpt20b();
+    core::DeviceMapper mapper{spec, kParams};
+    core::MigrationPlanner planner{spec, kParams};
+    std::vector<std::unique_ptr<cluster::Instance>> storage;
+    std::vector<const cluster::Instance *> instances;
+    engine::ContextSnapshot snapshot;
+
+    explicit MapperSetup(int n)
+    {
+        for (int i = 0; i < n; ++i) {
+            storage.push_back(std::make_unique<cluster::Instance>(
+                i, cluster::InstanceType::Spot, 4, 0.0));
+            storage.back()->markRunning(0.0);
+            instances.push_back(storage.back().get());
+        }
+        par::ParallelConfig old_cfg{2, 2, 8, 8};
+        par::Topology topo(old_cfg, spec.numLayers());
+        for (int i = 0; i < topo.size() && i < n * 4; ++i) {
+            engine::GpuContext ctx;
+            ctx.gpu = i;
+            ctx.instance = i / 4;
+            ctx.hasModelContext = true;
+            ctx.config = old_cfg;
+            ctx.position = topo.position(i);
+            ctx.cacheTokens = 5000.0;
+            snapshot.gpus.push_back(ctx);
+        }
+    }
+};
+
+void
+BM_DeviceMapper(benchmark::State &state)
+{
+    MapperSetup setup(static_cast<int>(state.range(0)));
+    par::ParallelConfig target{2, 3, 4, 8};
+    for (auto _ : state) {
+        auto m = setup.mapper.map(setup.snapshot, target, setup.instances,
+                                  {5000.0, 5000.0});
+        benchmark::DoNotOptimize(m.reusedModelBytes);
+    }
+}
+BENCHMARK(BM_DeviceMapper)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_MigrationPlanner(benchmark::State &state)
+{
+    MapperSetup setup(8);
+    par::ParallelConfig target{2, 3, 4, 8};
+    const auto mapping = setup.mapper.map(setup.snapshot, target,
+                                          setup.instances, {5000.0, 5000.0});
+    for (auto _ : state) {
+        auto plan = setup.planner.plan(setup.snapshot, mapping, target,
+                                       {5000.0, 5000.0});
+        benchmark::DoNotOptimize(plan.totalDuration);
+    }
+}
+BENCHMARK(BM_MigrationPlanner);
+
+void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation sim;
+        long fired = 0;
+        for (int i = 0; i < n; ++i) {
+            sim.schedule(static_cast<double>(i % 100),
+                         [&fired] { ++fired; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

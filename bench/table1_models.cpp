@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 1: overview of the LLMs evaluated — model size, minimum #GPUs,
+ * the (P, M) parallelism at that minimum, and the single-request
+ * execution latency l_exe(B=1) with S_in=512, S_out=128.
+ */
+
+#include <cstdio>
+#include <limits>
+
+#include "costmodel/latency_model.h"
+#include "costmodel/memory_model.h"
+#include "serving/presets.h"
+
+using namespace spotserve;
+
+namespace {
+
+struct PaperRow
+{
+    double lexe;
+    int minGpus;
+    int pp;
+    int tp;
+};
+
+PaperRow
+paperRow(const std::string &name)
+{
+    if (name == "OPT-6.7B")
+        return {5.447, 4, 1, 4};
+    if (name == "GPT-20B")
+        return {14.373, 12, 3, 4};
+    return {17.540, 16, 2, 8};
+}
+
+} // namespace
+
+int
+main()
+{
+    const cost::CostParams params = cost::CostParams::awsG4dn();
+    const cost::SeqSpec seq{};
+
+    std::printf("=== Table 1: overview of LLMs evaluated ===\n");
+    std::printf("%-10s %-10s %-9s %-7s %-18s %s\n", "Model", "Size",
+                "min#GPUs", "(P,M)", "l_exe(B=1) [model]", "[paper]");
+
+    for (const auto &spec : presets::evaluatedModels()) {
+        cost::MemoryModel mem(spec, params);
+        cost::LatencyModel lat(spec, params);
+        const int min_gpus = mem.minGpus(true);
+
+        // Minimum-latency (P, M) among configurations at the minimum GPU
+        // count (the parallelism Table 1 reports).
+        int best_pp = 0, best_tp = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (int pp : {1, 2, 3, 4, 6, 8}) {
+            for (int tp : {1, 2, 4, 8}) {
+                if (pp * tp != min_gpus || pp > spec.numLayers())
+                    continue;
+                par::ParallelConfig c{1, pp, tp, 8};
+                if (!mem.fits(c, seq, true))
+                    continue;
+                c.batch = 1;
+                const double l = lat.execLatency(c, seq);
+                if (l < best) {
+                    best = l;
+                    best_pp = pp;
+                    best_tp = tp;
+                }
+            }
+        }
+
+        const auto paper = paperRow(spec.name());
+        const double err = (best - paper.lexe) / paper.lexe * 100.0;
+        std::printf("%-10s %-10s %-9d (%d,%d)   %6.3fs (%+5.1f%%)     "
+                    "%6.3fs  (P=%d,M=%d, %d GPUs)\n",
+                    spec.name().c_str(), spec.sizeString().c_str(), min_gpus,
+                    best_pp, best_tp, best, err, paper.lexe, paper.pp,
+                    paper.tp, paper.minGpus);
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quickstart: serve OPT-6.7B on a preemptible-instance trace with
+ * SpotServe and print the latency/cost summary.
+ *
+ * Demonstrates the 5-line public API: pick a model, pick a trace, build a
+ * workload, run the experiment, read the metrics.
+ */
+
+#include <cstdio>
+
+#include "cluster/trace_library.h"
+#include "serving/presets.h"
+
+using namespace spotserve;
+
+int
+main()
+{
+    const auto spec = model::ModelSpec::opt6_7b();
+    const auto trace = cluster::traceAS();
+
+    std::printf("quickstart: serving %s (%s) on trace %s (%d preemptions)\n",
+                spec.name().c_str(), spec.sizeString().c_str(),
+                trace.name().c_str(), trace.totalPreemptions());
+
+    const auto result = presets::runStable(spec, trace, "SpotServe");
+
+    const auto s = result.latencies.summary();
+    std::printf("requests: %ld arrived, %ld completed, %ld unfinished\n",
+                result.arrived, result.completed, result.unfinished);
+    std::printf("latency:  avg %.2fs  P90 %.2fs  P99 %.2fs  max %.2fs\n",
+                s.avg, s.p90, s.p99, s.max);
+    std::printf("cost:     $%.2f total, %.2f spot + %.2f on-demand "
+                "instance-hours, $%.2e per token\n",
+                result.costUsd, result.spotInstanceHours,
+                result.ondemandInstanceHours, result.costPerToken());
+    std::printf("configs:  %zu (re)configurations\n",
+                result.configHistory.size());
+    for (const auto &c : result.configHistory) {
+        std::printf("  t=%7.1fs  %-18s %s\n", c.time,
+                    c.config.str().c_str(), c.reason.c_str());
+    }
+    return 0;
+}

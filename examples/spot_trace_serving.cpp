@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Serve GPT-20B through a hostile spot trace and compare SpotServe
+ * against both baselines — the paper's core experiment in one program.
+ *
+ * Demonstrates: building a workload, running the three systems on the
+ * same trace/workload pair, and reading latency, recovery and cost
+ * metrics from the results.
+ */
+
+#include <cstdio>
+
+#include "cluster/trace_library.h"
+#include "serving/presets.h"
+
+using namespace spotserve;
+
+int
+main()
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const auto trace = cluster::traceBS(); // the hostile 20-minute segment
+    const cost::CostParams params = cost::CostParams::awsG4dn();
+    const cost::SeqSpec seq{};
+    const double rate = presets::stableRate(spec);
+
+    std::printf("serving %s at %.2f req/s over trace %s "
+                "(%d preemptions, %d instances at t=0)\n\n",
+                spec.name().c_str(), rate, trace.name().c_str(),
+                trace.totalPreemptions(), trace.initialCount());
+
+    // One workload sample, shared by every system for a fair comparison.
+    sim::Rng rng(2024);
+    const auto workload =
+        wl::stationaryGamma(rate, 6.0, trace.duration(), seq, rng);
+
+    for (const char *system :
+         {"SpotServe", "Reparallelization", "Rerouting"}) {
+        const auto factory =
+            presets::factoryByName(system, spec, params, seq, rate);
+        const auto r =
+            serving::runExperiment(spec, params, trace, workload, factory);
+
+        long restarted = 0;
+        for (const auto &c : r.perRequest)
+            restarted += c.restarts > 0 ? 1 : 0;
+
+        const auto s = r.latencies.summary();
+        std::printf("%-18s avg %7.2fs  P99 %7.2fs  | %ld/%ld done, "
+                    "%ld recomputed from scratch | $%.2e per token\n",
+                    system, s.avg, s.p99, r.completed, r.arrived, restarted,
+                    r.costPerToken());
+        std::printf("    config path:");
+        for (const auto &c : r.configHistory)
+            std::printf(" %s@%.0fs", c.config.shortStr().c_str(), c.time);
+        std::printf("\n");
+    }
+
+    std::printf("\nSpotServe's grace-period migration keeps interrupted "
+                "requests' token-level progress; the reactive baselines "
+                "recompute them, which is where their tail latency "
+                "comes from.\n");
+    return 0;
+}

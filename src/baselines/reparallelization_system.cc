@@ -1,0 +1,221 @@
+#include "baselines/reparallelization_system.h"
+
+#include <algorithm>
+
+#include "simcore/logging.h"
+
+namespace spotserve {
+namespace baselines {
+
+ReparallelizationSystem::ReparallelizationSystem(
+    sim::Simulation &simulation, cluster::InstanceManager &instances,
+    serving::RequestManager &requests, const model::ModelSpec &spec,
+    const cost::CostParams &params, const cost::SeqSpec &seq,
+    ReparallelizationOptions options)
+    : BaseServingSystem(simulation, instances, requests, spec, params, seq),
+      options_(options),
+      controller_(spec, params, seq, cost::ConfigSpaceOptions{},
+                  options.controller)
+{
+    sim_.scheduleAfter(options_.workloadCheckInterval,
+                       [this] { workloadTick(); });
+}
+
+std::string
+ReparallelizationSystem::name() const
+{
+    return "Reparallelization";
+}
+
+void
+ReparallelizationSystem::onInstanceReady(const cluster::Instance &)
+{
+    scheduleEval();
+}
+
+void
+ReparallelizationSystem::onPreemptionNotice(const cluster::Instance &,
+                                            sim::SimTime)
+{
+    // Reactive baseline: grace-period notifications are not used.
+}
+
+void
+ReparallelizationSystem::onInstancePreempted(const cluster::Instance &inst)
+{
+    forgetInstance(inst.id());
+    scheduleEval();
+}
+
+void
+ReparallelizationSystem::onInstanceReleased(const cluster::Instance &inst)
+{
+    forgetInstance(inst.id());
+    if (hasDeployment() && meshUsesInstance(inst.id()))
+        scheduleEval();
+}
+
+void
+ReparallelizationSystem::scheduleEval()
+{
+    if (evalScheduled_)
+        return;
+    evalScheduled_ = true;
+    sim_.schedule(sim_.now(), [this] { evaluate(); });
+}
+
+void
+ReparallelizationSystem::evaluate()
+{
+    evalScheduled_ = false;
+    if (phase_ == Phase::Restarting) {
+        pendingReconfig_ = true;
+        return;
+    }
+
+    // Reactive view: every usable instance counts, including those in an
+    // unnoticed grace period.
+    const auto usable = instances_.usableInstances();
+    // Same planning floor as SpotServe (see SpotServeSystem::evaluate).
+    const double alpha = std::max(requests_.estimatedArrivalRate(120.0),
+                                  options_.designArrivalRate);
+
+    const auto decision =
+        controller_.chooseConfig(static_cast<int>(usable.size()), alpha);
+    if (!decision) {
+        if (hasDeployment()) {
+            for (auto &b : haltAndCollectAll())
+                restartAndRequeue(std::move(b));
+            clearDeployment();
+        }
+        phase_ = Phase::Idle;
+        return;
+    }
+
+    bool forced = !hasDeployment();
+    if (hasDeployment()) {
+        for (cluster::InstanceId id : meshInstances()) {
+            const auto *inst = instances_.get(id);
+            if (!inst || !inst->usable())
+                forced = true;
+        }
+    }
+    if (!forced) {
+        // Same voluntary-change gate as SpotServe: a full restart must be
+        // forced, fix an overload, or buy a substantial latency win.
+        const double sustained =
+            std::max(requests_.estimatedArrivalRate(60.0),
+                     options_.designArrivalRate);
+        if (!core::worthReconfiguring(
+                controller_.throughputModel(), seq_, deployment().config,
+                controller_.space().instancesNeeded(deployment().config),
+                *decision, alpha, sustained, requests_.pendingCount(),
+                options_.controller.arrivalCv,
+                options_.controller.sloLatency)) {
+            return;
+        }
+    }
+    beginRestart(decision->config, hasDeployment() ? "availability change"
+                                                   : "initial deployment");
+}
+
+void
+ReparallelizationSystem::workloadTick()
+{
+    sim_.scheduleAfter(options_.workloadCheckInterval,
+                       [this] { workloadTick(); });
+    if (phase_ != Phase::Serving || !hasDeployment())
+        return;
+    const double alpha = std::max(requests_.estimatedArrivalRate(120.0),
+                                  options_.designArrivalRate);
+    const auto usable = instances_.usableInstances();
+    const auto decision =
+        controller_.chooseConfig(static_cast<int>(usable.size()), alpha);
+    if (!decision || decision->config == deployment().config) {
+        lastSuggestion_.reset();
+        suggestionStreak_ = 0;
+        return;
+    }
+    const double current_phi = controller_.throughputModel().throughput(
+        deployment().config, seq_);
+    const double sustained = std::max(requests_.estimatedArrivalRate(60.0),
+                                      options_.designArrivalRate);
+    const bool overloaded = current_phi < sustained;
+    if (!core::worthReconfiguring(
+            controller_.throughputModel(), seq_, deployment().config,
+            controller_.space().instancesNeeded(deployment().config),
+            *decision, alpha, sustained, requests_.pendingCount(),
+            options_.controller.arrivalCv,
+            options_.controller.sloLatency)) {
+        lastSuggestion_.reset();
+        suggestionStreak_ = 0;
+        return;
+    }
+    if (lastSuggestion_ && *lastSuggestion_ == decision->config)
+        ++suggestionStreak_;
+    else
+        suggestionStreak_ = 1;
+    lastSuggestion_ = decision->config;
+    if (overloaded || suggestionStreak_ >= 2) {
+        lastSuggestion_.reset();
+        suggestionStreak_ = 0;
+        beginRestart(decision->config,
+                     overloaded ? "overload detected" : "workload change");
+    }
+}
+
+void
+ReparallelizationSystem::beginRestart(const par::ParallelConfig &target,
+                                      const std::string &reason)
+{
+    // Full system restart: every in-flight request recomputes from
+    // scratch, and all instances reload weights from persistent storage.
+    if (hasDeployment()) {
+        for (auto &b : haltAndCollectAll())
+            restartAndRequeue(std::move(b));
+        clearDeployment();
+    }
+    phase_ = Phase::Restarting;
+    pending_ = PendingRestart{target, reason};
+    const double stall = latency_.coldLoadTime(target);
+    sim_.scheduleAfter(stall, [this] { activate(); });
+}
+
+void
+ReparallelizationSystem::activate()
+{
+    if (phase_ != Phase::Restarting || !pending_)
+        return;
+    const auto pm = *pending_;
+    pending_.reset();
+
+    // Pick the first instances that are still usable.
+    auto usable = instances_.usableInstances();
+    const int needed = controller_.space().instancesNeeded(pm.target);
+    par::ParallelConfig target = pm.target;
+    if (static_cast<int>(usable.size()) < needed) {
+        // Availability collapsed during the restart: come up with fewer
+        // replicas of the same parallelism (the survivors just loaded
+        // their shards) rather than paying another full reload.
+        target.dp = maxReplicas(target.pp, target.tp,
+                                static_cast<int>(usable.size()));
+        if (target.dp < 1) {
+            phase_ = Phase::Idle;
+            scheduleEval();
+            return;
+        }
+    }
+    usable.resize(controller_.space().instancesNeeded(target));
+    installDeployment(target, packedMesh(target, usable));
+    recordConfig(target, pm.reason);
+    ++restarts_;
+    phase_ = Phase::Serving;
+    dispatchAll();
+    if (pendingReconfig_) {
+        pendingReconfig_ = false;
+        scheduleEval();
+    }
+}
+
+} // namespace baselines
+} // namespace spotserve

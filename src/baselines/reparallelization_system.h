@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reparallelization baseline (§6.1).
+ *
+ * Changes the parallel configuration like SpotServe — it shares the same
+ * Algorithm-1 optimizer, so "the configuration of Reparallelization is
+ * always consistent with SpotServe" (Figure 8) — but handles preemption
+ * reactively and without context migration: every reconfiguration
+ * restarts all instances, reloads the model from storage, and recomputes
+ * every interrupted request from scratch (the Varuna-style approach).
+ */
+
+#ifndef SPOTSERVE_BASELINES_REPARALLELIZATION_SYSTEM_H
+#define SPOTSERVE_BASELINES_REPARALLELIZATION_SYSTEM_H
+
+#include <optional>
+
+#include "core/controller.h"
+#include "serving/base_system.h"
+
+namespace spotserve {
+namespace baselines {
+
+/** Options shared with the other systems. */
+struct ReparallelizationOptions
+{
+    /** Expected workload rate for the first deployment sizing. */
+    double designArrivalRate = 0.0;
+
+    /** Workload monitor period. */
+    double workloadCheckInterval = 30.0;
+
+    core::ControllerOptions controller{};
+};
+
+/** The model-reparallelization baseline. */
+class ReparallelizationSystem : public serving::BaseServingSystem
+{
+  public:
+    ReparallelizationSystem(sim::Simulation &simulation,
+                            cluster::InstanceManager &instances,
+                            serving::RequestManager &requests,
+                            const model::ModelSpec &spec,
+                            const cost::CostParams &params,
+                            const cost::SeqSpec &seq,
+                            ReparallelizationOptions options = {});
+
+    std::string name() const override;
+
+    void onInstanceReady(const cluster::Instance &instance) override;
+    void onPreemptionNotice(const cluster::Instance &instance,
+                            sim::SimTime preempt_at) override;
+    void onInstancePreempted(const cluster::Instance &instance) override;
+    void onInstanceReleased(const cluster::Instance &instance) override;
+
+    int restartsCompleted() const { return restarts_; }
+
+  private:
+    enum class Phase
+    {
+        Idle,
+        Serving,
+        Restarting,
+    };
+
+    void scheduleEval();
+    void evaluate();
+    void workloadTick();
+    void beginRestart(const par::ParallelConfig &target,
+                      const std::string &reason);
+    void activate();
+
+    ReparallelizationOptions options_;
+    core::ParallelizationController controller_;
+
+    Phase phase_ = Phase::Idle;
+    bool evalScheduled_ = false;
+    bool pendingReconfig_ = false;
+
+    struct PendingRestart
+    {
+        par::ParallelConfig target;
+        std::string reason;
+    };
+    std::optional<PendingRestart> pending_;
+
+    std::optional<par::ParallelConfig> lastSuggestion_;
+    int suggestionStreak_ = 0;
+    int restarts_ = 0;
+};
+
+} // namespace baselines
+} // namespace spotserve
+
+#endif // SPOTSERVE_BASELINES_REPARALLELIZATION_SYSTEM_H

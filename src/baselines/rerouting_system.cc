@@ -1,0 +1,225 @@
+#include "baselines/rerouting_system.h"
+
+#include <algorithm>
+
+#include "simcore/logging.h"
+
+namespace spotserve {
+namespace baselines {
+
+ReroutingSystem::ReroutingSystem(sim::Simulation &simulation,
+                                 cluster::InstanceManager &instances,
+                                 serving::RequestManager &requests,
+                                 const model::ModelSpec &spec,
+                                 const cost::CostParams &params,
+                                 const cost::SeqSpec &seq,
+                                 ReroutingOptions options)
+    : BaseServingSystem(simulation, instances, requests, spec, params, seq),
+      options_(options),
+      controller_(spec, params, seq, cost::ConfigSpaceOptions{},
+                  options.controller)
+{
+}
+
+std::string
+ReroutingSystem::name() const
+{
+    return "Rerouting";
+}
+
+int
+ReroutingSystem::onlinePipelines() const
+{
+    int n = 0;
+    for (const auto &s : slots_) {
+        if (s->online)
+            ++n;
+    }
+    return n;
+}
+
+int
+ReroutingSystem::instancesPerPipeline() const
+{
+    if (!fixed_)
+        return 0;
+    const int gpi = params_.gpusPerInstance;
+    return (fixed_->gpusPerPipeline() + gpi - 1) / gpi;
+}
+
+void
+ReroutingSystem::ensureFixedConfig()
+{
+    if (fixed_)
+        return;
+    const int n = instances_.usableCount();
+    const double alpha = std::max(requests_.estimatedArrivalRate(120.0),
+                                  options_.designArrivalRate);
+    const auto decision = controller_.chooseConfig(n, alpha);
+    if (!decision)
+        return;
+    fixed_ = decision->config;
+    recordConfig(*fixed_, "pre-defined optimal configuration");
+}
+
+void
+ReroutingSystem::onInstanceReady(const cluster::Instance &instance)
+{
+    pool_.push_back(instance.id());
+    // Coalesce same-instant joins so the fixed configuration is chosen
+    // with the full initial fleet in view.
+    sim_.schedule(sim_.now(), [this] {
+        ensureFixedConfig();
+        assemble();
+    });
+}
+
+void
+ReroutingSystem::onPreemptionNotice(const cluster::Instance &, sim::SimTime)
+{
+    // Reactive baseline: the grace period is not used.
+}
+
+void
+ReroutingSystem::onInstancePreempted(const cluster::Instance &inst)
+{
+    forgetInstance(inst.id());
+    lastRole_.erase(inst.id());
+    pool_.erase(std::remove(pool_.begin(), pool_.end(), inst.id()),
+                pool_.end());
+    dropSlotsUsing(inst.id());
+    assemble();
+}
+
+void
+ReroutingSystem::onInstanceReleased(const cluster::Instance &inst)
+{
+    forgetInstance(inst.id());
+    lastRole_.erase(inst.id());
+    pool_.erase(std::remove(pool_.begin(), pool_.end(), inst.id()),
+                pool_.end());
+    dropSlotsUsing(inst.id());
+    assemble();
+}
+
+void
+ReroutingSystem::dropSlotsUsing(cluster::InstanceId id)
+{
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        Slot &slot = **it;
+        if (std::find(slot.members.begin(), slot.members.end(), id) ==
+            slot.members.end()) {
+            ++it;
+            continue;
+        }
+        // The preemption hangs the whole pipeline: interrupted requests
+        // are rerouted and recomputed from the beginning.
+        if (slot.pipeline) {
+            slot.pipeline->haltNow();
+            restartAndRequeue(slot.pipeline->takeBatch());
+        }
+        for (cluster::InstanceId m : slot.members) {
+            if (m == id)
+                continue;
+            const auto *inst = instances_.get(m);
+            if (inst && inst->usable())
+                pool_.push_back(m); // survivors idle until re-assembled
+        }
+        it = slots_.erase(it);
+    }
+}
+
+void
+ReroutingSystem::assemble()
+{
+    if (!fixed_)
+        return;
+    const int k = instancesPerPipeline();
+    while (static_cast<int>(pool_.size()) >= k) {
+        auto slot = std::make_unique<Slot>();
+        slot->members.assign(k, cluster::kInvalidInstance);
+
+        // Fill each role with an instance that held the same role before
+        // (its shards are resident), falling back to any pooled instance.
+        for (int r = 0; r < k; ++r) {
+            auto it = std::find_if(pool_.begin(), pool_.end(),
+                                   [this, r](cluster::InstanceId m) {
+                                       auto f = lastRole_.find(m);
+                                       return f != lastRole_.end() &&
+                                              f->second == r;
+                                   });
+            if (it != pool_.end()) {
+                slot->members[r] = *it;
+                pool_.erase(it);
+            }
+        }
+        for (int r = 0; r < k; ++r) {
+            if (slot->members[r] == cluster::kInvalidInstance) {
+                slot->members[r] = pool_.front();
+                pool_.pop_front();
+            }
+        }
+
+        // Rebuilding a pipeline changes the process-group membership, so
+        // the engine always relaunches; role-mismatched members also pull
+        // their shards from storage.
+        bool all_warm = true;
+        for (int r = 0; r < k; ++r) {
+            auto f = lastRole_.find(slot->members[r]);
+            if (f == lastRole_.end() || f->second != r)
+                all_warm = false;
+        }
+        par::ParallelConfig pipe_cfg = *fixed_;
+        pipe_cfg.dp = 1;
+        const double delay = all_warm ? params_.engineRestartTime
+                                      : latency_.coldLoadTime(pipe_cfg);
+        for (int r = 0; r < k; ++r)
+            lastRole_[slot->members[r]] = r;
+        slot->pipeline = makePipeline(pipe_cfg, nextSlotIndex_++);
+        Slot *raw = slot.get();
+        slots_.push_back(std::move(slot));
+        sim_.scheduleAfter(delay, [this, raw] {
+            // The slot may have died while initialising.
+            for (const auto &s : slots_) {
+                if (s.get() == raw) {
+                    raw->online = true;
+                    dispatchSlots();
+                    return;
+                }
+            }
+        });
+    }
+}
+
+void
+ReroutingSystem::dispatchSlots()
+{
+    for (auto &s : slots_) {
+        if (!s->online || !s->pipeline || !s->pipeline->idle() ||
+            s->pipeline->haltPending()) {
+            continue;
+        }
+        if (requests_.pendingEmpty())
+            return;
+        auto batch = requests_.nextBatch(fixed_->batch);
+        if (batch.empty())
+            return;
+        s->pipeline->startBatch(std::move(batch));
+    }
+}
+
+void
+ReroutingSystem::onPipelineIdle(engine::InferencePipeline &)
+{
+    dispatchSlots();
+}
+
+void
+ReroutingSystem::handleArrival(const wl::Request &request)
+{
+    requests_.submit(request);
+    dispatchSlots();
+}
+
+} // namespace baselines
+} // namespace spotserve

@@ -1,0 +1,104 @@
+#include "cluster/availability_trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spotserve {
+namespace cluster {
+
+AvailabilityTrace::AvailabilityTrace(std::string name, sim::SimTime duration,
+                                     std::vector<TraceEvent> events)
+    : name_(std::move(name)), duration_(duration), events_(std::move(events))
+{
+    if (duration <= 0.0)
+        throw std::invalid_argument("AvailabilityTrace: bad duration");
+    for (const auto &e : events_) {
+        if (e.time < 0.0 || e.time > duration_)
+            throw std::invalid_argument(
+                "AvailabilityTrace: event outside [0, duration]");
+        if (e.count <= 0)
+            throw std::invalid_argument("AvailabilityTrace: bad event count");
+        if (e.kind == TraceEventKind::PreemptNotice &&
+            e.type != InstanceType::Spot) {
+            throw std::invalid_argument(
+                "AvailabilityTrace: only spot instances get preempted");
+        }
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.time < b.time;
+                     });
+}
+
+int
+AvailabilityTrace::initialCount() const
+{
+    int n = 0;
+    for (const auto &e : events_) {
+        if (e.time == 0.0 && e.kind == TraceEventKind::Join)
+            n += e.count;
+    }
+    return n;
+}
+
+std::vector<AvailabilityTrace::Sample>
+AvailabilityTrace::series(sim::SimTime dt, sim::SimTime grace_period) const
+{
+    if (dt <= 0.0)
+        throw std::invalid_argument("AvailabilityTrace::series: bad dt");
+
+    // Expand events into +/- deltas at their effective times.
+    struct Delta
+    {
+        sim::SimTime time;
+        InstanceType type;
+        int change;
+    };
+    std::vector<Delta> deltas;
+    for (const auto &e : events_) {
+        switch (e.kind) {
+          case TraceEventKind::Join:
+            deltas.push_back({e.time, e.type, e.count});
+            break;
+          case TraceEventKind::PreemptNotice:
+            deltas.push_back({e.time + grace_period, e.type, -e.count});
+            break;
+          case TraceEventKind::Release:
+            deltas.push_back({e.time, e.type, -e.count});
+            break;
+        }
+    }
+    std::stable_sort(deltas.begin(), deltas.end(),
+                     [](const Delta &a, const Delta &b) {
+                         return a.time < b.time;
+                     });
+
+    std::vector<Sample> samples;
+    int spot = 0, od = 0;
+    std::size_t next = 0;
+    for (sim::SimTime t = 0.0; t <= duration_ + dt * 0.5; t += dt) {
+        while (next < deltas.size() && deltas[next].time <= t) {
+            if (deltas[next].type == InstanceType::Spot)
+                spot += deltas[next].change;
+            else
+                od += deltas[next].change;
+            ++next;
+        }
+        samples.push_back(Sample{t, spot, od});
+    }
+    return samples;
+}
+
+int
+AvailabilityTrace::totalPreemptions() const
+{
+    int n = 0;
+    for (const auto &e : events_) {
+        if (e.kind == TraceEventKind::PreemptNotice)
+            n += e.count;
+    }
+    return n;
+}
+
+} // namespace cluster
+} // namespace spotserve

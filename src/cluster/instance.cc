@@ -1,0 +1,124 @@
+#include "cluster/instance.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace spotserve {
+namespace cluster {
+
+const char *
+toString(InstanceType type)
+{
+    switch (type) {
+      case InstanceType::Spot:
+        return "spot";
+      case InstanceType::OnDemand:
+        return "on-demand";
+    }
+    return "?";
+}
+
+const char *
+toString(InstanceState state)
+{
+    switch (state) {
+      case InstanceState::Provisioning:
+        return "provisioning";
+      case InstanceState::Running:
+        return "running";
+      case InstanceState::GracePeriod:
+        return "grace-period";
+      case InstanceState::Preempted:
+        return "preempted";
+      case InstanceState::Released:
+        return "released";
+    }
+    return "?";
+}
+
+Instance::Instance(InstanceId id, InstanceType type, int gpus_per_instance,
+                   sim::SimTime ready_time)
+    : id_(id), type_(type), numGpus_(gpus_per_instance),
+      readyTime_(ready_time)
+{
+    if (id < 0 || gpus_per_instance <= 0)
+        throw std::invalid_argument("Instance: bad id or gpu count");
+}
+
+std::vector<par::GpuId>
+Instance::gpuIds() const
+{
+    std::vector<par::GpuId> out;
+    out.reserve(numGpus_);
+    for (int k = 0; k < numGpus_; ++k)
+        out.push_back(id_ * numGpus_ + k);
+    return out;
+}
+
+InstanceId
+Instance::instanceOfGpu(par::GpuId gpu, int gpus_per_instance)
+{
+    if (gpu < 0 || gpus_per_instance <= 0)
+        throw std::invalid_argument("instanceOfGpu: bad arguments");
+    return gpu / gpus_per_instance;
+}
+
+bool
+Instance::usable() const
+{
+    return state_ == InstanceState::Running ||
+           state_ == InstanceState::GracePeriod;
+}
+
+void
+Instance::markRunning(sim::SimTime now)
+{
+    if (state_ != InstanceState::Provisioning)
+        throw std::logic_error("Instance::markRunning: bad transition");
+    state_ = InstanceState::Running;
+    readyTime_ = now;
+}
+
+void
+Instance::markGrace(sim::SimTime now, sim::SimTime preempt_at)
+{
+    if (state_ != InstanceState::Running)
+        throw std::logic_error("Instance::markGrace: bad transition");
+    if (preempt_at < now)
+        throw std::invalid_argument("Instance::markGrace: preempt in past");
+    state_ = InstanceState::GracePeriod;
+    noticeTime_ = now;
+    preemptTime_ = preempt_at;
+}
+
+void
+Instance::markPreempted(sim::SimTime now)
+{
+    if (state_ != InstanceState::GracePeriod &&
+        state_ != InstanceState::Running) {
+        throw std::logic_error("Instance::markPreempted: bad transition");
+    }
+    state_ = InstanceState::Preempted;
+    endTime_ = now;
+}
+
+void
+Instance::markReleased(sim::SimTime now)
+{
+    if (!usable() && state_ != InstanceState::Provisioning)
+        throw std::logic_error("Instance::markReleased: bad transition");
+    state_ = InstanceState::Released;
+    endTime_ = now;
+}
+
+std::string
+Instance::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "instance %d (%s, %s)", id_,
+                  toString(type_), toString(state_));
+    return buf;
+}
+
+} // namespace cluster
+} // namespace spotserve

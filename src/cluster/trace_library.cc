@@ -1,0 +1,190 @@
+#include "cluster/trace_library.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spotserve {
+namespace cluster {
+
+namespace {
+
+constexpr sim::SimTime kTwentyMinutes = 1200.0;
+constexpr sim::SimTime kFig8Duration = 1080.0;
+
+TraceEvent
+join(sim::SimTime t, int count, InstanceType type = InstanceType::Spot)
+{
+    return TraceEvent{t, TraceEventKind::Join, type, count};
+}
+
+TraceEvent
+preempt(sim::SimTime t, int count)
+{
+    return TraceEvent{t, TraceEventKind::PreemptNotice, InstanceType::Spot,
+                      count};
+}
+
+TraceEvent
+release(sim::SimTime t, int count, InstanceType type)
+{
+    return TraceEvent{t, TraceEventKind::Release, type, count};
+}
+
+} // namespace
+
+AvailabilityTrace
+traceAS()
+{
+    return AvailabilityTrace(
+        "AS", kTwentyMinutes,
+        {
+            join(0.0, 12),
+            preempt(150.0, 1),  // -> 11
+            preempt(330.0, 1),  // -> 10
+            preempt(450.0, 1),  // -> 9
+            preempt(600.0, 1),  // -> 8
+            join(750.0, 1),     // -> 9
+            join(870.0, 1),     // -> 10
+            join(1020.0, 2),    // -> 12
+        });
+}
+
+AvailabilityTrace
+traceBS()
+{
+    return AvailabilityTrace(
+        "BS", kTwentyMinutes,
+        {
+            join(0.0, 12),
+            preempt(120.0, 2),  // -> 10
+            preempt(240.0, 1),  // grace overlaps with the next notice
+            preempt(255.0, 1),  // -> 8
+            preempt(390.0, 2),  // -> 6
+            preempt(540.0, 2),  // -> 4 (trough)
+            join(660.0, 2),     // -> 6
+            preempt(780.0, 1),  // -> 5
+            join(900.0, 3),     // -> 8
+            join(1050.0, 2),    // -> 10
+            preempt(1140.0, 1), // -> 9
+        });
+}
+
+AvailabilityTrace
+mixOnDemand(const AvailabilityTrace &spot_trace, int target,
+            sim::SimTime acquisition_lead)
+{
+    std::vector<TraceEvent> out = spot_trace.events();
+
+    // Walk the spot timeline tracking the projected fleet: spot instances
+    // that will survive, plus on-demand capacity live or in flight.
+    struct Change
+    {
+        sim::SimTime time;
+        int spotDelta;
+    };
+    std::vector<Change> changes;
+    for (const auto &e : spot_trace.events()) {
+        if (e.kind == TraceEventKind::Join)
+            changes.push_back({e.time, e.count});
+        else if (e.kind == TraceEventKind::PreemptNotice)
+            changes.push_back({e.time, -e.count}); // projected at notice
+    }
+    std::stable_sort(changes.begin(), changes.end(),
+                     [](const Change &a, const Change &b) {
+                         return a.time < b.time;
+                     });
+
+    int spot = 0;
+    int od_live = 0;
+    std::multimap<sim::SimTime, int> od_pending; // ready-time -> count
+    for (const auto &ch : changes) {
+        // Materialise pending on-demand allocations that completed.
+        for (auto it = od_pending.begin();
+             it != od_pending.end() && it->first <= ch.time;) {
+            od_live += it->second;
+            it = od_pending.erase(it);
+        }
+        spot += ch.spotDelta;
+
+        int pending = 0;
+        for (const auto &[ready, count] : od_pending)
+            pending += count;
+        const int projected = spot + od_live + pending;
+
+        if (projected < target) {
+            // Algorithm 1 line 8: allocate immediately; instances join
+            // after the acquisition lead time.
+            const int need = target - projected;
+            const sim::SimTime ready = ch.time + acquisition_lead;
+            if (ready <= spot_trace.duration()) {
+                out.push_back(join(ready, need, InstanceType::OnDemand));
+                od_pending.emplace(ready, need);
+            }
+        } else if (projected > target && od_live > 0 && ch.spotDelta > 0) {
+            // Algorithm 1 line 10: spot capacity returned; release
+            // on-demand first.
+            const int excess = std::min(projected - target, od_live);
+            out.push_back(release(ch.time, excess, InstanceType::OnDemand));
+            od_live -= excess;
+        }
+    }
+
+    return AvailabilityTrace(spot_trace.name() + "+O",
+                             spot_trace.duration(), std::move(out));
+}
+
+AvailabilityTrace
+traceASPlusO()
+{
+    return mixOnDemand(traceAS(), 10, 120.0);
+}
+
+AvailabilityTrace
+traceBSPlusO()
+{
+    return mixOnDemand(traceBS(), 10, 120.0);
+}
+
+AvailabilityTrace
+traceFig8A()
+{
+    return AvailabilityTrace(
+        "A'S+O", kFig8Duration,
+        {
+            join(0.0, 10),
+            preempt(120.0, 1), // -> 9
+            preempt(240.0, 1), // -> 8
+            // Overload detected ~300 s; allocations complete at 450 s.
+            join(450.0, 2),                          // spot      -> 10
+            join(450.0, 2, InstanceType::OnDemand),  //           -> 12
+            // Arrival rate falls after 600 s: scale back to 8.
+            release(620.0, 2, InstanceType::OnDemand), // -> 10
+            release(650.0, 2, InstanceType::Spot),     // -> 8
+        });
+}
+
+AvailabilityTrace
+traceFig8B()
+{
+    return AvailabilityTrace(
+        "B'S+O", kFig8Duration,
+        {
+            join(0.0, 10),
+            preempt(120.0, 1), // -> 9
+            preempt(240.0, 1), // -> 8
+            join(450.0, 1),                          // spot      -> 9
+            join(450.0, 3, InstanceType::OnDemand),  //           -> 12
+            release(620.0, 2, InstanceType::OnDemand), // -> 10
+            preempt(700.0, 1),                         // -> 9
+            release(750.0, 1, InstanceType::OnDemand), // -> 8
+        });
+}
+
+std::vector<AvailabilityTrace>
+figure5Traces()
+{
+    return {traceAS(), traceBS(), traceASPlusO(), traceBSPlusO()};
+}
+
+} // namespace cluster
+} // namespace spotserve

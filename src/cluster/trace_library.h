@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The availability traces used by the experiments (Figures 5 and 8c/8d).
+ *
+ * The paper collected a 12-hour AWS g4dn spot trace and replays two
+ * representative 20-minute segments: A_S (gradual availability changes)
+ * and B_S (bursty, compact preemptions whose grace periods overlap).  The
+ * exact trace bytes were never published, so this library ships synthetic
+ * segments with the same statistical character: 4-12 four-GPU instances,
+ * single and double preemptions, recoveries — A_S mild, B_S hostile.
+ *
+ * The mixed traces (A_S+O, B_S+O) are generated from the spot traces by
+ * mixOnDemand(), which emulates Algorithm 1's behaviour of allocating
+ * on-demand instances when spot capacity drops below a target and
+ * releasing them (on-demand first) when spot capacity returns — the same
+ * procedure the paper used to create its +O traces.
+ */
+
+#ifndef SPOTSERVE_CLUSTER_TRACE_LIBRARY_H
+#define SPOTSERVE_CLUSTER_TRACE_LIBRARY_H
+
+#include <vector>
+
+#include "cluster/availability_trace.h"
+
+namespace spotserve {
+namespace cluster {
+
+/** Trace A_S: mild 20-minute segment, 8-12 spot instances. */
+AvailabilityTrace traceAS();
+
+/** Trace B_S: hostile 20-minute segment, 4-12 spot instances, overlapping
+ *  grace periods at t=240/255 s. */
+AvailabilityTrace traceBS();
+
+/**
+ * Mix on-demand instances into a spot trace following Algorithm 1:
+ * whenever the projected instance count (spot survivors + pending
+ * allocations) falls below @p target, allocate the difference on-demand
+ * (ready after @p acquisition_lead seconds); release on-demand capacity
+ * as soon as spot instances return.
+ */
+AvailabilityTrace mixOnDemand(const AvailabilityTrace &spot_trace,
+                              int target, sim::SimTime acquisition_lead);
+
+/** A_S+O / B_S+O: the Figure 5 mixed traces (target 10 instances). @{ */
+AvailabilityTrace traceASPlusO();
+AvailabilityTrace traceBSPlusO();
+/** @} */
+
+/**
+ * Figure 8 availability traces A'_S+O and B'_S+O: 18-minute segments with
+ * on-demand mixing enabled, following the §6.3 narrative (10 spot
+ * instances at t=0, preemptions at 120 s and 240 s, acquisitions complete
+ * at 450 s, release after 600 s when the arrival rate falls).
+ * @{
+ */
+AvailabilityTrace traceFig8A();
+AvailabilityTrace traceFig8B();
+/** @} */
+
+/** The four Figure 5 traces in presentation order. */
+std::vector<AvailabilityTrace> figure5Traces();
+
+} // namespace cluster
+} // namespace spotserve
+
+#endif // SPOTSERVE_CLUSTER_TRACE_LIBRARY_H

@@ -1,0 +1,164 @@
+#include "core/controller.h"
+
+#include <cmath>
+#include <limits>
+
+namespace spotserve {
+namespace core {
+
+bool
+worthReconfiguring(const cost::ThroughputModel &model,
+                   const cost::SeqSpec &seq,
+                   const par::ParallelConfig &current,
+                   int current_instances,
+                   const ControllerDecision &decision, double alpha_plan,
+                   double sustained_rate, std::size_t queue_length,
+                   double arrival_cv, double slo_latency)
+{
+    if (decision.config == current)
+        return false;
+    const double current_phi = model.throughput(current, seq);
+    if (current_phi < sustained_rate)
+        return true; // demand exceeds capacity: must upgrade
+    const bool backlog =
+        queue_length >
+        3 * static_cast<std::size_t>(current.concurrentRequests());
+    if (backlog && decision.throughput > 1.2 * current_phi)
+        return true; // a real capacity bump would drain the backlog
+    if (slo_latency > 0.0 && decision.meetsDemand &&
+        decision.instancesNeeded + 1 < current_instances &&
+        decision.estimatedLatency <= slo_latency) {
+        // SLO objective: shedding instances is the point.  Require at
+        // least two instances of savings so borderline alternatives do
+        // not flap the deployment back and forth.
+        return true;
+    }
+    const double current_lat =
+        model.requestLatency(current, seq, alpha_plan, arrival_cv);
+    return decision.estimatedLatency <= 0.8 * current_lat;
+}
+
+ParallelizationController::ParallelizationController(
+    const model::ModelSpec &spec, const cost::CostParams &params,
+    const cost::SeqSpec &seq, cost::ConfigSpaceOptions space_options,
+    ControllerOptions options)
+    : seq_(seq), options_(options), latency_(spec, params),
+      throughput_(latency_), space_(spec, params, seq, space_options)
+{
+}
+
+std::optional<ControllerDecision>
+ParallelizationController::chooseConfig(int available_instances,
+                                        double arrival_rate) const
+{
+    const auto candidates = space_.enumerate(available_instances);
+    if (candidates.empty())
+        return std::nullopt;
+
+    // Deterministic preference among near-equal choices: cheaper first,
+    // then fewer GPUs, then the shallower pipeline, then smaller batch.
+    auto prefer = [this](const par::ParallelConfig &a,
+                         const par::ParallelConfig &b) {
+        const int ia = space_.instancesNeeded(a);
+        const int ib = space_.instancesNeeded(b);
+        if (ia != ib)
+            return ia < ib;
+        if (a.totalGpus() != b.totalGpus())
+            return a.totalGpus() < b.totalGpus();
+        if (a.pp != b.pp)
+            return a.pp < b.pp;
+        if (a.batch != b.batch)
+            return a.batch < b.batch;
+        return a.tp < b.tp;
+    };
+
+    bool any_meets = false;
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (const auto &c : candidates) {
+        const double phi = throughput_.throughput(c, seq_);
+        if (phi >= arrival_rate) {
+            any_meets = true;
+            const double l = throughput_.requestLatency(c, seq_,
+                                                        arrival_rate,
+                                                        options_.arrivalCv);
+            best_latency = std::min(best_latency, l);
+        }
+    }
+
+    ControllerDecision best;
+    bool have = false;
+    if (any_meets && options_.sloLatency > 0.0) {
+        // SLO objective: cheapest configuration meeting the latency SLO.
+        for (const auto &c : candidates) {
+            const double phi = throughput_.throughput(c, seq_);
+            if (phi < arrival_rate)
+                continue;
+            const double l = throughput_.requestLatency(c, seq_,
+                                                        arrival_rate,
+                                                        options_.arrivalCv);
+            if (l > options_.sloLatency)
+                continue;
+            if (!have || prefer(c, best.config)) {
+                best.config = c;
+                best.estimatedLatency = l;
+                best.throughput = phi;
+                best.meetsDemand = true;
+                best.instancesNeeded = space_.instancesNeeded(c);
+                have = true;
+            }
+        }
+        if (have)
+            return best;
+        // No configuration meets the SLO: fall through to latency
+        // minimisation so the violation is at least minimised.
+    }
+    if (any_meets) {
+        // Line 3: among configs sustaining alpha_t, take the latency
+        // minimum; within the tolerance band prefer lower monetary cost.
+        const double band = best_latency * options_.latencyTolerance;
+        for (const auto &c : candidates) {
+            const double phi = throughput_.throughput(c, seq_);
+            if (phi < arrival_rate)
+                continue;
+            const double l = throughput_.requestLatency(c, seq_,
+                                                        arrival_rate,
+                                                        options_.arrivalCv);
+            if (l > band)
+                continue;
+            if (!have || prefer(c, best.config)) {
+                best.config = c;
+                best.estimatedLatency = l;
+                best.throughput = phi;
+                best.meetsDemand = true;
+                best.instancesNeeded = space_.instancesNeeded(c);
+                have = true;
+            }
+        }
+    } else {
+        // Line 5: nothing keeps up; maximize phi(C).
+        double best_phi = -1.0;
+        for (const auto &c : candidates) {
+            const double phi = throughput_.throughput(c, seq_);
+            const bool better =
+                phi > best_phi * (1.0 + 1e-9) ||
+                (std::abs(phi - best_phi) <= best_phi * 1e-9 && have &&
+                 prefer(c, best.config));
+            if (!have || better) {
+                best.config = c;
+                best.estimatedLatency =
+                    std::numeric_limits<double>::infinity();
+                best.throughput = phi;
+                best.meetsDemand = false;
+                best.instancesNeeded = space_.instancesNeeded(c);
+                best_phi = std::max(best_phi, phi);
+                have = true;
+            }
+        }
+    }
+    if (!have)
+        return std::nullopt;
+    return best;
+}
+
+} // namespace core
+} // namespace spotserve

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parallelization controller: the adaptive configuration optimizer
+ * (Algorithm 1, §3.2).
+ *
+ * Given the number of available instances N_t and the observed arrival
+ * rate alpha_t, pick C_{t+1}:
+ *   - if some feasible configuration sustains alpha_t, choose the one
+ *     minimizing estimated request latency l_req(C); among configurations
+ *     with similar minimum latency, prefer lower monetary cost (fewer
+ *     instances);
+ *   - otherwise maximize serving throughput phi(C).
+ */
+
+#ifndef SPOTSERVE_CORE_CONTROLLER_H
+#define SPOTSERVE_CORE_CONTROLLER_H
+
+#include <optional>
+
+#include "costmodel/config_space.h"
+#include "costmodel/throughput_model.h"
+#include "model/model_spec.h"
+
+namespace spotserve {
+namespace core {
+
+/** Controller tuning knobs. */
+struct ControllerOptions
+{
+    /** Arrival-process CV used in the queueing estimate (paper: 6). */
+    double arrivalCv = 6.0;
+
+    /**
+     * Optional latency SLO in seconds (§3.2: "other targets are also
+     * feasible, such as meeting the requirements of pre-defined SLO").
+     * When positive, the optimizer picks the *cheapest* configuration
+     * whose estimated request latency meets the SLO (still subject to
+     * phi(C) >= alpha); when no configuration meets it, it falls back to
+     * plain latency minimisation.
+     */
+    double sloLatency = 0.0;
+
+    /**
+     * Configurations within this factor of the minimum estimated latency
+     * count as "similar"; the cheapest of them wins (Alg. 1 line 3
+     * tie-break: "if there are multiple configurations that can achieve
+     * similar minimum inference latency, SpotServe selects the
+     * configuration with lower monetary cost").
+     */
+    double latencyTolerance = 1.10;
+};
+
+/** One optimizer decision. */
+struct ControllerDecision
+{
+    par::ParallelConfig config;
+    /** Estimated request latency under the decision (may be +inf). */
+    double estimatedLatency = 0.0;
+    /** Peak serving throughput phi(C). */
+    double throughput = 0.0;
+    /** Whether phi(C) >= alpha_t was achievable. */
+    bool meetsDemand = false;
+    /** Instances the configuration occupies. */
+    int instancesNeeded = 0;
+};
+
+/**
+ * Shared gate for *voluntary* reconfigurations (no mesh member lost).
+ * A disruption is worth it only when the deployment is genuinely
+ * struggling — sustained demand above capacity, or a large backlog that a
+ * meaningfully higher-throughput configuration would drain — when the
+ * estimated request latency improves by at least 20%, or (under an SLO
+ * objective) when the decision saves instances while still meeting the
+ * SLO.  Without this gate bursty CV-6 arrival estimates thrash every
+ * system through marginal config changes.
+ *
+ * @param current_instances instances the current deployment occupies.
+ * @param slo_latency the SLO in seconds, or 0 when latency-minimising.
+ */
+bool worthReconfiguring(const cost::ThroughputModel &model,
+                        const cost::SeqSpec &seq,
+                        const par::ParallelConfig &current,
+                        int current_instances,
+                        const ControllerDecision &decision,
+                        double alpha_plan, double sustained_rate,
+                        std::size_t queue_length, double arrival_cv,
+                        double slo_latency = 0.0);
+
+/** Algorithm 1's ConfigOptimizer. */
+class ParallelizationController
+{
+  public:
+    ParallelizationController(const model::ModelSpec &spec,
+                              const cost::CostParams &params,
+                              const cost::SeqSpec &seq,
+                              cost::ConfigSpaceOptions space_options = {},
+                              ControllerOptions options = {});
+
+    /**
+     * Choose C_{t+1} for @p available_instances instances under arrival
+     * rate @p arrival_rate.  Returns nullopt when no configuration fits
+     * (not even one replica can be served).
+     */
+    std::optional<ControllerDecision>
+    chooseConfig(int available_instances, double arrival_rate) const;
+
+    const cost::ConfigSpace &space() const { return space_; }
+    const cost::ThroughputModel &throughputModel() const
+    {
+        return throughput_;
+    }
+
+  private:
+    cost::SeqSpec seq_;
+    ControllerOptions options_;
+    cost::LatencyModel latency_;
+    cost::ThroughputModel throughput_;
+    cost::ConfigSpace space_;
+};
+
+} // namespace core
+} // namespace spotserve
+
+#endif // SPOTSERVE_CORE_CONTROLLER_H

@@ -1,0 +1,211 @@
+#include "core/device_mapper.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "matching/hungarian.h"
+
+namespace spotserve {
+namespace core {
+
+namespace {
+
+/** Positions grouped into instance-sized slots of consecutive indices. */
+struct Slot
+{
+    std::vector<par::Position> positions;
+};
+
+std::vector<Slot>
+buildSlots(const par::Topology &topo, int gpus_per_instance)
+{
+    std::vector<Slot> slots;
+    Slot current;
+    for (int i = 0; i < topo.size(); ++i) {
+        current.positions.push_back(topo.position(i));
+        if (static_cast<int>(current.positions.size()) == gpus_per_instance) {
+            slots.push_back(std::move(current));
+            current = Slot{};
+        }
+    }
+    if (!current.positions.empty())
+        slots.push_back(std::move(current));
+    return slots;
+}
+
+} // namespace
+
+DeviceMapper::DeviceMapper(const model::ModelSpec &spec,
+                           const cost::CostParams &params,
+                           DeviceMapperOptions options)
+    : spec_(spec), params_(params), options_(options)
+{
+}
+
+std::vector<int>
+DeviceMapper::planInheritance(
+    int new_dp, const std::vector<double> &old_pipeline_tokens) const
+{
+    std::vector<int> inherited(new_dp, -1);
+    // Rank old replicas by committed progress, descending; keep the most
+    // progressed ones when the replica count shrinks (§3.3: "keeps the
+    // batches of requests with more decoding progresses").
+    std::vector<int> order(old_pipeline_tokens.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return old_pipeline_tokens[a] > old_pipeline_tokens[b];
+    });
+    for (std::size_t k = 0; k < order.size() &&
+                            k < static_cast<std::size_t>(new_dp); ++k) {
+        if (old_pipeline_tokens[order[k]] > 0.0)
+            inherited[k] = order[k];
+    }
+    return inherited;
+}
+
+double
+DeviceMapper::edgeWeight(const engine::GpuContext *held,
+                         const par::Topology &target_topo,
+                         const par::Position &pos,
+                         const std::vector<int> &inherited) const
+{
+    if (!held || !held->hasModelContext)
+        return 0.0;
+    double w = engine::modelOverlapBytes(spec_, *held, target_topo, pos);
+    if (options_.preferCacheReuse && held->cacheTokens > 0.0 &&
+        inherited[pos.d] == held->position.d) {
+        w += engine::cacheOverlapBytes(spec_, *held, target_topo, pos);
+    }
+    return w;
+}
+
+MappingResult
+DeviceMapper::map(const engine::ContextSnapshot &snapshot,
+                  const par::ParallelConfig &target,
+                  const std::vector<const cluster::Instance *> &instance_list,
+                  const std::vector<double> &old_pipeline_tokens) const
+{
+    const int gpi = params_.gpusPerInstance;
+    par::DeviceMesh mesh(target, spec_.numLayers());
+    const par::Topology &topo = mesh.topology();
+
+    const int total_gpus = target.totalGpus();
+    if (static_cast<int>(instance_list.size()) * gpi < total_gpus)
+        throw std::invalid_argument("DeviceMapper::map: not enough GPUs");
+
+    MappingResult result{std::move(mesh), {}, 0.0, 0.0, 0.0};
+    result.inheritedOldPipeline =
+        planInheritance(target.dp, old_pipeline_tokens);
+
+    for (int i = 0; i < topo.size(); ++i) {
+        result.neededModelBytes +=
+            engine::neededModelBytes(spec_, topo, topo.position(i));
+    }
+
+    const auto slots = buildSlots(topo, gpi);
+    const std::size_t num_instances = instance_list.size();
+    const std::size_t num_slots = slots.size();
+
+    if (!options_.useKuhnMunkres) {
+        // Ablated mapper: instances in id order, GPUs in id order.
+        std::size_t s = 0;
+        for (std::size_t i = 0; i < num_instances && s < num_slots; ++i, ++s) {
+            const auto gpus = instance_list[i]->gpuIds();
+            for (std::size_t k = 0; k < slots[s].positions.size(); ++k) {
+                const par::Position &pos = slots[s].positions[k];
+                result.mesh.assign(pos, gpus[k]);
+                const auto *held = snapshot.find(gpus[k]);
+                result.reusedModelBytes +=
+                    held ? engine::modelOverlapBytes(spec_, *held, topo, pos)
+                         : 0.0;
+            }
+        }
+        return result;
+    }
+
+    // Step 1 (intra-instance): score every (instance, slot) pair by its
+    // best internal GPU-to-position matching, remembering the assignment.
+    struct IntraResult
+    {
+        std::vector<int> gpuToSlotPos; // index into slot positions, -1
+        double weight = 0.0;
+    };
+    std::vector<std::vector<IntraResult>> intra(
+        num_instances, std::vector<IntraResult>(num_slots));
+    match::Matrix slot_weight(num_instances,
+                              std::vector<double>(num_slots, 0.0));
+
+    for (std::size_t i = 0; i < num_instances; ++i) {
+        const auto gpus = instance_list[i]->gpuIds();
+        for (std::size_t s = 0; s < num_slots; ++s) {
+            const auto &positions = slots[s].positions;
+            match::Matrix w(gpus.size(),
+                            std::vector<double>(positions.size(), 0.0));
+            for (std::size_t u = 0; u < gpus.size(); ++u) {
+                const auto *held = snapshot.find(gpus[u]);
+                for (std::size_t v = 0; v < positions.size(); ++v) {
+                    w[u][v] = edgeWeight(held, topo, positions[v],
+                                         result.inheritedOldPipeline);
+                }
+            }
+            auto a = match::maxWeightAssignment(w);
+            intra[i][s].gpuToSlotPos = a.rowToCol;
+            intra[i][s].weight = a.totalWeight;
+            slot_weight[i][s] = a.totalWeight;
+        }
+    }
+
+    // Step 2 (inter-instance): match instances to slots.
+    const auto inter = match::maxWeightAssignment(slot_weight);
+    const auto slot_to_instance = inter.colToRow(num_slots);
+
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        const int i = slot_to_instance[s];
+        if (i < 0)
+            throw std::logic_error("DeviceMapper::map: unmatched slot");
+        const auto gpus = instance_list[i]->gpuIds();
+        const auto &positions = slots[s].positions;
+        const auto &assignment = intra[i][s].gpuToSlotPos;
+
+        // Bind matched GPUs; positions a partial slot leaves unmatched get
+        // the remaining GPUs in order.
+        std::vector<bool> pos_taken(positions.size(), false);
+        std::vector<bool> gpu_used(gpus.size(), false);
+        for (std::size_t u = 0; u < assignment.size(); ++u) {
+            const int v = assignment[u];
+            if (v < 0)
+                continue;
+            const par::Position &pos = positions[v];
+            result.mesh.assign(pos, gpus[u]);
+            pos_taken[v] = true;
+            gpu_used[u] = true;
+            const auto *held = snapshot.find(gpus[u]);
+            if (held) {
+                result.reusedModelBytes +=
+                    engine::modelOverlapBytes(spec_, *held, topo, pos);
+                if (result.inheritedOldPipeline[pos.d] == held->position.d &&
+                    held->hasModelContext) {
+                    result.reusedCacheBytes += engine::cacheOverlapBytes(
+                        spec_, *held, topo, pos);
+                }
+            }
+        }
+        std::size_t next_gpu = 0;
+        for (std::size_t v = 0; v < positions.size(); ++v) {
+            if (pos_taken[v])
+                continue;
+            while (next_gpu < gpus.size() && gpu_used[next_gpu])
+                ++next_gpu;
+            if (next_gpu >= gpus.size())
+                throw std::logic_error("DeviceMapper::map: slot overflow");
+            result.mesh.assign(positions[v], gpus[next_gpu]);
+            gpu_used[next_gpu] = true;
+        }
+    }
+
+    return result;
+}
+
+} // namespace core
+} // namespace spotserve

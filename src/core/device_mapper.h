@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Device mapper: bipartite-graph matching of GPUs to mesh positions
+ * (§3.3).
+ *
+ * Mapping is formalized as maximum-weight bipartite matching between
+ * available GPU devices and the pipeline-stage-shard positions of the
+ * target configuration; edge weights are the bytes of reusable model and
+ * cache context.  Multi-GPU instances use the two-step hierarchical
+ * matching from the paper's supplemental material: instances are first
+ * matched to instance-sized "slots" of consecutive positions (inter-
+ * instance Kuhn-Munkres, each edge scored by the optimal intra-instance
+ * sub-matching), then GPUs are bound inside each matched pair.
+ */
+
+#ifndef SPOTSERVE_CORE_DEVICE_MAPPER_H
+#define SPOTSERVE_CORE_DEVICE_MAPPER_H
+
+#include <vector>
+
+#include "cluster/instance.h"
+#include "costmodel/cost_params.h"
+#include "engine/context_state.h"
+#include "model/model_spec.h"
+#include "parallel/device_mesh.h"
+
+namespace spotserve {
+namespace core {
+
+/** Output of the device mapper. */
+struct MappingResult
+{
+    par::DeviceMesh mesh;
+
+    /**
+     * inheritedOldPipeline[d] = old replica whose in-flight requests the
+     * new replica d inherits, or -1.  Old replicas with the most committed
+     * progress are kept when D shrinks (§3.3).
+     */
+    std::vector<int> inheritedOldPipeline;
+
+    /** Reuse achieved by the matching (bytes). @{ */
+    double reusedModelBytes = 0.0;
+    double reusedCacheBytes = 0.0;
+    /** @} */
+
+    /** Total model-context bytes the target deployment needs. */
+    double neededModelBytes = 0.0;
+};
+
+/** Knobs for the mapper. */
+struct DeviceMapperOptions
+{
+    /**
+     * Use Kuhn-Munkres matching.  When false (Figure 9 ablation), GPUs are
+     * assigned to positions in plain id order — "a plain approach [that]
+     * only enables model context maintenance".
+     */
+    bool useKuhnMunkres = true;
+
+    /** Add cache-context weights to the matching objective. */
+    bool preferCacheReuse = true;
+};
+
+/** The device mapper. */
+class DeviceMapper
+{
+  public:
+    DeviceMapper(const model::ModelSpec &spec, const cost::CostParams &params,
+                 DeviceMapperOptions options = {});
+
+    /**
+     * Map @p target positions onto the GPUs of @p instance_list
+     * (survivors only), reusing context recorded in @p snapshot.
+     *
+     * @param old_pipeline_tokens cached tokens per old replica id (used to
+     *        decide inheritance when the replica count changes); pass an
+     *        empty vector when nothing is in flight.
+     * @pre The target fits: target.totalGpus() <= GPUs in instance_list.
+     */
+    MappingResult
+    map(const engine::ContextSnapshot &snapshot,
+        const par::ParallelConfig &target,
+        const std::vector<const cluster::Instance *> &instance_list,
+        const std::vector<double> &old_pipeline_tokens) const;
+
+    const DeviceMapperOptions &options() const { return options_; }
+
+  private:
+    /** Decide which old replica each new replica inherits. */
+    std::vector<int>
+    planInheritance(int new_dp,
+                    const std::vector<double> &old_pipeline_tokens) const;
+
+    /** Reuse weight of putting GPU (with daemon state) at a position. */
+    double edgeWeight(const engine::GpuContext *held,
+                      const par::Topology &target_topo,
+                      const par::Position &pos,
+                      const std::vector<int> &inherited) const;
+
+    model::ModelSpec spec_;
+    cost::CostParams params_;
+    DeviceMapperOptions options_;
+};
+
+} // namespace core
+} // namespace spotserve
+
+#endif // SPOTSERVE_CORE_DEVICE_MAPPER_H

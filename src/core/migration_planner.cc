@@ -1,0 +1,400 @@
+#include "core/migration_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "costmodel/latency_model.h"
+
+namespace spotserve {
+namespace core {
+
+namespace {
+
+/** Aggregated transfers of one step keyed by (src, dst) instance pair. */
+class TransferAccumulator
+{
+  public:
+    void
+    add(int src, int dst, double bytes)
+    {
+        if (bytes <= 0.0)
+            return;
+        bytes_[{src, dst}] += bytes;
+    }
+
+    std::vector<cost::Transfer>
+    release()
+    {
+        std::vector<cost::Transfer> out;
+        out.reserve(bytes_.size());
+        for (const auto &[key, b] : bytes_)
+            out.push_back(cost::Transfer{key.first, key.second, b});
+        bytes_.clear();
+        return out;
+    }
+
+  private:
+    std::map<std::pair<int, int>, double> bytes_;
+};
+
+/** Fraction of a layer's shard interval [lo,hi) covered by a holder. */
+double
+coveredFraction(const engine::GpuContext &held, int layer,
+                const model::ModelSpec &spec, double lo, double hi)
+{
+    if (!held.hasModelContext)
+        return 0.0;
+    const par::Topology held_topo(held.config, spec.numLayers());
+    const auto [first, last] = held_topo.stageLayers(held.position.p);
+    if (layer < first || layer >= last)
+        return 0.0;
+    const auto [hlo, hhi] = held_topo.shardInterval(held.position.m);
+    return std::max(0.0, std::min(hi, hhi) - std::max(lo, hlo));
+}
+
+} // namespace
+
+MigrationPlanner::MigrationPlanner(const model::ModelSpec &spec,
+                                   const cost::CostParams &params)
+    : spec_(spec), params_(params), costModel_(params)
+{
+}
+
+MigrationPlan
+MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
+                       const MappingResult &mapping,
+                       const par::ParallelConfig &target,
+                       const std::vector<double> &old_pipeline_tokens,
+                       PlannerOptions options) const
+{
+    MigrationPlan plan;
+    const par::Topology &topo = mapping.mesh.topology();
+    const int layers = spec_.numLayers();
+    const int gpi = params_.gpusPerInstance;
+
+    // ------------------------------------------------------------------
+    // 1. Compute per-layer model-context transfers and the cache step.
+    // ------------------------------------------------------------------
+    std::vector<TransferAccumulator> layer_acc(layers);
+    // Cold (disk/S3) bytes per layer, split by loading instance: every
+    // instance streams from storage independently, so a step's disk time
+    // is the per-instance maximum, not the sum.
+    std::vector<std::map<int, double>> layer_cold(layers);
+    TransferAccumulator cache_acc;
+    double cache_cold = 0.0;
+
+    // Algorithm 2's buffer model: migrating layer l raises each receiving
+    // instance's footprint by the bytes received and lowers it by the
+    // stale copies of layer l freed on that instance (old slices not
+    // reused by the new positions).  The layer order controls the running
+    // peak: front-to-back can force an instance to absorb its whole new
+    // shard before anything stale frees, while the min-max order
+    // interleaves receives with frees.
+    std::vector<std::map<int, double>> layer_in(layers);
+    std::vector<std::map<int, double>> layer_freed(layers);
+
+    // Which layers each (d, p) still needs, and whether replica d takes
+    // part in the cache step — drives per-replica resume offsets.
+    std::vector<std::vector<std::vector<int>>> missing_by_dp(
+        target.dp, std::vector<std::vector<int>>(target.pp));
+    std::vector<bool> cache_involves(target.dp, false);
+
+    for (int i = 0; i < topo.size(); ++i) {
+        const par::Position pos = topo.position(i);
+        const par::GpuId gpu = mapping.mesh.gpuAt(pos);
+        const int dst_inst = cluster::Instance::instanceOfGpu(gpu, gpi);
+        const auto *own = snapshot.find(gpu);
+        const auto [lo, hi] = topo.shardInterval(pos.m);
+        const auto [first, last] = topo.stageLayers(pos.p);
+
+        const int inherit = mapping.inheritedOldPipeline[pos.d];
+        const double tokens =
+            (inherit >= 0 &&
+             inherit < static_cast<int>(old_pipeline_tokens.size()))
+                ? old_pipeline_tokens[inherit]
+                : 0.0;
+
+        for (int l = first; l < last; ++l) {
+            const double needed_frac = hi - lo;
+            const double own_frac =
+                own ? coveredFraction(*own, l, spec_, lo, hi) : 0.0;
+            double missing_frac = needed_frac - own_frac;
+            plan.reusedBytes += own_frac * spec_.layerWeightBytes();
+            if (missing_frac <= 1e-12)
+                missing_frac = 0.0;
+
+            // Cache for this layer slice (only if this replica inherits
+            // in-flight requests and we migrate cache at all).
+            const double cache_layer_bytes =
+                (options.migrateCache && tokens > 0.0)
+                    ? tokens * spec_.kvBytesPerTokenPerLayer()
+                    : 0.0;
+            double cache_missing_frac = 0.0;
+            if (cache_layer_bytes > 0.0) {
+                const bool own_cache =
+                    own && own->hasModelContext && own->cacheTokens > 0.0 &&
+                    own->position.d == inherit;
+                const double own_cache_frac =
+                    own_cache ? coveredFraction(*own, l, spec_, lo, hi) : 0.0;
+                cache_missing_frac =
+                    std::max(0.0, needed_frac - own_cache_frac);
+            }
+
+            if (missing_frac <= 0.0 && cache_missing_frac <= 0.0)
+                continue;
+
+            // Pick a source: a daemon holding this layer with the largest
+            // interval overlap, preferring the destination instance.
+            const engine::GpuContext *best = nullptr;
+            double best_score = 0.0;
+            const engine::GpuContext *best_cache = nullptr;
+            double best_cache_score = 0.0;
+            for (const auto &g : snapshot.gpus) {
+                if (g.gpu == gpu)
+                    continue;
+                const double cover = coveredFraction(g, l, spec_, lo, hi);
+                if (cover <= 0.0)
+                    continue;
+                const double local_bonus =
+                    g.instance == dst_inst ? 1e-6 : 0.0;
+                if (cover + local_bonus > best_score) {
+                    best_score = cover + local_bonus;
+                    best = &g;
+                }
+                if (g.cacheTokens > 0.0 && g.position.d == inherit &&
+                    cover + local_bonus > best_cache_score) {
+                    best_cache_score = cover + local_bonus;
+                    best_cache = &g;
+                }
+            }
+
+            if (missing_frac > 0.0) {
+                const double bytes = missing_frac * spec_.layerWeightBytes();
+                plan.movedModelBytes += bytes;
+                if (best) {
+                    layer_acc[l].add(best->instance, dst_inst, bytes);
+                } else {
+                    // No live replica: cold load from disk/S3 (§4.2).
+                    layer_cold[l][dst_inst] += bytes;
+                    plan.coldLoadBytes += bytes;
+                }
+                layer_in[l][dst_inst] += bytes;
+                missing_by_dp[pos.d][pos.p].push_back(l);
+            }
+            if (cache_missing_frac > 0.0) {
+                const double bytes = cache_missing_frac * cache_layer_bytes;
+                plan.movedCacheBytes += bytes;
+                cache_involves[pos.d] = true;
+                if (best_cache)
+                    cache_acc.add(best_cache->instance, dst_inst, bytes);
+                else
+                    cache_cold += bytes; // unrecoverable; treated as loss
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Per-layer memory deltas: stale copies freed on each instance.
+    // ------------------------------------------------------------------
+    for (const auto &g : snapshot.gpus) {
+        if (!g.hasModelContext)
+            continue;
+        const par::Topology held_topo(g.config, spec_.numLayers());
+        const auto [first, last] = held_topo.stageLayers(g.position.p);
+        const double old_slice =
+            spec_.layerWeightBytes() / g.config.tp;
+        // The part of each old layer slice the GPU keeps in place.
+        const bool mapped = mapping.mesh.contains(g.gpu);
+        par::Position new_pos;
+        if (mapped)
+            new_pos = mapping.mesh.positionOf(g.gpu);
+        for (int l = first; l < last; ++l) {
+            double kept = 0.0;
+            if (mapped) {
+                const auto [nf, nl] = topo.stageLayers(new_pos.p);
+                if (l >= nf && l < nl) {
+                    kept = par::shardOverlapFraction(
+                               g.position.m, g.config.tp, new_pos.m,
+                               topo.config().tp) *
+                           spec_.layerWeightBytes();
+                }
+            }
+            const double freed = std::max(0.0, old_slice - kept);
+            if (freed > 0.0)
+                layer_freed[l][g.instance] += freed;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Order the layers (Algorithm 2).
+    // ------------------------------------------------------------------
+    std::map<int, double> net; // cumulative footprint delta per instance
+    double peak = 0.0;
+
+    auto apply_layer = [&](int l) {
+        // Transient: the incoming tensors land before the stale copies
+        // swap out (per-layer double buffering).
+        for (const auto &[inst, bytes] : layer_in[l]) {
+            net[inst] += bytes;
+            peak = std::max(peak, net[inst]);
+        }
+        for (const auto &[inst, bytes] : layer_freed[l])
+            net[inst] -= bytes;
+    };
+
+    auto max_after = [&](int l) {
+        double mx = 0.0;
+        for (const auto &[inst, delta] : net)
+            mx = std::max(mx, delta);
+        for (const auto &[inst, bytes] : layer_in[l]) {
+            auto it = net.find(inst);
+            const double base = it == net.end() ? 0.0 : it->second;
+            mx = std::max(mx, base + bytes);
+        }
+        return mx;
+    };
+
+    std::vector<int> order;
+    order.reserve(layers);
+    if (options.memoryOpt) {
+        // First pass: front-to-back layers whose migration stays under
+        // U_max; overflowing layers are deferred (Alg. 2 lines 12-17).
+        std::vector<int> deferred;
+        for (int l = 0; l < layers; ++l) {
+            if (max_after(l) <= params_.migrationBufferBytes) {
+                order.push_back(l);
+                apply_layer(l);
+            } else {
+                deferred.push_back(l);
+            }
+        }
+        // Second pass: min-max selection (Alg. 2 lines 18-21).
+        while (!deferred.empty()) {
+            int best_l = deferred.front();
+            double best_peak = std::numeric_limits<double>::infinity();
+            for (int l : deferred) {
+                const double pk = max_after(l);
+                if (pk < best_peak) {
+                    best_peak = pk;
+                    best_l = l;
+                }
+            }
+            order.push_back(best_l);
+            apply_layer(best_l);
+            deferred.erase(
+                std::find(deferred.begin(), deferred.end(), best_l));
+        }
+    } else {
+        for (int l = 0; l < layers; ++l) {
+            order.push_back(l);
+            apply_layer(l);
+        }
+    }
+    plan.peakBufferBytes = peak;
+
+    // ------------------------------------------------------------------
+    // 4. Assemble the step list: cache first, then the ordered layers.
+    // ------------------------------------------------------------------
+    plan.cacheMigrated = options.migrateCache && plan.movedCacheBytes > 0.0;
+    if (plan.cacheMigrated) {
+        MigrationStep step;
+        step.layer = -1;
+        step.transfers = cache_acc.release();
+        step.coldBytes = 0.0; // lost cache is dropped, not reloaded
+        plan.steps.push_back(std::move(step));
+    }
+    (void)cache_cold;
+    for (int l : order) {
+        MigrationStep step;
+        step.layer = l;
+        step.transfers = layer_acc[l].release();
+        for (const auto &[inst, bytes] : layer_cold[l])
+            step.coldBytes = std::max(step.coldBytes, bytes);
+        plan.steps.push_back(std::move(step));
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Timing.  NCCL wire transfers serialize across steps (batched
+    //    send/recv share the links); disk/S3 cold loads proceed
+    //    concurrently on every instance, overlapped with the wire
+    //    schedule.  A step completes when both its wire part and the
+    //    per-instance disk parts it depends on have finished.
+    // ------------------------------------------------------------------
+    double wire_cursor = params_.migrationSetupTime;
+    std::map<int, double> disk_cursor; // per-instance disk completion time
+    plan.stageReady.assign(target.pp, params_.migrationSetupTime);
+    std::vector<double> layer_end(layers, params_.migrationSetupTime);
+    double cache_end = params_.migrationSetupTime;
+    double last_end = params_.migrationSetupTime;
+    for (auto &step : plan.steps) {
+        double wire = 0.0;
+        if (!step.transfers.empty()) {
+            wire = costModel_.transferTime(step.transfers) -
+                   params_.migrationSetupTime;
+        }
+        wire_cursor += wire;
+        double step_end = wire_cursor;
+        if (!step.isCache() && step.layer >= 0) {
+            for (const auto &[inst, bytes] : layer_cold[step.layer]) {
+                double &cursor = disk_cursor[inst];
+                cursor = std::max(cursor, params_.migrationSetupTime) +
+                         bytes / params_.diskBandwidth;
+                step_end = std::max(step_end, cursor);
+            }
+        }
+        step.duration = std::max(step_end - last_end, 0.0);
+        last_end = std::max(last_end, step_end);
+        if (!step.isCache()) {
+            const int p = topo.stageOfLayer(step.layer);
+            plan.stageReady[p] = std::max(plan.stageReady[p], step_end);
+            layer_end[step.layer] = step_end;
+        } else {
+            // Cache precedes everything; all stages depend on it.
+            cache_end = step_end;
+            for (auto &r : plan.stageReady)
+                r = std::max(r, step_end);
+        }
+    }
+    plan.totalDuration = last_end;
+
+    // ------------------------------------------------------------------
+    // 6. Progressive resume, per replica: stage p of replica d must be
+    //    ready by the time the first batch's wavefront reaches it, one
+    //    stage-execution share later per stage (§3.4 "ideally ... the
+    //    cost of a single stage's context transferring").  Replicas whose
+    //    context was reused in place resume right after setup.
+    // ------------------------------------------------------------------
+    plan.pipelineResume.assign(target.dp, params_.migrationSetupTime);
+    const cost::LatencyModel lat(spec_, params_);
+    const double stage_share =
+        lat.decodeIterTime(target, /*ctx_len=*/512) / target.pp;
+    for (int d = 0; d < target.dp; ++d) {
+        std::vector<double> ready(target.pp, params_.migrationSetupTime);
+        for (int p = 0; p < target.pp; ++p) {
+            for (int l : missing_by_dp[d][p])
+                ready[p] = std::max(ready[p], layer_end[l]);
+            if (plan.cacheMigrated && cache_involves[d])
+                ready[p] = std::max(ready[p], cache_end);
+        }
+        double resume;
+        if (options.progressive) {
+            resume = ready[0];
+            for (int p = 1; p < target.pp; ++p)
+                resume = std::max(resume, ready[p] - p * stage_share);
+            resume = std::max(resume, ready[0]);
+        } else {
+            resume = plan.totalDuration;
+        }
+        plan.pipelineResume[d] = std::min(resume, plan.totalDuration);
+        plan.resumeOffset =
+            std::max(plan.resumeOffset, plan.pipelineResume[d]);
+    }
+
+    return plan;
+}
+
+} // namespace core
+} // namespace spotserve

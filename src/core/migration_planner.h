@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Migration planner (Algorithm 2, §3.4).
+ *
+ * Produces the ordered context-migration schedule for a configuration
+ * switch: the cache context first (interruption fault-tolerance), then the
+ * model context layer by layer, prioritising front layers so front
+ * pipeline stages can resume serving while later stages still migrate
+ * (progressive migration).  The memory-optimised variant bounds each
+ * instance's transient communication-buffer usage by U_max, deferring
+ * layers that would overflow and ordering the deferred ones by the min-max
+ * rule of Algorithm 2.
+ */
+
+#ifndef SPOTSERVE_CORE_MIGRATION_PLANNER_H
+#define SPOTSERVE_CORE_MIGRATION_PLANNER_H
+
+#include <vector>
+
+#include "core/device_mapper.h"
+#include "costmodel/migration_cost.h"
+
+namespace spotserve {
+namespace core {
+
+/** One step of the migration schedule. */
+struct MigrationStep
+{
+    /** Cache-context step (layer < 0) or model-context layer index. */
+    int layer = -1;
+    bool isCache() const { return layer < 0; }
+
+    /** Tensor movements of this step. */
+    std::vector<cost::Transfer> transfers;
+
+    /** Bytes that must come from disk/S3 (no live replica), per step. */
+    double coldBytes = 0.0;
+
+    /** Wire time of this step (computed by the planner). */
+    double duration = 0.0;
+};
+
+/** The full migration plan. */
+struct MigrationPlan
+{
+    std::vector<MigrationStep> steps;
+
+    /** End-to-end plan duration including the fixed setup cost. */
+    double totalDuration = 0.0;
+
+    /**
+     * Offset (from migration start) at which serving can resume: with
+     * progressive migration this is when the pipeline front can start
+     * while later stages still receive context, ideally about a single
+     * stage's transfer time; without it, totalDuration.
+     */
+    double resumeOffset = 0.0;
+
+    /** Completion offset of each target stage's context. */
+    std::vector<double> stageReady;
+
+    /**
+     * Per-replica serving-resume offset: a replica whose GPUs receive
+     * little or no context (its shards were reused in place) resumes far
+     * earlier than one rebuilt from remote context.  resumeOffset is the
+     * maximum entry.
+     */
+    std::vector<double> pipelineResume;
+
+    /** Byte accounting. @{ */
+    double movedModelBytes = 0.0;
+    double movedCacheBytes = 0.0;
+    double reusedBytes = 0.0;
+    double coldLoadBytes = 0.0;
+    /** @} */
+
+    /** Peak per-instance communication-buffer usage reached by the plan. */
+    double peakBufferBytes = 0.0;
+
+    /** Whether cache context was included. */
+    bool cacheMigrated = false;
+};
+
+/** Planner behaviour switches (Figure 9 ablations). */
+struct PlannerOptions
+{
+    /** Overlap front-stage serving with later-stage migration (§3.4). */
+    bool progressive = true;
+
+    /** Algorithm 2's memory-optimised layer ordering under U_max. */
+    bool memoryOpt = true;
+
+    /** Move the cache context (the arranger may decide not to, §4.1). */
+    bool migrateCache = true;
+};
+
+/** The migration planner. */
+class MigrationPlanner
+{
+  public:
+    MigrationPlanner(const model::ModelSpec &spec,
+                     const cost::CostParams &params);
+
+    /**
+     * Build the schedule realising @p mapping for @p target, given the
+     * context daemons' current holdings in @p snapshot.
+     *
+     * @param old_pipeline_tokens cached tokens per old replica (sizing the
+     *        cache step); may be empty.
+     */
+    MigrationPlan plan(const engine::ContextSnapshot &snapshot,
+                       const MappingResult &mapping,
+                       const par::ParallelConfig &target,
+                       const std::vector<double> &old_pipeline_tokens,
+                       PlannerOptions options = {}) const;
+
+  private:
+    model::ModelSpec spec_;
+    cost::CostParams params_;
+    cost::MigrationCostModel costModel_;
+};
+
+} // namespace core
+} // namespace spotserve
+
+#endif // SPOTSERVE_CORE_MIGRATION_PLANNER_H

@@ -1,0 +1,641 @@
+#include "core/spotserve_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.h"
+
+namespace spotserve {
+namespace core {
+
+SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
+                                 cluster::InstanceManager &instances,
+                                 serving::RequestManager &requests,
+                                 const model::ModelSpec &spec,
+                                 const cost::CostParams &params,
+                                 const cost::SeqSpec &seq,
+                                 SpotServeOptions options)
+    : BaseServingSystem(simulation, instances, requests, spec, params, seq),
+      options_(options),
+      controller_(spec, params, seq,
+                  [&options] {
+                      cost::ConfigSpaceOptions so;
+                      so.memOptPlanner = options.enableMigrationPlanner;
+                      return so;
+                  }(),
+                  options.controller),
+      mapper_(spec, params,
+              DeviceMapperOptions{options.enableDeviceMapper,
+                                  options.enableArranger}),
+      planner_(spec, params), arranger_(latency_)
+{
+    // Periodic workload monitor (overload and scale-down detection, §3.2).
+    sim_.scheduleAfter(options_.workloadCheckInterval,
+                       [this] { workloadTick(); });
+    if (options_.dynamicAllocation) {
+        // Nothing may ever join on its own in dynamic mode: bootstrap the
+        // fleet from the declared workload.
+        scheduleEval();
+    }
+}
+
+std::string
+SpotServeSystem::name() const
+{
+    return "SpotServe";
+}
+
+void
+SpotServeSystem::onInstanceReady(const cluster::Instance &)
+{
+    scheduleEval();
+}
+
+void
+SpotServeSystem::onPreemptionNotice(const cluster::Instance &instance,
+                                    sim::SimTime preempt_at)
+{
+    notices_[instance.id()] = preempt_at;
+    scheduleEval();
+}
+
+void
+SpotServeSystem::onInstancePreempted(const cluster::Instance &instance)
+{
+    notices_.erase(instance.id());
+    forgetInstance(instance.id());
+
+    // Normal path: the grace-period migration already moved everything
+    // off the victim.  The checks below handle the fault-tolerance cases
+    // (§4.2): the victim was still serving, or it was a planned member of
+    // the in-flight migration target.
+    if (phase_ == Phase::Serving && hasDeployment() &&
+        meshUsesInstance(instance.id())) {
+        for (int d : pipelinesUsingInstance(instance.id())) {
+            // The victim's pipelines lose their cache context.
+            restartAndRequeue(removePipeline(d));
+        }
+        scheduleEval();
+        return;
+    }
+    if ((phase_ == Phase::Draining || phase_ == Phase::Migrating) &&
+        pending_) {
+        // activate() revalidates every replica's instances; nothing to do
+        // here beyond remembering the loss (holdings already dropped).
+        pendingReconfig_ = true;
+    }
+}
+
+void
+SpotServeSystem::onInstanceReleased(const cluster::Instance &instance)
+{
+    forgetInstance(instance.id());
+    if (phase_ == Phase::Serving && hasDeployment() &&
+        meshUsesInstance(instance.id())) {
+        for (int d : pipelinesUsingInstance(instance.id()))
+            restartAndRequeue(removePipeline(d));
+        scheduleEval();
+    }
+}
+
+void
+SpotServeSystem::scheduleEval()
+{
+    if (evalScheduled_)
+        return;
+    evalScheduled_ = true;
+    // Same-timestamp events (e.g. simultaneous preemption notices) all
+    // fire before this evaluation, so one reconfiguration covers them.
+    sim_.schedule(sim_.now(), [this] { evaluate(); });
+}
+
+std::optional<ControllerDecision>
+SpotServeSystem::fallbackDecision(int instances, double alpha) const
+{
+    if (!fixedParallelism_) {
+        // Lock the parallelism the full controller would pick first.
+        auto d = controller_.chooseConfig(instances, alpha);
+        if (!d)
+            return std::nullopt;
+        fixedParallelism_ = d->config;
+    }
+    // No adaptive optimization: keep the locked configuration, shrinking
+    // the replica count only when the fleet cannot host it.
+    par::ParallelConfig c = *fixedParallelism_;
+    const int dp =
+        std::min(c.dp, maxReplicas(c.pp, c.tp, instances));
+    if (dp < 1)
+        return std::nullopt;
+    c.dp = dp;
+    ControllerDecision dec;
+    dec.config = c;
+    dec.throughput = controller_.throughputModel().throughput(c, seq_);
+    dec.estimatedLatency = controller_.throughputModel().requestLatency(
+        c, seq_, alpha, options_.controller.arrivalCv);
+    dec.meetsDemand = dec.throughput >= alpha;
+    dec.instancesNeeded = controller_.space().instancesNeeded(c);
+    return dec;
+}
+
+std::optional<ControllerDecision>
+SpotServeSystem::decide(int instances, double alpha) const
+{
+    if (!options_.enableController)
+        return fallbackDecision(instances, alpha);
+    return controller_.chooseConfig(instances, alpha);
+}
+
+void
+SpotServeSystem::evaluate()
+{
+    evalScheduled_ = false;
+    if (phase_ == Phase::Draining || phase_ == Phase::Migrating) {
+        pendingReconfig_ = true;
+        return;
+    }
+    if (sim_.now() < migrationTailUntil_) {
+        // The previous migration's tail transfers are still on the wire;
+        // re-evaluate once they finish.
+        evalScheduled_ = true;
+        sim_.schedule(migrationTailUntil_, [this] { evaluate(); });
+        return;
+    }
+
+    // Plan for at least the declared expected load: the 30 s estimator is
+    // extremely noisy under CV = 6 burstiness, and scaling down during a
+    // lull only to be overloaded by the next burst would thrash.
+    const double alpha = std::max(requests_.estimatedArrivalRate(120.0),
+                                  options_.designArrivalRate);
+
+    if (options_.dynamicAllocation)
+        manageFleet(alpha);
+
+    const auto survivors = instances_.survivingInstances();
+    const auto decision = decide(static_cast<int>(survivors.size()), alpha);
+    if (!decision) {
+        if (hasDeployment() || phase_ != Phase::Idle)
+            suspendServing();
+        return;
+    }
+
+    // Forced remap: no deployment yet, a mesh member is dying or gone, or
+    // a replica is broken ("this step is still necessary ... since
+    // memberships update", §3.2).
+    bool forced = !hasDeployment();
+    if (hasDeployment()) {
+        for (cluster::InstanceId id : meshInstances()) {
+            const auto *inst = instances_.get(id);
+            if (!inst || inst->state() != cluster::InstanceState::Running)
+                forced = true;
+        }
+        for (const auto &p : deployment().pipelines) {
+            if (!p)
+                forced = true;
+        }
+    }
+    if (!forced) {
+        // Voluntary change (e.g. new capacity joined): only worth a
+        // reconfiguration when the deployment is struggling or the win is
+        // substantial; otherwise the newcomers wait in the candidate pool.
+        const double sustained =
+            std::max(requests_.estimatedArrivalRate(60.0),
+                     options_.designArrivalRate);
+        if (!worthReconfiguring(
+                controller_.throughputModel(), seq_, deployment().config,
+                controller_.space().instancesNeeded(deployment().config),
+                *decision, alpha, sustained, requests_.pendingCount(),
+                options_.controller.arrivalCv,
+                options_.controller.sloLatency)) {
+            return;
+        }
+    }
+    beginReconfig(decision->config, hasDeployment() ? "availability change"
+                                                    : "initial deployment");
+}
+
+void
+SpotServeSystem::manageFleet(double alpha)
+{
+    // What would we run if the cloud granted everything we asked for?
+    const auto desired = decide(options_.maxDynamicInstances, alpha);
+    if (!desired)
+        return;
+    const int want = std::min(options_.maxDynamicInstances,
+                              desired->instancesNeeded +
+                                  options_.candidatePoolSize);
+    const int have = instances_.planningCount();
+    if (have < want) {
+        // Line 8: allocate immediately; instances join after the
+        // acquisition lead time and trigger another evaluation.
+        instances_.requestInstances(
+            want - have, options_.dynamicUseOnDemand
+                             ? cluster::InstanceType::OnDemand
+                             : cluster::InstanceType::Spot);
+    } else if (have > want) {
+        // Line 10: release over-provisioned capacity (on-demand first),
+        // but never an instance the active mesh is standing on.
+        int excess = have - want;
+        auto release_idle = [&](cluster::InstanceType type) {
+            auto usable = instances_.usableInstances();
+            for (auto it = usable.rbegin();
+                 it != usable.rend() && excess > 0; ++it) {
+                const auto *inst = *it;
+                if (inst->type() != type ||
+                    inst->state() != cluster::InstanceState::Running ||
+                    meshUsesInstance(inst->id())) {
+                    continue;
+                }
+                instances_.releaseInstance(inst->id());
+                --excess;
+            }
+        };
+        release_idle(cluster::InstanceType::OnDemand);
+        release_idle(cluster::InstanceType::Spot);
+    }
+}
+
+void
+SpotServeSystem::workloadTick()
+{
+    sim_.scheduleAfter(options_.workloadCheckInterval,
+                       [this] { workloadTick(); });
+    if (phase_ != Phase::Serving || !hasDeployment())
+        return;
+
+    const double alpha = std::max(requests_.estimatedArrivalRate(120.0),
+                                  options_.designArrivalRate);
+    if (options_.dynamicAllocation)
+        manageFleet(alpha);
+    const auto survivors = instances_.survivingInstances();
+    const auto decision = decide(static_cast<int>(survivors.size()), alpha);
+    if (!decision || decision->config == deployment().config) {
+        lastSuggestion_.reset();
+        suggestionStreak_ = 0;
+        return;
+    }
+
+    // Overload = sustained demand (60 s window) above capacity.
+    const double current_phi = controller_.throughputModel().throughput(
+        deployment().config, seq_);
+    const double sustained = std::max(requests_.estimatedArrivalRate(60.0),
+                                      options_.designArrivalRate);
+    const bool overloaded = current_phi < sustained;
+
+    if (!worthReconfiguring(
+            controller_.throughputModel(), seq_, deployment().config,
+            controller_.space().instancesNeeded(deployment().config),
+            *decision, alpha, sustained, requests_.pendingCount(),
+            options_.controller.arrivalCv,
+            options_.controller.sloLatency)) {
+        lastSuggestion_.reset();
+        suggestionStreak_ = 0;
+        return;
+    }
+
+    // Hysteresis: act immediately on overload, otherwise require the same
+    // suggestion on consecutive checks to avoid flapping on bursty
+    // arrival estimates (CV = 6).
+    if (lastSuggestion_ && *lastSuggestion_ == decision->config)
+        ++suggestionStreak_;
+    else
+        suggestionStreak_ = 1;
+    lastSuggestion_ = decision->config;
+
+    if (overloaded || suggestionStreak_ >= 2) {
+        lastSuggestion_.reset();
+        suggestionStreak_ = 0;
+        beginReconfig(decision->config,
+                      overloaded ? "overload detected" : "workload change");
+    }
+}
+
+std::vector<double>
+SpotServeSystem::pipelineCacheTokens() const
+{
+    std::vector<double> tokens;
+    if (!hasDeployment())
+        return tokens;
+    const auto &dep = deployment();
+    tokens.assign(dep.pipelines.size(), 0.0);
+    for (std::size_t d = 0; d < dep.pipelines.size(); ++d) {
+        if (!dep.pipelines[d])
+            continue;
+        for (const auto &r : dep.pipelines[d]->batch()) {
+            if (r.committedTokens > 0)
+                tokens[d] += r.request.inputLen + r.committedTokens;
+        }
+    }
+    return tokens;
+}
+
+void
+SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
+                               const std::string &reason)
+{
+    const auto survivors = instances_.survivingInstances();
+
+    const auto snapshot = snapshotContext();
+    auto old_tokens = pipelineCacheTokens();
+    auto mapping = mapper_.map(snapshot, target, survivors, old_tokens);
+
+    // Earliest active preemption deadline bounds the whole reconfig.
+    sim::SimTime deadline = sim::kTimeInfinity;
+    for (const auto &[id, at] : notices_)
+        deadline = std::min(deadline, at);
+
+    PlannerOptions popts;
+    popts.progressive = options_.enableMigrationPlanner;
+    popts.memoryOpt = options_.enableMigrationPlanner;
+    popts.migrateCache = options_.enableArranger;
+    auto plan = planner_.plan(snapshot, mapping, target, old_tokens, popts);
+
+    PendingMigration pm{target,
+                        std::move(mapping),
+                        std::move(plan),
+                        std::move(old_tokens),
+                        reason,
+                        0,
+                        deadline,
+                        true,
+                        hasDeployment(),
+                        {},
+                        {}};
+
+    // Arranger: decide whether moving the cache beats recomputation and
+    // how long each pipeline may keep decoding (JIT, §4.1).
+    double committed_work = 0.0;
+    if (pm.hadDeployment) {
+        const auto &dep = deployment();
+        for (const auto &p : dep.pipelines) {
+            if (!p || p->batch().empty())
+                continue;
+            par::ParallelConfig c = dep.config;
+            c.batch = static_cast<int>(p->batch().size());
+            committed_work = std::max(
+                committed_work,
+                arranger_.recomputeTime(c, p->batch().front().request.inputLen,
+                                        p->batch().front().committedTokens));
+        }
+    }
+    pm.migrateCache = options_.enableArranger &&
+                      pm.plan.totalDuration < committed_work;
+    if (!pm.migrateCache && pm.plan.cacheMigrated) {
+        popts.migrateCache = false;
+        pm.plan =
+            planner_.plan(snapshot, pm.mapping, target, pm.oldTokens, popts);
+    }
+
+    phase_ = Phase::Draining;
+    pending_ = std::move(pm);
+
+    if (!hasDeployment()) {
+        startMigration();
+        return;
+    }
+
+    auto &dep = deployment();
+    int waiting = 0;
+    for (const auto &p : dep.pipelines) {
+        if (p)
+            ++waiting;
+    }
+    pending_->waitingHalts = waiting;
+    if (waiting == 0) {
+        startMigration();
+        return;
+    }
+
+    const double remaining_grace =
+        pending_->deadline == sim::kTimeInfinity
+            ? 0.0
+            : pending_->deadline - sim_.now();
+
+    // Defer the all-halted transition until the arrangement loop is done:
+    // synchronous halts would otherwise tear the deployment down while we
+    // are still iterating its pipelines.
+    arrangingHalts_ = true;
+
+    for (auto &p : dep.pipelines) {
+        if (!p)
+            continue;
+        if (!options_.enableArranger) {
+            // Ablated: suspend immediately; in-flight work is lost.
+            p->haltNow();
+            continue;
+        }
+        if (!p->executing()) {
+            p->haltAfter(0);
+            continue;
+        }
+        int iters = 0;
+        if (pending_ && remaining_grace > 0.0) {
+            par::ParallelConfig c = dep.config;
+            c.batch = static_cast<int>(p->batch().size());
+            const auto &front = p->batch().front();
+            const Arrangement a = arranger_.arrangeForPreemption(
+                c, front.request.inputLen + front.committedTokens + 1,
+                front.request.outputLen - front.committedTokens,
+                committed_work, remaining_grace,
+                pending_->plan.totalDuration);
+            iters = a.iterations;
+        }
+        p->haltAfter(iters);
+    }
+    arrangingHalts_ = false;
+    if (pending_ && pending_->waitingHalts <= 0)
+        startMigration();
+}
+
+void
+SpotServeSystem::onPipelineHalted(engine::InferencePipeline &)
+{
+    if (phase_ != Phase::Draining || !pending_)
+        return;
+    if (--pending_->waitingHalts <= 0 && !arrangingHalts_)
+        startMigration();
+}
+
+void
+SpotServeSystem::startMigration()
+{
+    if (phase_ != Phase::Draining)
+        return;
+    phase_ = Phase::Migrating;
+    auto &pm = *pending_;
+
+    // Collect the halted batches.
+    std::vector<std::vector<engine::ActiveRequest>> batches;
+    if (hasDeployment()) {
+        batches = haltAndCollectAll();
+        clearDeployment();
+    }
+
+    double duration = pm.plan.totalDuration;
+    double resume = pm.plan.resumeOffset;
+    std::vector<double> resumes = pm.plan.pipelineResume;
+    if (resumes.empty())
+        resumes.assign(pm.target.dp, resume);
+    bool cache_ok = pm.migrateCache && pm.plan.cacheMigrated;
+
+    // Fault tolerance (§4.2): if the plan cannot finish inside the
+    // earliest grace deadline, first give up the cache context; weights
+    // that still cannot move in time reload from cloud storage at disk
+    // bandwidth.
+    if (pm.deadline != sim::kTimeInfinity) {
+        double remaining = pm.deadline - sim_.now();
+        if (duration > remaining && cache_ok) {
+            cache_ok = false;
+            PlannerOptions popts;
+            popts.progressive = options_.enableMigrationPlanner;
+            popts.memoryOpt = options_.enableMigrationPlanner;
+            popts.migrateCache = false;
+            const auto snapshot = snapshotContext();
+            pm.plan = planner_.plan(snapshot, pm.mapping, pm.target,
+                                    pm.oldTokens, popts);
+            duration = pm.plan.totalDuration;
+            resume = pm.plan.resumeOffset;
+            resumes = pm.plan.pipelineResume;
+        }
+        if (duration > remaining && remaining >= 0.0) {
+            const double overflow = duration - remaining;
+            const double slowdown =
+                params_.interBandwidth / params_.diskBandwidth;
+            duration = remaining + overflow * slowdown;
+            resume = duration;
+            resumes.assign(pm.target.dp, duration);
+        }
+    }
+
+    // A deployment built from nothing also pays the engine launch.
+    if (!pm.hadDeployment) {
+        duration += params_.engineRestartTime;
+        resume += params_.engineRestartTime;
+        for (double &r : resumes)
+            r += params_.engineRestartTime;
+    }
+
+    pm.resumeAbs.resize(pm.target.dp);
+    double first_resume = duration;
+    for (int d = 0; d < pm.target.dp; ++d) {
+        pm.resumeAbs[d] = sim_.now() + resumes[d];
+        first_resume = std::min(first_resume, resumes[d]);
+    }
+
+    // Assign inherited batches to the new replicas.
+    pm.inherited.assign(pm.target.dp, {});
+    std::vector<bool> consumed(batches.size(), false);
+    if (cache_ok) {
+        for (int d = 0; d < pm.target.dp; ++d) {
+            const int od = pm.mapping.inheritedOldPipeline[d];
+            if (od < 0 || od >= static_cast<int>(batches.size()))
+                continue;
+            consumed[od] = true;
+            auto &batch = batches[od];
+            if (batch.empty() || batch.front().committedTokens == 0) {
+                // Nothing recoverable (interrupted during prefill).
+                restartAndRequeue(std::move(batch));
+                continue;
+            }
+            if (static_cast<int>(batch.size()) > pm.target.batch) {
+                // The new configuration holds fewer concurrent requests:
+                // displaced ones recompute (§3.3).
+                std::vector<engine::ActiveRequest> displaced(
+                    batch.begin() + pm.target.batch, batch.end());
+                batch.resize(pm.target.batch);
+                restartAndRequeue(std::move(displaced));
+            }
+            pm.inherited[d] = std::move(batch);
+        }
+    }
+    for (std::size_t od = 0; od < batches.size(); ++od) {
+        if (!consumed[od] && !batches[od].empty())
+            restartAndRequeue(std::move(batches[od]));
+    }
+
+    totalBytesMigrated_ += pm.plan.movedModelBytes + pm.plan.movedCacheBytes;
+    totalBytesReused_ += pm.plan.reusedBytes;
+    totalMigrationStall_ += resume;
+    migrationTailUntil_ = sim_.now() + duration;
+
+    // Activate as soon as the first replica's context is ready; the rest
+    // come online at their own progressive-resume times.
+    sim_.scheduleAfter(first_resume, [this] { activate(); });
+}
+
+void
+SpotServeSystem::activate()
+{
+    if (phase_ != Phase::Migrating || !pending_)
+        return;
+    auto pm = std::move(*pending_);
+    pending_.reset();
+
+    installDeployment(pm.target, std::move(pm.mapping.mesh));
+    deployment().readyAt = pm.resumeAbs;
+    recordConfig(pm.target, pm.reason);
+    const long epoch = ++deployEpoch_;
+
+    bool broken = false;
+    for (int d = 0; d < pm.target.dp; ++d) {
+        // Revalidate the replica's instances: a preemption or release may
+        // have hit a planned member while the migration ran (§4.2).
+        bool alive = true;
+        for (par::GpuId g : deployment().mesh.pipelineGpus(d)) {
+            const auto *inst = instances_.get(
+                cluster::Instance::instanceOfGpu(g, params_.gpusPerInstance));
+            if (!inst || !inst->usable())
+                alive = false;
+        }
+        if (!alive) {
+            restartAndRequeue(std::move(pm.inherited[d]));
+            removePipeline(d);
+            broken = true;
+            continue;
+        }
+        if (pm.resumeAbs[d] <= sim_.now() + 1e-9) {
+            if (!pm.inherited[d].empty())
+                loadBatch(d, std::move(pm.inherited[d]));
+            continue;
+        }
+        // This replica's context is still in flight; start it when its
+        // progressive migration completes.
+        auto batch = std::make_shared<std::vector<engine::ActiveRequest>>(
+            std::move(pm.inherited[d]));
+        sim_.schedule(pm.resumeAbs[d], [this, epoch, d, batch] {
+            if (epoch != deployEpoch_ || !hasDeployment() ||
+                !deployment().pipelines[d]) {
+                restartAndRequeue(std::move(*batch));
+                return;
+            }
+            if (!batch->empty())
+                loadBatch(d, std::move(*batch));
+            dispatchAll();
+        });
+    }
+
+    ++migrationsCompleted_;
+    phase_ = Phase::Serving;
+    dispatchAll();
+
+    if (pendingReconfig_ || broken) {
+        pendingReconfig_ = false;
+        scheduleEval();
+    }
+}
+
+void
+SpotServeSystem::suspendServing()
+{
+    if (hasDeployment()) {
+        auto batches = haltAndCollectAll();
+        for (auto &b : batches)
+            restartAndRequeue(std::move(b));
+        clearDeployment();
+    }
+    phase_ = Phase::Idle;
+    sim::logWarn("t=" + std::to_string(sim_.now()) +
+                 " SpotServe: no feasible configuration; serving suspended");
+}
+
+} // namespace core
+} // namespace spotserve

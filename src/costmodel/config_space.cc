@@ -1,0 +1,91 @@
+#include "costmodel/config_space.h"
+
+#include <algorithm>
+
+namespace spotserve {
+namespace cost {
+
+ConfigSpace::ConfigSpace(const model::ModelSpec &spec,
+                         const CostParams &params, const SeqSpec &seq,
+                         ConfigSpaceOptions options)
+    : spec_(spec), params_(params), seq_(seq), options_(std::move(options)),
+      memory_(spec, params)
+{
+}
+
+int
+ConfigSpace::instancesNeeded(const par::ParallelConfig &config) const
+{
+    const int gpi = params_.gpusPerInstance;
+    if (config.tp > gpi) {
+        // Each stage's tensor group occupies tp/gpi whole instances.
+        const int per_stage = config.tp / gpi;
+        return config.dp * config.pp * per_stage;
+    }
+    // Groups of tp GPUs (tp divides gpi) tile instances exactly; groups
+    // from different stages/pipelines may share an instance.
+    const int total_gpus = config.totalGpus();
+    return (total_gpus + gpi - 1) / gpi;
+}
+
+bool
+ConfigSpace::feasible(const par::ParallelConfig &config) const
+{
+    if (!config.valid())
+        return false;
+    if (config.pp > spec_.numLayers())
+        return false;
+    if (std::find(options_.ppChoices.begin(), options_.ppChoices.end(),
+                  config.pp) == options_.ppChoices.end()) {
+        return false;
+    }
+    if (std::find(options_.tpChoices.begin(), options_.tpChoices.end(),
+                  config.tp) == options_.tpChoices.end()) {
+        return false;
+    }
+    const int gpi = params_.gpusPerInstance;
+    // Tensor groups must pack onto whole instances.
+    if (config.tp <= gpi ? gpi % config.tp != 0 : config.tp % gpi != 0)
+        return false;
+    if (std::find(options_.batchChoices.begin(), options_.batchChoices.end(),
+                  config.batch) == options_.batchChoices.end()) {
+        return false;
+    }
+    return memory_.fits(config, seq_, options_.memOptPlanner);
+}
+
+std::vector<par::ParallelConfig>
+ConfigSpace::enumerate(int num_instances) const
+{
+    std::vector<par::ParallelConfig> out;
+    if (num_instances <= 0)
+        return out;
+    const int max_gpus = num_instances * params_.gpusPerInstance;
+    for (int tp : options_.tpChoices) {
+        for (int pp : options_.ppChoices) {
+            if (pp * tp > max_gpus)
+                continue;
+            const int max_dp = max_gpus / (pp * tp);
+            for (int dp = 1; dp <= max_dp; ++dp) {
+                for (int b : options_.batchChoices) {
+                    par::ParallelConfig c{dp, pp, tp, b};
+                    if (!feasible(c))
+                        continue;
+                    if (instancesNeeded(c) > num_instances)
+                        continue;
+                    out.push_back(c);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<par::ParallelConfig>
+ConfigSpace::enumerateUpTo(int max_instances) const
+{
+    return enumerate(max_instances);
+}
+
+} // namespace cost
+} // namespace spotserve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Enumeration of deployable parallel configurations.
+ *
+ * The optimizer searches over C = (D, P, M, B) with B in {1,2,4,8} (§6.1).
+ * A configuration is deployable on N instances when its tensor groups can
+ * be packed onto whole instances (M in {1,2,4,8}; an M=8 group occupies two
+ * full 4-GPU instances) and each GPU's memory budget holds.
+ */
+
+#ifndef SPOTSERVE_COSTMODEL_CONFIG_SPACE_H
+#define SPOTSERVE_COSTMODEL_CONFIG_SPACE_H
+
+#include <vector>
+
+#include "costmodel/memory_model.h"
+#include "model/model_spec.h"
+#include "parallel/parallel_config.h"
+
+namespace spotserve {
+namespace cost {
+
+/** Knobs bounding the search space. */
+struct ConfigSpaceOptions
+{
+    std::vector<int> batchChoices = {1, 2, 4, 8};
+    std::vector<int> tpChoices = {1, 2, 4, 8};
+    /** Practical stage counts (FasterTransformer-style deployments). */
+    std::vector<int> ppChoices = {1, 2, 3, 4, 6, 8};
+    /** Honour the memory-optimised planner's smaller migration reserve. */
+    bool memOptPlanner = true;
+};
+
+/** Enumerates feasible configurations for a model on this hardware. */
+class ConfigSpace
+{
+  public:
+    ConfigSpace(const model::ModelSpec &spec, const CostParams &params,
+                const SeqSpec &seq, ConfigSpaceOptions options = {});
+
+    /**
+     * Number of instances a configuration occupies.  Tensor groups of
+     * M <= 4 GPUs tile 4-GPU instances exactly (M divides 4); M = 8 groups
+     * take two whole instances per stage.
+     */
+    int instancesNeeded(const par::ParallelConfig &config) const;
+
+    /** Memory-feasible and packable, ignoring the instance budget. */
+    bool feasible(const par::ParallelConfig &config) const;
+
+    /** All feasible configurations deployable on @p num_instances. */
+    std::vector<par::ParallelConfig>
+    enumerate(int num_instances) const;
+
+    /**
+     * All feasible configurations regardless of the current instance
+     * count (Algorithm 1 line 2-3 considers configs the cloud could
+     * satisfy by allocating more instances, up to @p max_instances).
+     */
+    std::vector<par::ParallelConfig>
+    enumerateUpTo(int max_instances) const;
+
+    const ConfigSpaceOptions &options() const { return options_; }
+    const MemoryModel &memory() const { return memory_; }
+
+  private:
+    model::ModelSpec spec_;
+    CostParams params_;
+    SeqSpec seq_;
+    ConfigSpaceOptions options_;
+    MemoryModel memory_;
+};
+
+} // namespace cost
+} // namespace spotserve
+
+#endif // SPOTSERVE_COSTMODEL_CONFIG_SPACE_H

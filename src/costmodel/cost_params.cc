@@ -1,0 +1,10 @@
+#include "costmodel/cost_params.h"
+
+// CostParams is an aggregate of calibrated constants; the out-of-line
+// translation unit exists so the library has a home for future non-inline
+// helpers and to keep one definition of the defaults.
+
+namespace spotserve {
+namespace cost {
+} // namespace cost
+} // namespace spotserve

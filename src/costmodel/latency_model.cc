@@ -1,0 +1,157 @@
+#include "costmodel/latency_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spotserve {
+namespace cost {
+
+LatencyModel::LatencyModel(const model::ModelSpec &spec,
+                           const CostParams &params)
+    : spec_(spec), params_(params)
+{
+}
+
+double
+LatencyModel::memEfficiency(int tp) const
+{
+    if (tp < 1)
+        throw std::invalid_argument("memEfficiency: tp must be >= 1");
+    return params_.memEffBase / (1.0 + params_.shardPenalty * (tp - 1));
+}
+
+double
+LatencyModel::allReduceTime(int tp, double bytes) const
+{
+    if (tp <= 1)
+        return 0.0;
+    const int gpi = params_.gpusPerInstance;
+    if (tp <= gpi) {
+        // Single-instance ring all-reduce: 2(M-1) hops over PCIe, each
+        // carrying bytes/M; reduce-scatter + all-gather volume 2(M-1)/M.
+        return 2.0 * (tp - 1) * params_.intraLatency +
+               2.0 * (tp - 1) / tp * bytes / params_.intraBandwidth;
+    }
+    // Hierarchical: intra-instance reduce + inter-instance ring over the
+    // NIC + intra-instance broadcast.
+    const int nodes = (tp + gpi - 1) / gpi;
+    const double intra =
+        2.0 * ((gpi - 1) * params_.intraLatency +
+               static_cast<double>(gpi - 1) / gpi * bytes /
+                   params_.intraBandwidth);
+    const double inter =
+        2.0 * (nodes - 1) * params_.interLatency +
+        2.0 * (nodes - 1) / nodes * bytes / params_.interBandwidth;
+    return intra + inter;
+}
+
+double
+LatencyModel::p2pTime(const par::ParallelConfig &config, double bytes) const
+{
+    const bool cross = pipelineCrossesInstances(config);
+    const double bw = cross ? params_.interBandwidth : params_.intraBandwidth;
+    const double lat = cross ? params_.interLatency : params_.intraLatency;
+    return bytes / bw + lat;
+}
+
+double
+LatencyModel::decodeIterTime(const par::ParallelConfig &config,
+                             int ctx_len) const
+{
+    if (ctx_len < 1)
+        throw std::invalid_argument("decodeIterTime: ctx_len must be >= 1");
+    const int tp = config.tp;
+    const int pp = config.pp;
+    const int layers = spec_.numLayers();
+    const double batch_derate =
+        1.0 + params_.batchMemPenalty * (config.batch - 1);
+    const double eff_bw =
+        params_.gpu.memBandwidth * memEfficiency(tp) / batch_derate;
+
+    // Stages run sequentially within one iteration, so the total weight
+    // traffic is the whole model divided across the M-wide shards.
+    const double weight_read = spec_.totalWeightBytes() / (tp * eff_bw);
+
+    // Attention reads the KV cache of every context token for every
+    // request in the batch.
+    const double kv_read = config.batch * spec_.kvBytesPerToken() * ctx_len /
+                           (tp * eff_bw);
+
+    // Two all-reduces per transformer layer on the activations.
+    const double act_bytes =
+        static_cast<double>(config.batch) * spec_.hiddenDim() * 2.0;
+    const double comm = 2.0 * layers * allReduceTime(tp, act_bytes);
+
+    // Pipeline hand-off between consecutive stages.
+    const double pipe = (pp - 1) * p2pTime(config, act_bytes);
+
+    const double kernels = layers * params_.kernelOverhead;
+
+    return weight_read + kv_read + comm + pipe + kernels;
+}
+
+double
+LatencyModel::prefillTime(const par::ParallelConfig &config,
+                          int input_len) const
+{
+    if (input_len < 1)
+        throw std::invalid_argument("prefillTime: input_len must be >= 1");
+    const int tp = config.tp;
+    const int pp = config.pp;
+    const int layers = spec_.numLayers();
+
+    const double flops = spec_.flopsPerToken() *
+                         static_cast<double>(input_len) * config.batch;
+    const double compute =
+        flops / (tp * params_.gpu.fp16Flops * params_.computeEff);
+
+    const double act_bytes = static_cast<double>(config.batch) * input_len *
+                             spec_.hiddenDim() * 2.0;
+    const double comm = 2.0 * layers * allReduceTime(tp, act_bytes);
+    const double pipe = (pp - 1) * p2pTime(config, act_bytes);
+    const double kernels = layers * params_.kernelOverhead;
+
+    return compute + comm + pipe + kernels;
+}
+
+double
+LatencyModel::execLatency(const par::ParallelConfig &config,
+                          const SeqSpec &seq) const
+{
+    // Eq. (1): the i-th decode iteration runs at context length S_in + i.
+    return prefillTime(config, seq.inputLen) +
+           decodeSpanTime(config, seq.inputLen + 1, seq.outputLen);
+}
+
+double
+LatencyModel::decodeSpanTime(const par::ParallelConfig &config, int start_ctx,
+                             int num_iters) const
+{
+    if (num_iters <= 0)
+        return 0.0;
+    // decodeIterTime is affine in ctx_len, so the span cost equals
+    // num_iters times the cost at the mean context length.  Evaluate at
+    // both ends to stay exact even if the model gains non-linear terms.
+    const double first = decodeIterTime(config, start_ctx);
+    const double last = decodeIterTime(config, start_ctx + num_iters - 1);
+    return 0.5 * (first + last) * num_iters;
+}
+
+double
+LatencyModel::coldLoadTime(const par::ParallelConfig &config) const
+{
+    // Every instance pulls the weight shards of its resident GPUs from
+    // disk/S3 in parallel: gpusPerInstance shards of W/(P*M) bytes each.
+    const double per_gpu = spec_.totalWeightBytes() / config.gpusPerPipeline();
+    const double per_instance = per_gpu * params_.gpusPerInstance;
+    return params_.engineRestartTime + per_instance / params_.diskBandwidth;
+}
+
+bool
+LatencyModel::pipelineCrossesInstances(const par::ParallelConfig &config) const
+{
+    return config.gpusPerPipeline() > params_.gpusPerInstance;
+}
+
+} // namespace cost
+} // namespace spotserve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Analytical inference-latency model (the paper's offline profiler, §5).
+ *
+ * Generative decoding is memory-bandwidth bound: every iteration streams
+ * the full weight shard plus the KV cache of the context processed so far.
+ * The prefill (initial) phase is compute bound.  Tensor parallelism adds
+ * two all-reduces per transformer layer; pipeline parallelism adds P-1
+ * activation hand-offs per iteration.  Equation (1)/(2) of the paper:
+ *
+ *   l_exe(S_out | S_in) = t_exe(S_in) + sum_i t_exe(1 @ ctx S_in + i)
+ */
+
+#ifndef SPOTSERVE_COSTMODEL_LATENCY_MODEL_H
+#define SPOTSERVE_COSTMODEL_LATENCY_MODEL_H
+
+#include "costmodel/cost_params.h"
+#include "model/model_spec.h"
+#include "parallel/parallel_config.h"
+
+namespace spotserve {
+namespace cost {
+
+/**
+ * Latency estimates for one model on one cluster parameterisation.
+ * All methods are pure; the object is cheap to copy.
+ */
+class LatencyModel
+{
+  public:
+    LatencyModel(const model::ModelSpec &spec, const CostParams &params);
+
+    const model::ModelSpec &spec() const { return spec_; }
+    const CostParams &params() const { return params_; }
+
+    /**
+     * Effective memory bandwidth fraction when each operator is sharded
+     * M ways (over-sharding penalty).
+     */
+    double memEfficiency(int tp) const;
+
+    /**
+     * One all-reduce among @p tp GPUs moving @p bytes.  Uses a ring within
+     * an instance and a hierarchical reduce-ring-broadcast across
+     * instances (NCCL-style), with the alpha-beta cost of each hop.
+     */
+    double allReduceTime(int tp, double bytes) const;
+
+    /** One point-to-point activation transfer across a stage boundary. */
+    double p2pTime(const par::ParallelConfig &config, double bytes) const;
+
+    /**
+     * Latency of one incremental-decoding iteration (one token per request
+     * in the batch) at context length @p ctx_len.
+     */
+    double decodeIterTime(const par::ParallelConfig &config,
+                          int ctx_len) const;
+
+    /** Latency of the initial (prefill) phase over @p input_len tokens. */
+    double prefillTime(const par::ParallelConfig &config,
+                       int input_len) const;
+
+    /**
+     * End-to-end execution latency l_exe(S_out | S_in) for one batch:
+     * prefill plus output_len decode iterations with growing context.
+     */
+    double execLatency(const par::ParallelConfig &config,
+                       const SeqSpec &seq) const;
+
+    /**
+     * Execution latency of @p num_iters decode iterations starting from
+     * context length @p start_ctx (used by the JIT arranger to size how
+     * many tokens fit in a grace period, §4.1).
+     */
+    double decodeSpanTime(const par::ParallelConfig &config, int start_ctx,
+                          int num_iters) const;
+
+    /**
+     * Cold-start time for a deployment: engine relaunch plus loading every
+     * instance's weight shards from disk/S3 in parallel.
+     */
+    double coldLoadTime(const par::ParallelConfig &config) const;
+
+  private:
+    /** True if a pipeline's GPUs span more than one instance. */
+    bool pipelineCrossesInstances(const par::ParallelConfig &config) const;
+
+    model::ModelSpec spec_;
+    CostParams params_;
+};
+
+} // namespace cost
+} // namespace spotserve
+
+#endif // SPOTSERVE_COSTMODEL_LATENCY_MODEL_H

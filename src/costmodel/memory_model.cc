@@ -1,0 +1,81 @@
+#include "costmodel/memory_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace spotserve {
+namespace cost {
+
+MemoryModel::MemoryModel(const model::ModelSpec &spec,
+                         const CostParams &params)
+    : spec_(spec), params_(params)
+{
+}
+
+double
+MemoryModel::weightShardBytes(const par::ParallelConfig &config) const
+{
+    return spec_.totalWeightBytes() / config.gpusPerPipeline();
+}
+
+double
+MemoryModel::kvCacheBytes(const par::ParallelConfig &config,
+                          const SeqSpec &seq) const
+{
+    const double tokens = seq.inputLen + seq.outputLen;
+    // Stage p holds its layers' K/V for all B requests, sharded M ways.
+    return config.batch * spec_.kvBytesPerToken() * tokens /
+           config.gpusPerPipeline();
+}
+
+double
+MemoryModel::steadyBytes(const par::ParallelConfig &config,
+                         const SeqSpec &seq) const
+{
+    return weightShardBytes(config) + kvCacheBytes(config, seq) +
+           params_.workspaceBytes;
+}
+
+double
+MemoryModel::migrationReserveBytes(const par::ParallelConfig &config,
+                                   bool mem_opt_planner) const
+{
+    if (mem_opt_planner)
+        return params_.migrationBufferBytes;
+    // Without Algorithm 2's ordering, a receiver may hold its entire old
+    // shard while the full new shard streams in: double buffering.
+    return weightShardBytes(config);
+}
+
+bool
+MemoryModel::fits(const par::ParallelConfig &config, const SeqSpec &seq,
+                  bool mem_opt_planner) const
+{
+    return steadyBytes(config, seq) +
+               migrationReserveBytes(config, mem_opt_planner) <=
+           params_.gpu.memBytes;
+}
+
+int
+MemoryModel::minGpus(bool mem_opt_planner) const
+{
+    // Table 1's minimum is for a *serving* deployment: it must hold the
+    // KV cache of a full batch (B = 8), over the practical stage counts.
+    int best = 0;
+    const SeqSpec seq{};
+    for (int pp : {1, 2, 3, 4, 6, 8}) {
+        for (int tp : {1, 2, 4, 8}) {
+            par::ParallelConfig c{1, pp, tp, 8};
+            if (spec_.numLayers() < pp)
+                continue;
+            if (!fits(c, seq, mem_opt_planner))
+                continue;
+            if (best == 0 || c.totalGpus() < best)
+                best = c.totalGpus();
+        }
+    }
+    return best;
+}
+
+} // namespace cost
+} // namespace spotserve

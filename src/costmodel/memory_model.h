@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-GPU memory accounting and configuration feasibility.
+ *
+ * A configuration is deployable only if each GPU can hold its weight shard,
+ * the KV cache for its share of B concurrent requests at full sequence
+ * length, the runtime workspace, and the migration reserve.  The reserve is
+ * what the memory-optimised migration planner (Algorithm 2) is about: with
+ * it, transient migration buffers are bounded by U_max; without it the
+ * whole incoming shard may be double-buffered, which is why GPT-20B's
+ * minimum GPU count drops from 16 to 12 when the planner is enabled (§6.2).
+ */
+
+#ifndef SPOTSERVE_COSTMODEL_MEMORY_MODEL_H
+#define SPOTSERVE_COSTMODEL_MEMORY_MODEL_H
+
+#include "costmodel/cost_params.h"
+#include "model/model_spec.h"
+#include "parallel/parallel_config.h"
+
+namespace spotserve {
+namespace cost {
+
+/** Memory accounting for one model on one cluster parameterisation. */
+class MemoryModel
+{
+  public:
+    MemoryModel(const model::ModelSpec &spec, const CostParams &params);
+
+    /** Weight bytes resident on each GPU: W / (P * M). */
+    double weightShardBytes(const par::ParallelConfig &config) const;
+
+    /**
+     * KV-cache bytes per GPU with every slot of the batch at full length
+     * S_in + S_out (worst case the daemon must be able to hold).
+     */
+    double kvCacheBytes(const par::ParallelConfig &config,
+                        const SeqSpec &seq) const;
+
+    /** Steady-state footprint: weights + KV + workspace. */
+    double steadyBytes(const par::ParallelConfig &config,
+                       const SeqSpec &seq) const;
+
+    /**
+     * Transient migration reserve.  @p mem_opt_planner selects between the
+     * planner's U_max bound and naive double-buffering of the shard.
+     */
+    double migrationReserveBytes(const par::ParallelConfig &config,
+                                 bool mem_opt_planner) const;
+
+    /** steadyBytes + migrationReserveBytes <= usable GPU memory? */
+    bool fits(const par::ParallelConfig &config, const SeqSpec &seq,
+              bool mem_opt_planner = true) const;
+
+    /**
+     * Smallest number of GPUs on which the model can serve at all
+     * (minimum over feasible configs with D=1, B=1), mirroring Table 1's
+     * "min #GPUs" column.  Returns 0 if nothing fits.
+     */
+    int minGpus(bool mem_opt_planner = true) const;
+
+  private:
+    model::ModelSpec spec_;
+    CostParams params_;
+};
+
+} // namespace cost
+} // namespace spotserve
+
+#endif // SPOTSERVE_COSTMODEL_MEMORY_MODEL_H

@@ -1,0 +1,72 @@
+#include "costmodel/migration_cost.h"
+
+#include <algorithm>
+
+namespace spotserve {
+namespace cost {
+
+MigrationCostModel::MigrationCostModel(const CostParams &params)
+    : params_(params)
+{
+}
+
+double
+MigrationCostModel::transferTime(const std::vector<Transfer> &transfers) const
+{
+    if (transfers.empty())
+        return 0.0;
+
+    std::unordered_map<int, double> egress;
+    std::unordered_map<int, double> ingress;
+    std::unordered_map<int, double> local;
+    for (const auto &t : transfers) {
+        if (t.bytes <= 0.0)
+            continue;
+        if (t.srcInstance == t.dstInstance) {
+            local[t.srcInstance] += t.bytes;
+        } else {
+            egress[t.srcInstance] += t.bytes;
+            ingress[t.dstInstance] += t.bytes;
+        }
+    }
+
+    double nic_bottleneck = 0.0;
+    for (const auto &[inst, bytes] : egress)
+        nic_bottleneck = std::max(nic_bottleneck, bytes);
+    for (const auto &[inst, bytes] : ingress)
+        nic_bottleneck = std::max(nic_bottleneck, bytes);
+
+    double pcie_bottleneck = 0.0;
+    for (const auto &[inst, bytes] : local)
+        pcie_bottleneck = std::max(pcie_bottleneck, bytes);
+
+    const double wire =
+        std::max(nic_bottleneck / params_.interBandwidth,
+                 pcie_bottleneck / params_.intraBandwidth);
+    return params_.migrationSetupTime + wire;
+}
+
+double
+MigrationCostModel::interInstanceBytes(const std::vector<Transfer> &transfers)
+{
+    double sum = 0.0;
+    for (const auto &t : transfers) {
+        if (t.srcInstance != t.dstInstance)
+            sum += t.bytes;
+    }
+    return sum;
+}
+
+double
+MigrationCostModel::intraInstanceBytes(const std::vector<Transfer> &transfers)
+{
+    double sum = 0.0;
+    for (const auto &t : transfers) {
+        if (t.srcInstance == t.dstInstance)
+            sum += t.bytes;
+    }
+    return sum;
+}
+
+} // namespace cost
+} // namespace spotserve

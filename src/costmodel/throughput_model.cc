@@ -1,0 +1,48 @@
+#include "costmodel/throughput_model.h"
+
+#include <limits>
+
+namespace spotserve {
+namespace cost {
+
+ThroughputModel::ThroughputModel(const LatencyModel &latency)
+    : latency_(latency)
+{
+}
+
+double
+ThroughputModel::throughput(const par::ParallelConfig &config,
+                            const SeqSpec &seq) const
+{
+    const double batch_time = latency_.execLatency(config, seq);
+    return config.dp * config.batch / batch_time;
+}
+
+double
+ThroughputModel::schedulingDelay(const par::ParallelConfig &config,
+                                 const SeqSpec &seq, double arrival_rate,
+                                 double arrival_cv) const
+{
+    if (arrival_rate <= 0.0)
+        return 0.0;
+    const double phi = throughput(config, seq);
+    const double rho = arrival_rate / phi;
+    if (rho >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    // Deterministic batch service, bursty arrivals: Kingman's bound with
+    // c_s ~ 0.  1/phi is the mean inter-completion time of the deployment.
+    const double burst = 0.5 * arrival_cv * arrival_cv;
+    return rho / (1.0 - rho) * burst / phi;
+}
+
+double
+ThroughputModel::requestLatency(const par::ParallelConfig &config,
+                                const SeqSpec &seq, double arrival_rate,
+                                double arrival_cv) const
+{
+    return latency_.execLatency(config, seq) +
+           schedulingDelay(config, seq, arrival_rate, arrival_cv);
+}
+
+} // namespace cost
+} // namespace spotserve

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Serving throughput and end-to-end request-latency estimation.
+ *
+ * phi(C) is the peak request rate a configuration sustains; the optimizer
+ * (Algorithm 1) needs it to decide whether any configuration can keep up
+ * with the observed arrival rate alpha_t, and l_req(C) = l_sch + l_exe to
+ * pick the latency-minimal one among those that can (§2.2, §3.2).
+ */
+
+#ifndef SPOTSERVE_COSTMODEL_THROUGHPUT_MODEL_H
+#define SPOTSERVE_COSTMODEL_THROUGHPUT_MODEL_H
+
+#include "costmodel/latency_model.h"
+
+namespace spotserve {
+namespace cost {
+
+/** Throughput / queueing estimates layered on the latency model. */
+class ThroughputModel
+{
+  public:
+    explicit ThroughputModel(const LatencyModel &latency);
+
+    /**
+     * Peak serving throughput phi(C) in requests/second: D pipelines each
+     * completing B requests per batch execution.
+     */
+    double throughput(const par::ParallelConfig &config,
+                      const SeqSpec &seq) const;
+
+    /**
+     * Expected scheduling overhead l_sch under request arrival rate
+     * @p arrival_rate with inter-arrival coefficient of variation @p cv.
+     * A Kingman-style G/D/1 bound on the batch queue: utilisation
+     * rho = alpha / phi, wait ~ rho/(1-rho) * (cv^2/2) / phi.
+     * Returns +inf when the system is overloaded (rho >= 1).
+     */
+    double schedulingDelay(const par::ParallelConfig &config,
+                           const SeqSpec &seq, double arrival_rate,
+                           double arrival_cv) const;
+
+    /**
+     * Estimated end-to-end request latency l_req(C) = l_sch + l_exe
+     * (the optimizer's objective, Algorithm 1 line 3).
+     */
+    double requestLatency(const par::ParallelConfig &config,
+                          const SeqSpec &seq, double arrival_rate,
+                          double arrival_cv) const;
+
+    const LatencyModel &latency() const { return latency_; }
+
+  private:
+    LatencyModel latency_;
+};
+
+} // namespace cost
+} // namespace spotserve
+
+#endif // SPOTSERVE_COSTMODEL_THROUGHPUT_MODEL_H

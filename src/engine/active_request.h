@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A request being decoded, with token-level committed progress.
+ *
+ * Stateful inference recovery (§4) commits progress at the token level:
+ * committedTokens output tokens have been generated and their KV cache is
+ * held by the context daemon, so a migrated request resumes from there
+ * instead of recomputing.  Dropping the cache resets committedTokens to 0.
+ */
+
+#ifndef SPOTSERVE_ENGINE_ACTIVE_REQUEST_H
+#define SPOTSERVE_ENGINE_ACTIVE_REQUEST_H
+
+#include "workload/request.h"
+
+namespace spotserve {
+namespace engine {
+
+/** One in-flight request with committed decoding progress. */
+struct ActiveRequest
+{
+    wl::Request request;
+
+    /** Output tokens generated and committed (KV cached). */
+    int committedTokens = 0;
+
+    /** Times the request was restarted from scratch (diagnostics). */
+    int restarts = 0;
+
+    /** All output tokens generated? */
+    bool done() const { return committedTokens >= request.outputLen; }
+
+    /** Context length the *next* decode iteration runs at (Eq. 1). */
+    int nextContextLen() const
+    {
+        return request.inputLen + committedTokens + 1;
+    }
+
+    /** Drop cached progress (cache context lost / discarded). */
+    void restart()
+    {
+        committedTokens = 0;
+        ++restarts;
+    }
+};
+
+} // namespace engine
+} // namespace spotserve
+
+#endif // SPOTSERVE_ENGINE_ACTIVE_REQUEST_H

@@ -1,0 +1,84 @@
+#include "engine/context_state.h"
+
+#include <algorithm>
+
+namespace spotserve {
+namespace engine {
+
+namespace {
+
+/** Number of layers in [a0,a1) ∩ [b0,b1). */
+int
+layerIntersection(std::pair<int, int> a, std::pair<int, int> b)
+{
+    return std::max(0, std::min(a.second, b.second) -
+                           std::max(a.first, b.first));
+}
+
+} // namespace
+
+const GpuContext *
+ContextSnapshot::find(par::GpuId gpu) const
+{
+    for (const auto &g : gpus) {
+        if (g.gpu == gpu)
+            return &g;
+    }
+    return nullptr;
+}
+
+double
+modelOverlapBytes(const model::ModelSpec &spec, const GpuContext &held,
+                  const par::Topology &target,
+                  const par::Position &target_pos)
+{
+    if (!held.hasModelContext)
+        return 0.0;
+    const par::Topology held_top(held.config, spec.numLayers());
+    const int common =
+        layerIntersection(held_top.stageLayers(held.position.p),
+                          target.stageLayers(target_pos.p));
+    if (common == 0)
+        return 0.0;
+    const double frac = par::shardOverlapFraction(
+        held.position.m, held.config.tp, target_pos.m, target.config().tp);
+    return common * spec.layerWeightBytes() * frac;
+}
+
+double
+cacheOverlapBytes(const model::ModelSpec &spec, const GpuContext &held,
+                  const par::Topology &target,
+                  const par::Position &target_pos)
+{
+    if (!held.hasModelContext || held.cacheTokens <= 0.0)
+        return 0.0;
+    const par::Topology held_top(held.config, spec.numLayers());
+    const int common =
+        layerIntersection(held_top.stageLayers(held.position.p),
+                          target.stageLayers(target_pos.p));
+    if (common == 0)
+        return 0.0;
+    const double frac = par::shardOverlapFraction(
+        held.position.m, held.config.tp, target_pos.m, target.config().tp);
+    return held.cacheTokens * spec.kvBytesPerTokenPerLayer() * common * frac;
+}
+
+double
+neededModelBytes(const model::ModelSpec &spec, const par::Topology &target,
+                 const par::Position &pos)
+{
+    const auto [first, last] = target.stageLayers(pos.p);
+    return (last - first) * spec.layerWeightBytes() / target.config().tp;
+}
+
+double
+neededCacheBytes(const model::ModelSpec &spec, const par::Topology &target,
+                 const par::Position &pos, double cache_tokens)
+{
+    const auto [first, last] = target.stageLayers(pos.p);
+    return cache_tokens * spec.kvBytesPerTokenPerLayer() * (last - first) /
+           target.config().tp;
+}
+
+} // namespace engine
+} // namespace spotserve

@@ -1,0 +1,208 @@
+#include "engine/inference_pipeline.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace spotserve {
+namespace engine {
+
+const char *
+toString(PipelinePhase phase)
+{
+    switch (phase) {
+      case PipelinePhase::Idle:
+        return "idle";
+      case PipelinePhase::Prefill:
+        return "prefill";
+      case PipelinePhase::Decode:
+        return "decode";
+      case PipelinePhase::Halted:
+        return "halted";
+    }
+    return "?";
+}
+
+InferencePipeline::InferencePipeline(sim::Simulation &simulation,
+                                     const cost::LatencyModel &latency,
+                                     const par::ParallelConfig &config,
+                                     int index, Callbacks callbacks)
+    : sim_(simulation), latency_(latency), config_(config), index_(index),
+      callbacks_(std::move(callbacks))
+{
+}
+
+InferencePipeline::~InferencePipeline()
+{
+    if (pendingEvent_ != sim::kInvalidEventId)
+        sim_.cancel(pendingEvent_);
+}
+
+void
+InferencePipeline::startBatch(std::vector<ActiveRequest> batch)
+{
+    if (phase_ != PipelinePhase::Idle)
+        throw std::logic_error("InferencePipeline::startBatch: not idle");
+    if (haltPending_)
+        throw std::logic_error(
+            "InferencePipeline::startBatch: halt pending, refuse new work");
+    if (batch.empty())
+        throw std::invalid_argument("InferencePipeline::startBatch: empty");
+    if (static_cast<int>(batch.size()) > config_.batch)
+        throw std::invalid_argument(
+            "InferencePipeline::startBatch: batch larger than B");
+    const int progress = batch.front().committedTokens;
+    for (const auto &r : batch) {
+        if (r.committedTokens != progress)
+            throw std::invalid_argument(
+                "InferencePipeline::startBatch: non-uniform progress");
+        if (r.done())
+            throw std::invalid_argument(
+                "InferencePipeline::startBatch: already-finished request");
+    }
+
+    batch_ = std::move(batch);
+    if (progress == 0) {
+        // Fresh batch: run the initial phase over the input tokens.
+        phase_ = PipelinePhase::Prefill;
+        scheduleBoundary(
+            latency_.prefillTime(execConfig(), batch_.front().request.inputLen));
+    } else {
+        // Recovered batch: the KV cache of the committed tokens survived
+        // migration, resume decoding directly (stateful recovery, §4).
+        phase_ = PipelinePhase::Decode;
+        scheduleBoundary(
+            latency_.decodeIterTime(execConfig(),
+                                    batch_.front().nextContextLen()));
+    }
+}
+
+void
+InferencePipeline::haltAfter(int iterations)
+{
+    if (iterations < 0)
+        throw std::invalid_argument("InferencePipeline::haltAfter: negative");
+    if (phase_ == PipelinePhase::Halted)
+        return;
+    haltPending_ = true;
+    allowedIters_ = iterations;
+    if (phase_ == PipelinePhase::Idle) {
+        enterHalted();
+        return;
+    }
+    // During prefill with 0 allowed iterations we still let the prefill
+    // boundary fire (it commits nothing) and halt there.
+}
+
+void
+InferencePipeline::haltNow()
+{
+    if (phase_ == PipelinePhase::Halted)
+        return;
+    if (pendingEvent_ != sim::kInvalidEventId) {
+        sim_.cancel(pendingEvent_);
+        pendingEvent_ = sim::kInvalidEventId;
+    }
+    haltPending_ = true;
+    allowedIters_ = 0;
+    enterHalted();
+}
+
+std::vector<ActiveRequest>
+InferencePipeline::takeBatch()
+{
+    if (executing())
+        throw std::logic_error(
+            "InferencePipeline::takeBatch: pipeline still executing");
+    return std::exchange(batch_, {});
+}
+
+bool
+InferencePipeline::executing() const
+{
+    return phase_ == PipelinePhase::Prefill || phase_ == PipelinePhase::Decode;
+}
+
+par::ParallelConfig
+InferencePipeline::execConfig() const
+{
+    par::ParallelConfig c = config_;
+    c.batch = static_cast<int>(batch_.size());
+    return c;
+}
+
+void
+InferencePipeline::scheduleBoundary(double delay)
+{
+    pendingEvent_ = sim_.scheduleAfter(delay, [this] { onBoundary(); });
+}
+
+void
+InferencePipeline::onBoundary()
+{
+    pendingEvent_ = sim::kInvalidEventId;
+
+    if (phase_ == PipelinePhase::Prefill) {
+        // Prefill commits no output token; decoding starts next.
+        phase_ = PipelinePhase::Decode;
+    } else {
+        // One decode iteration: every request commits one token.
+        ++itersExecuted_;
+        for (auto &r : batch_)
+            ++r.committedTokens;
+        tokensCommitted_ += static_cast<long>(batch_.size());
+
+        // Complete finished requests (uniform lengths finish together but
+        // handle the general case).
+        std::vector<ActiveRequest> still_running;
+        still_running.reserve(batch_.size());
+        for (auto &r : batch_) {
+            if (r.done()) {
+                if (callbacks_.onRequestComplete)
+                    callbacks_.onRequestComplete(r);
+            } else {
+                still_running.push_back(r);
+            }
+        }
+        batch_ = std::move(still_running);
+
+        if (batch_.empty()) {
+            phase_ = PipelinePhase::Idle;
+            if (haltPending_) {
+                enterHalted();
+            } else if (callbacks_.onIdle) {
+                callbacks_.onIdle(*this);
+            }
+            return;
+        }
+
+        if (haltPending_) {
+            if (allowedIters_ <= 0) {
+                enterHalted();
+                return;
+            }
+            --allowedIters_;
+        }
+    }
+
+    if (haltPending_ && phase_ == PipelinePhase::Decode &&
+        allowedIters_ <= 0 && batch_.front().committedTokens == 0) {
+        // Halt arranged during prefill with no decode budget: stop here,
+        // before the first decode iteration.
+        enterHalted();
+        return;
+    }
+
+    scheduleBoundary(
+        latency_.decodeIterTime(execConfig(), batch_.front().nextContextLen()));
+}
+
+void
+InferencePipeline::enterHalted()
+{
+    phase_ = PipelinePhase::Halted;
+    if (callbacks_.onHalted)
+        callbacks_.onHalted(*this);
+}
+
+} // namespace engine
+} // namespace spotserve

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Simulated distributed inference pipeline (one data-parallel replica).
+ *
+ * Executes batches at iteration granularity: a prefill phase followed by
+ * one event per incremental-decoding iteration, with durations taken from
+ * the analytical LatencyModel.  Supports the interruption arranger's
+ * just-in-time halting (run at most S_t more iterations, then drain) and
+ * immediate suspension, both preserving committed token progress (§4.1).
+ */
+
+#ifndef SPOTSERVE_ENGINE_INFERENCE_PIPELINE_H
+#define SPOTSERVE_ENGINE_INFERENCE_PIPELINE_H
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "costmodel/latency_model.h"
+#include "engine/active_request.h"
+#include "simcore/simulation.h"
+
+namespace spotserve {
+namespace engine {
+
+/** Execution phase of a pipeline. */
+enum class PipelinePhase
+{
+    Idle,    ///< No batch loaded.
+    Prefill, ///< Initial phase over the input tokens.
+    Decode,  ///< Incremental decoding, one token per iteration.
+    Halted,  ///< Drained by the arranger; batch retained, not executing.
+};
+
+const char *toString(PipelinePhase phase);
+
+/**
+ * One inference pipeline bound to a (D-index of a) deployment.
+ *
+ * The pipeline does not know about instances; the serving system owns the
+ * device mesh and rebuilds pipelines on reconfiguration, carrying the
+ * ActiveRequests (and their committed progress) across.
+ */
+class InferencePipeline
+{
+  public:
+    struct Callbacks
+    {
+        /** A request finished all its output tokens. */
+        std::function<void(const ActiveRequest &)> onRequestComplete;
+        /** The whole batch completed; the pipeline is Idle again. */
+        std::function<void(InferencePipeline &)> onIdle;
+        /** haltAfter() drained; the pipeline is Halted with its batch. */
+        std::function<void(InferencePipeline &)> onHalted;
+    };
+
+    InferencePipeline(sim::Simulation &simulation,
+                      const cost::LatencyModel &latency,
+                      const par::ParallelConfig &config, int index,
+                      Callbacks callbacks);
+
+    ~InferencePipeline();
+
+    InferencePipeline(const InferencePipeline &) = delete;
+    InferencePipeline &operator=(const InferencePipeline &) = delete;
+
+    /**
+     * Load and start a batch.  All requests must share the same committed
+     * progress (FasterTransformer-style batch decoding); a batch with
+     * committed progress skips prefill and resumes decoding from its
+     * cached state (stateful recovery).
+     * @pre phase() == Idle and batch size <= config.batch.
+     */
+    void startBatch(std::vector<ActiveRequest> batch);
+
+    /**
+     * JIT arrangement: allow at most @p iterations more decode-iteration
+     * boundaries, then drain to Halted and fire onHalted.  If the batch
+     * finishes earlier the pipeline halts at that point (it may not pick
+     * up new work once a halt is pending).  Calling with 0 halts at the
+     * next boundary (an in-flight iteration still commits its token); on
+     * an Idle pipeline it halts immediately.
+     */
+    void haltAfter(int iterations);
+
+    /**
+     * Suspend immediately: the in-flight iteration (or prefill) is
+     * abandoned and its token is NOT committed.  Committed progress from
+     * earlier iterations is retained.
+     */
+    void haltNow();
+
+    /** Remove and return the loaded batch. @pre Halted or Idle. */
+    std::vector<ActiveRequest> takeBatch();
+
+    PipelinePhase phase() const { return phase_; }
+    bool idle() const { return phase_ == PipelinePhase::Idle; }
+    bool halted() const { return phase_ == PipelinePhase::Halted; }
+    bool executing() const;
+    /** True once a halt has been requested (pipeline won't take work). */
+    bool haltPending() const { return haltPending_; }
+
+    const std::vector<ActiveRequest> &batch() const { return batch_; }
+    int index() const { return index_; }
+    const par::ParallelConfig &config() const { return config_; }
+
+    /** Decode iterations executed over this pipeline's lifetime. */
+    long iterationsExecuted() const { return itersExecuted_; }
+    /** Output tokens committed over this pipeline's lifetime. */
+    long tokensCommitted() const { return tokensCommitted_; }
+
+  private:
+    /** Batch-size-adjusted config for the latency model. */
+    par::ParallelConfig execConfig() const;
+    void scheduleBoundary(double delay);
+    void onBoundary();
+    void enterHalted();
+
+    sim::Simulation &sim_;
+    const cost::LatencyModel &latency_;
+    par::ParallelConfig config_;
+    int index_;
+    Callbacks callbacks_;
+
+    PipelinePhase phase_ = PipelinePhase::Idle;
+    std::vector<ActiveRequest> batch_;
+    sim::EventId pendingEvent_ = sim::kInvalidEventId;
+
+    bool haltPending_ = false;
+    long allowedIters_ = 0;
+
+    long itersExecuted_ = 0;
+    long tokensCommitted_ = 0;
+};
+
+} // namespace engine
+} // namespace spotserve
+
+#endif // SPOTSERVE_ENGINE_INFERENCE_PIPELINE_H

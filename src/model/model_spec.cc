@@ -1,0 +1,95 @@
+#include "model/model_spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace spotserve {
+namespace model {
+
+ModelSpec::ModelSpec(std::string name, int num_layers, int hidden_dim,
+                     int num_heads, int vocab_size, double params_override)
+    : name_(std::move(name)), numLayers_(num_layers), hiddenDim_(hidden_dim),
+      numHeads_(num_heads), vocabSize_(vocab_size),
+      paramsOverride_(params_override)
+{
+    if (num_layers <= 0 || hidden_dim <= 0 || num_heads <= 0 ||
+        vocab_size <= 0) {
+        throw std::invalid_argument("ModelSpec: dimensions must be positive");
+    }
+    if (hidden_dim % num_heads != 0)
+        throw std::invalid_argument("ModelSpec: hidden_dim % num_heads != 0");
+}
+
+double
+ModelSpec::totalParams() const
+{
+    if (paramsOverride_ > 0.0)
+        return paramsOverride_;
+    const double h = hiddenDim_;
+    // 4h^2 attention (Q,K,V,O) + 8h^2 feed-forward (two 4h projections).
+    const double per_layer = 12.0 * h * h;
+    return per_layer * numLayers_ + static_cast<double>(vocabSize_) * h;
+}
+
+double
+ModelSpec::totalWeightBytes() const
+{
+    return totalParams() * weightBytesPerParam_;
+}
+
+double
+ModelSpec::layerWeightBytes() const
+{
+    return totalWeightBytes() / numLayers_;
+}
+
+double
+ModelSpec::kvBytesPerTokenPerLayer() const
+{
+    return 2.0 * hiddenDim_ * kvBytesPerElem_;
+}
+
+double
+ModelSpec::kvBytesPerToken() const
+{
+    return kvBytesPerTokenPerLayer() * numLayers_;
+}
+
+double
+ModelSpec::flopsPerToken() const
+{
+    return 2.0 * totalParams();
+}
+
+std::string
+ModelSpec::sizeString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", totalWeightBytes() / kGiB);
+    return buf;
+}
+
+ModelSpec
+ModelSpec::opt6_7b()
+{
+    // 6.71e9 params * 4 B = 25.0 GiB (Table 1).
+    return ModelSpec("OPT-6.7B", 32, 4096, 32, 50272, 6.71e9);
+}
+
+ModelSpec
+ModelSpec::gpt20b()
+{
+    // 20.0e9 params * 4 B = 74.5 GiB (Table 1).
+    return ModelSpec("GPT-20B", 44, 6144, 64, 50257, 20.0e9);
+}
+
+ModelSpec
+ModelSpec::llama30b()
+{
+    // 30.0e9 params * 4 B = 111.8 GiB (Table 1).
+    return ModelSpec("LLaMA-30B", 60, 6656, 52, 32000, 30.0e9);
+}
+
+} // namespace model
+} // namespace spotserve

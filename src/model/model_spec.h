@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Generative LLM architecture descriptions.
+ *
+ * A ModelSpec carries the transformer geometry (layers, hidden size, heads)
+ * used by the cost model for FLOP/byte/communication accounting, plus the
+ * weight and KV-cache sizing rules.  The three presets mirror Table 1 of the
+ * paper: OPT-6.7B, GPT-20B and LLaMA-30B with fp32 weights (the table's
+ * 25.0 / 74.5 / 111.8 GB figures) and fp16 KV cache.
+ */
+
+#ifndef SPOTSERVE_MODEL_MODEL_SPEC_H
+#define SPOTSERVE_MODEL_MODEL_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace spotserve {
+namespace model {
+
+/** Bytes in one GiB (the unit Table 1 reports sizes in). */
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/**
+ * Architecture and sizing description of one generative LLM.
+ *
+ * Parameter counts are derived from the geometry (12*h^2 per layer plus the
+ * embedding) unless @ref paramsOverride is set, which presets use so the
+ * byte sizes reproduce Table 1 exactly even where the public checkpoints
+ * round their marketing name (e.g. "LLaMA-30B" is really 32.5 B parameters
+ * but the paper accounts 30 B / 111.8 GiB).
+ */
+class ModelSpec
+{
+  public:
+    ModelSpec(std::string name, int num_layers, int hidden_dim,
+              int num_heads, int vocab_size, double params_override = 0.0);
+
+    const std::string &name() const { return name_; }
+    int numLayers() const { return numLayers_; }
+    int hiddenDim() const { return hiddenDim_; }
+    int numHeads() const { return numHeads_; }
+    int vocabSize() const { return vocabSize_; }
+
+    /** Weight precision in bytes per parameter (fp32 = 4, as in Table 1). */
+    int weightBytesPerParam() const { return weightBytesPerParam_; }
+    /** KV-cache precision in bytes per element (fp16 = 2). */
+    int kvBytesPerElem() const { return kvBytesPerElem_; }
+
+    /** Total parameter count (override or 12*h^2*L + vocab*h). */
+    double totalParams() const;
+
+    /** Total weight bytes across the whole model. */
+    double totalWeightBytes() const;
+
+    /**
+     * Weight bytes attributed to one transformer layer.  Embedding weights
+     * are folded evenly across layers: migration planning and device-mapper
+     * overlap arithmetic only need a consistent per-layer decomposition
+     * whose sum equals totalWeightBytes().
+     */
+    double layerWeightBytes() const;
+
+    /** KV bytes one token adds in one layer: 2 (K and V) * h * elemBytes. */
+    double kvBytesPerTokenPerLayer() const;
+
+    /** KV bytes one token adds across all layers. */
+    double kvBytesPerToken() const;
+
+    /** FLOPs to process one token through the full model (2 per param). */
+    double flopsPerToken() const;
+
+    /** Human-readable size like "74.5 GiB". */
+    std::string sizeString() const;
+
+    /** Table 1 presets. @{ */
+    static ModelSpec opt6_7b();
+    static ModelSpec gpt20b();
+    static ModelSpec llama30b();
+    /** @} */
+
+  private:
+    std::string name_;
+    int numLayers_;
+    int hiddenDim_;
+    int numHeads_;
+    int vocabSize_;
+    double paramsOverride_;
+    int weightBytesPerParam_ = 4;
+    int kvBytesPerElem_ = 2;
+};
+
+} // namespace model
+} // namespace spotserve
+
+#endif // SPOTSERVE_MODEL_MODEL_SPEC_H

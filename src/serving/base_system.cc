@@ -1,0 +1,337 @@
+#include "serving/base_system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simcore/logging.h"
+
+namespace spotserve {
+namespace serving {
+
+BaseServingSystem::BaseServingSystem(sim::Simulation &simulation,
+                                     cluster::InstanceManager &instances,
+                                     RequestManager &requests,
+                                     const model::ModelSpec &spec,
+                                     const cost::CostParams &params,
+                                     const cost::SeqSpec &seq)
+    : sim_(simulation), instances_(instances), requests_(requests),
+      spec_(spec), params_(params), seq_(seq), latency_(spec, params),
+      throughput_(latency_)
+{
+}
+
+void
+BaseServingSystem::onRequestArrival(const wl::Request &request)
+{
+    handleArrival(request);
+}
+
+void
+BaseServingSystem::handleArrival(const wl::Request &request)
+{
+    requests_.submit(request);
+    dispatchAll();
+}
+
+std::optional<par::ParallelConfig>
+BaseServingSystem::currentConfig() const
+{
+    if (!deployment_)
+        return std::nullopt;
+    return deployment_->config;
+}
+
+par::DeviceMesh
+BaseServingSystem::packedMesh(
+    const par::ParallelConfig &config,
+    const std::vector<const cluster::Instance *> &instance_list) const
+{
+    par::DeviceMesh mesh(config, spec_.numLayers());
+    std::vector<par::GpuId> gpus;
+    for (const auto *inst : instance_list) {
+        for (par::GpuId g : inst->gpuIds())
+            gpus.push_back(g);
+    }
+    const int total = config.totalGpus();
+    if (static_cast<int>(gpus.size()) < total)
+        throw std::invalid_argument("packedMesh: not enough GPUs");
+    const auto &topo = mesh.topology();
+    for (int i = 0; i < total; ++i)
+        mesh.assign(topo.position(i), gpus[i]);
+    return mesh;
+}
+
+std::vector<cluster::InstanceId>
+BaseServingSystem::meshInstances() const
+{
+    std::vector<cluster::InstanceId> out;
+    if (!deployment_)
+        return out;
+    for (par::GpuId g : deployment_->mesh.gpus()) {
+        const auto inst =
+            cluster::Instance::instanceOfGpu(g, params_.gpusPerInstance);
+        if (std::find(out.begin(), out.end(), inst) == out.end())
+            out.push_back(inst);
+    }
+    return out;
+}
+
+bool
+BaseServingSystem::meshUsesInstance(cluster::InstanceId id) const
+{
+    if (!deployment_)
+        return false;
+    for (par::GpuId g : deployment_->mesh.gpus()) {
+        if (cluster::Instance::instanceOfGpu(g, params_.gpusPerInstance) == id)
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+BaseServingSystem::pipelinesUsingInstance(cluster::InstanceId id) const
+{
+    std::vector<int> out;
+    if (!deployment_)
+        return out;
+    const auto &cfg = deployment_->config;
+    for (int d = 0; d < cfg.dp; ++d) {
+        bool uses = false;
+        for (par::GpuId g : deployment_->mesh.pipelineGpus(d)) {
+            if (g != par::kInvalidGpu &&
+                cluster::Instance::instanceOfGpu(
+                    g, params_.gpusPerInstance) == id) {
+                uses = true;
+                break;
+            }
+        }
+        if (uses)
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::unique_ptr<engine::InferencePipeline>
+BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
+{
+    engine::InferencePipeline::Callbacks cb;
+    cb.onRequestComplete = [this](const engine::ActiveRequest &r) {
+        requests_.complete(r);
+    };
+    cb.onIdle = [this](engine::InferencePipeline &p) { onPipelineIdle(p); };
+    cb.onHalted = [this](engine::InferencePipeline &p) {
+        onPipelineHalted(p);
+    };
+    return std::make_unique<engine::InferencePipeline>(sim_, latency_, config,
+                                                       index, std::move(cb));
+}
+
+void
+BaseServingSystem::installDeployment(const par::ParallelConfig &config,
+                                     par::DeviceMesh mesh)
+{
+    if (deployment_)
+        throw std::logic_error("installDeployment: clear the old one first");
+    Deployment dep{config, std::move(mesh), {}, {}};
+    dep.pipelines.reserve(config.dp);
+    for (int d = 0; d < config.dp; ++d)
+        dep.pipelines.push_back(makePipeline(config, d));
+    deployment_ = std::move(dep);
+
+    // Every mapped GPU's context daemon now holds its position's model
+    // context (migration/cold load completed before activation).
+    const auto &topo = deployment_->mesh.topology();
+    for (int i = 0; i < topo.size(); ++i) {
+        const par::Position pos = topo.position(i);
+        const par::GpuId g = deployment_->mesh.gpuAt(pos);
+        engine::GpuContext ctx;
+        ctx.gpu = g;
+        ctx.instance =
+            cluster::Instance::instanceOfGpu(g, params_.gpusPerInstance);
+        ctx.hasModelContext = true;
+        ctx.config = config;
+        ctx.position = pos;
+        holdings_[g] = ctx;
+    }
+}
+
+void
+BaseServingSystem::clearDeployment()
+{
+    deployment_.reset();
+}
+
+void
+BaseServingSystem::loadBatch(int pipeline_idx,
+                             std::vector<engine::ActiveRequest> batch)
+{
+    if (!deployment_)
+        throw std::logic_error("loadBatch: no deployment");
+    auto &p = deployment_->pipelines.at(pipeline_idx);
+    if (!p)
+        throw std::logic_error("loadBatch: broken pipeline");
+    if (batch.empty())
+        return;
+    p->startBatch(std::move(batch));
+}
+
+void
+BaseServingSystem::dispatchAll()
+{
+    if (!deployment_)
+        return;
+    for (std::size_t d = 0; d < deployment_->pipelines.size(); ++d) {
+        auto &p = deployment_->pipelines[d];
+        if (!p || !p->idle() || p->haltPending())
+            continue;
+        if (d < deployment_->readyAt.size() &&
+            deployment_->readyAt[d] > sim_.now()) {
+            continue; // still finishing its progressive migration
+        }
+        if (requests_.pendingEmpty())
+            break;
+        auto batch = requests_.nextBatch(deployment_->config.batch);
+        if (batch.empty())
+            break;
+        p->startBatch(std::move(batch));
+    }
+}
+
+std::vector<std::vector<engine::ActiveRequest>>
+BaseServingSystem::haltAndCollectAll()
+{
+    std::vector<std::vector<engine::ActiveRequest>> out;
+    if (!deployment_)
+        return out;
+    out.resize(deployment_->pipelines.size());
+    for (std::size_t d = 0; d < deployment_->pipelines.size(); ++d) {
+        auto &p = deployment_->pipelines[d];
+        if (!p)
+            continue;
+        p->haltNow();
+        out[d] = p->takeBatch();
+    }
+    return out;
+}
+
+std::vector<engine::ActiveRequest>
+BaseServingSystem::removePipeline(int idx)
+{
+    if (!deployment_)
+        return {};
+    auto &p = deployment_->pipelines.at(idx);
+    if (!p)
+        return {};
+    p->haltNow();
+    auto batch = p->takeBatch();
+    p.reset();
+    return batch;
+}
+
+void
+BaseServingSystem::restartAndRequeue(std::vector<engine::ActiveRequest> batch)
+{
+    for (auto &r : batch)
+        r.restart();
+    requests_.requeue(std::move(batch));
+}
+
+void
+BaseServingSystem::recordConfig(const par::ParallelConfig &config,
+                                const std::string &reason)
+{
+    history_.push_back(ConfigChange{sim_.now(), config, reason});
+    sim::logInfo("t=" + std::to_string(sim_.now()) + " " + name() +
+                 " config -> " + config.str() + " (" + reason + ")");
+}
+
+engine::ContextSnapshot
+BaseServingSystem::snapshotContext() const
+{
+    engine::ContextSnapshot snap;
+    for (const auto &[gpu, held] : holdings_) {
+        engine::GpuContext ctx = held;
+        ctx.cacheTokens = 0.0;
+        snap.gpus.push_back(ctx);
+    }
+    // Fill cache tokens from live batches: every GPU of replica d holds
+    // that replica's KV slice for its own stage/shard.
+    if (deployment_) {
+        for (std::size_t d = 0; d < deployment_->pipelines.size(); ++d) {
+            const auto &p = deployment_->pipelines[d];
+            if (!p)
+                continue;
+            double tokens = 0.0;
+            for (const auto &r : p->batch()) {
+                if (r.committedTokens > 0)
+                    tokens += r.request.inputLen + r.committedTokens;
+            }
+            if (tokens <= 0.0)
+                continue;
+            for (par::GpuId g :
+                 deployment_->mesh.pipelineGpus(static_cast<int>(d))) {
+                for (auto &ctx : snap.gpus) {
+                    if (ctx.gpu == g)
+                        ctx.cacheTokens = tokens;
+                }
+            }
+        }
+    }
+    // Drop GPUs whose instance is no longer usable.
+    std::vector<engine::GpuContext> alive;
+    for (const auto &ctx : snap.gpus) {
+        const auto *inst = instances_.get(ctx.instance);
+        if (inst && inst->usable())
+            alive.push_back(ctx);
+    }
+    snap.gpus = std::move(alive);
+    // Deterministic order for the mapper.
+    std::sort(snap.gpus.begin(), snap.gpus.end(),
+              [](const engine::GpuContext &a, const engine::GpuContext &b) {
+                  return a.gpu < b.gpu;
+              });
+    return snap;
+}
+
+void
+BaseServingSystem::forgetInstance(cluster::InstanceId id)
+{
+    for (auto it = holdings_.begin(); it != holdings_.end();) {
+        if (it->second.instance == id)
+            it = holdings_.erase(it);
+        else
+            ++it;
+    }
+}
+
+int
+BaseServingSystem::maxReplicas(int pp, int tp, int num_instances) const
+{
+    const int gpi = params_.gpusPerInstance;
+    if (tp > gpi) {
+        // Whole instances per stage.
+        const int inst_per_replica = pp * (tp / gpi);
+        return num_instances / inst_per_replica;
+    }
+    return num_instances * gpi / (pp * tp);
+}
+
+void
+BaseServingSystem::onPipelineIdle(engine::InferencePipeline &pipeline)
+{
+    if (!deployment_ || pipeline.haltPending())
+        return;
+    if (requests_.pendingEmpty())
+        return;
+    auto batch = requests_.nextBatch(deployment_->config.batch);
+    if (!batch.empty())
+        pipeline.startBatch(std::move(batch));
+}
+
+void
+BaseServingSystem::onPipelineHalted(engine::InferencePipeline &)
+{
+}
+
+} // namespace serving
+} // namespace spotserve

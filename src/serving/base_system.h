@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shared machinery for all serving systems.
+ *
+ * SpotServe and both baselines run on the same engine substrate ("they are
+ * implemented with the same inference engine as SpotServe to avoid
+ * unfairness", §6.1): this base class owns the deployment (configuration,
+ * device mesh, pipelines), the dispatch loop, context-daemon holdings, and
+ * configuration history.
+ */
+
+#ifndef SPOTSERVE_SERVING_BASE_SYSTEM_H
+#define SPOTSERVE_SERVING_BASE_SYSTEM_H
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "costmodel/latency_model.h"
+#include "costmodel/throughput_model.h"
+#include "engine/context_state.h"
+#include "engine/inference_pipeline.h"
+#include "model/model_spec.h"
+#include "serving/request_manager.h"
+#include "serving/serving_system.h"
+#include "simcore/simulation.h"
+
+namespace spotserve {
+namespace serving {
+
+/** Common deployment + dispatch machinery. */
+class BaseServingSystem : public ServingSystem
+{
+  public:
+    BaseServingSystem(sim::Simulation &simulation,
+                      cluster::InstanceManager &instances,
+                      RequestManager &requests, const model::ModelSpec &spec,
+                      const cost::CostParams &params,
+                      const cost::SeqSpec &seq);
+
+    void onRequestArrival(const wl::Request &request) override;
+    const std::vector<ConfigChange> &configHistory() const override
+    {
+        return history_;
+    }
+
+    /** Current configuration if a deployment is active. */
+    std::optional<par::ParallelConfig> currentConfig() const;
+
+  protected:
+    /** Active deployment: configuration, mesh, one pipeline per replica. */
+    struct Deployment
+    {
+        par::ParallelConfig config;
+        par::DeviceMesh mesh;
+        /** Index d; broken replicas are nullptr. */
+        std::vector<std::unique_ptr<engine::InferencePipeline>> pipelines;
+        /**
+         * Absolute time each replica comes online (progressive migration
+         * resume); empty means all replicas are ready immediately.
+         */
+        std::vector<sim::SimTime> readyAt;
+    };
+
+    bool hasDeployment() const { return deployment_.has_value(); }
+    Deployment &deployment() { return *deployment_; }
+    const Deployment &deployment() const { return *deployment_; }
+
+    /**
+     * Pack the configuration's positions onto @p instance_list in order:
+     * flat (d, p, m) positions fill each instance's GPUs before moving to
+     * the next.  Tensor groups never straddle instances because M divides
+     * the per-instance GPU count (or is a multiple of it).
+     */
+    par::DeviceMesh
+    packedMesh(const par::ParallelConfig &config,
+               const std::vector<const cluster::Instance *> &instance_list)
+        const;
+
+    /** Instances referenced by the active mesh (deduplicated). */
+    std::vector<cluster::InstanceId> meshInstances() const;
+    bool meshUsesInstance(cluster::InstanceId id) const;
+
+    /** Replica indices whose pipeline maps any GPU of @p id. */
+    std::vector<int> pipelinesUsingInstance(cluster::InstanceId id) const;
+
+    /**
+     * Replace the deployment: build one InferencePipeline per replica and
+     * update context-daemon holdings for every mapped GPU.
+     */
+    void installDeployment(const par::ParallelConfig &config,
+                           par::DeviceMesh mesh);
+
+    /** Destroy all pipelines (holdings are retained: daemons stay alive). */
+    void clearDeployment();
+
+    /** Give replica @p pipeline_idx a recovered batch and start it. */
+    void loadBatch(int pipeline_idx,
+                   std::vector<engine::ActiveRequest> batch);
+
+    /** Fill every idle replica from the request queue. */
+    void dispatchAll();
+
+    /**
+     * Halt every executing pipeline immediately and collect all batches,
+     * indexed by replica.  Committed progress is preserved; the caller
+     * decides whether the cache context survives.
+     */
+    std::vector<std::vector<engine::ActiveRequest>> haltAndCollectAll();
+
+    /** Remove one replica's pipeline and return its batch. */
+    std::vector<engine::ActiveRequest> removePipeline(int idx);
+
+    /** Reset progress of @p batch and put it back on the queue. */
+    void restartAndRequeue(std::vector<engine::ActiveRequest> batch);
+
+    /** Append to the configuration history. */
+    void recordConfig(const par::ParallelConfig &config,
+                      const std::string &reason);
+
+    /**
+     * Snapshot every usable GPU's context-daemon holdings, with cache
+     * tokens filled in from the live pipelines' batches.
+     */
+    engine::ContextSnapshot snapshotContext() const;
+
+    /** Drop the holdings of an instance that left the cluster. */
+    void forgetInstance(cluster::InstanceId id);
+
+    /** Replicas of (P, M) that fit on @p num_instances. */
+    int maxReplicas(int pp, int tp, int num_instances) const;
+
+    /** Hook: a replica finished its batch (default: refill from queue). */
+    virtual void onPipelineIdle(engine::InferencePipeline &pipeline);
+
+    /** Hook: a replica drained after haltAfter(). */
+    virtual void onPipelineHalted(engine::InferencePipeline &pipeline);
+
+    /** Hook: request arrivals (default: submit + dispatch). */
+    virtual void handleArrival(const wl::Request &request);
+
+    /** Build a pipeline wired to this system's callbacks. */
+    std::unique_ptr<engine::InferencePipeline>
+    makePipeline(const par::ParallelConfig &config, int index);
+
+    sim::Simulation &sim_;
+    cluster::InstanceManager &instances_;
+    RequestManager &requests_;
+    model::ModelSpec spec_;
+    cost::CostParams params_;
+    cost::SeqSpec seq_;
+    cost::LatencyModel latency_;
+    cost::ThroughputModel throughput_;
+
+  private:
+    std::optional<Deployment> deployment_;
+    std::vector<ConfigChange> history_;
+
+    /** What each GPU's context daemon holds (survives clearDeployment). */
+    std::unordered_map<par::GpuId, engine::GpuContext> holdings_;
+};
+
+} // namespace serving
+} // namespace spotserve
+
+#endif // SPOTSERVE_SERVING_BASE_SYSTEM_H

@@ -1,0 +1,60 @@
+#include "serving/experiment.h"
+
+namespace spotserve {
+namespace serving {
+
+ExperimentResult
+runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
+              const cluster::AvailabilityTrace &trace,
+              const wl::Workload &workload, const SystemFactory &factory,
+              ExperimentOptions options)
+{
+    sim::Simulation simulation;
+    cluster::InstanceManager instances(simulation, params);
+    RequestManager requests(simulation);
+
+    auto system = factory(simulation, instances, requests);
+    instances.setListener(system.get());
+    instances.loadTrace(trace);
+
+    for (const auto &req : workload) {
+        simulation.schedule(req.arrival, [&system, req] {
+            system->onRequestArrival(req);
+        });
+    }
+
+    const sim::SimTime horizon = trace.duration() + options.drainTimeout;
+    simulation.run(horizon);
+
+    ExperimentResult result;
+    result.systemName = system->name();
+    result.traceName = trace.name();
+    result.modelName = spec.name();
+    // Latency statistics skip the warm-up window (identical cold start for
+    // every system) and include the censored age of never-finished
+    // requests so overload stays visible in the tail.
+    for (const auto &done : requests.completions()) {
+        if (done.arrival >= options.warmupCutoff)
+            result.latencies.add(done.latency);
+    }
+    for (const auto &pending : requests.pending()) {
+        if (pending.request.arrival >= options.warmupCutoff)
+            result.latencies.add(horizon - pending.request.arrival);
+    }
+    result.perRequest = requests.completions();
+    result.configHistory = system->configHistory();
+    result.arrived = requests.arrivedCount();
+    result.completed = requests.completedCount();
+    result.unfinished = requests.unfinishedCount();
+    result.tokensGenerated = requests.tokensGenerated();
+    // Bill the fleet over the trace window only (comparable across
+    // systems; the drain window exists to flush the queue).
+    result.costUsd = instances.accruedCost(trace.duration());
+    result.spotInstanceHours = instances.spotInstanceHours(trace.duration());
+    result.ondemandInstanceHours =
+        instances.ondemandInstanceHours(trace.duration());
+    return result;
+}
+
+} // namespace serving
+} // namespace spotserve

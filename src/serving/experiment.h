@@ -1,0 +1,85 @@
+/**
+ * @file
+ * End-to-end experiment driver: trace x workload x system -> metrics.
+ */
+
+#ifndef SPOTSERVE_SERVING_EXPERIMENT_H
+#define SPOTSERVE_SERVING_EXPERIMENT_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/trace_library.h"
+#include "serving/base_system.h"
+#include "serving/request_manager.h"
+#include "workload/workload.h"
+
+namespace spotserve {
+namespace serving {
+
+/** Everything a run produces. */
+struct ExperimentResult
+{
+    std::string systemName;
+    std::string traceName;
+    std::string modelName;
+
+    /** Completed-request latency distribution (censored latencies of
+     *  never-finished requests included so overload stays visible). */
+    sim::LatencyRecorder latencies;
+
+    /** Per-request completion records (Figure 8g/8h). */
+    std::vector<CompletionRecord> perRequest;
+
+    /** Configuration history (Figure 8 annotations). */
+    std::vector<ConfigChange> configHistory;
+
+    long arrived = 0;
+    long completed = 0;
+    long unfinished = 0;
+
+    double tokensGenerated = 0.0;
+    double costUsd = 0.0;
+    double spotInstanceHours = 0.0;
+    double ondemandInstanceHours = 0.0;
+
+    /** USD per generated output token. */
+    double costPerToken() const
+    {
+        return tokensGenerated > 0.0 ? costUsd / tokensGenerated : 0.0;
+    }
+};
+
+/** Builds the serving system under test inside the driver's simulation. */
+using SystemFactory = std::function<std::unique_ptr<ServingSystem>(
+    sim::Simulation &, cluster::InstanceManager &, RequestManager &)>;
+
+/** Driver knobs. */
+struct ExperimentOptions
+{
+    /** Extra simulated time after the trace ends to drain the queue. */
+    sim::SimTime drainTimeout = 900.0;
+
+    /**
+     * Requests arriving before this time are excluded from the latency
+     * statistics: every system pays the same initial engine launch +
+     * weight load, and the paper evaluates warmed-up serving.
+     */
+    sim::SimTime warmupCutoff = 120.0;
+};
+
+/**
+ * Replay @p trace and @p workload against the system built by @p factory
+ * and collect metrics.  Deterministic: same inputs, same outputs.
+ */
+ExperimentResult
+runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
+              const cluster::AvailabilityTrace &trace,
+              const wl::Workload &workload, const SystemFactory &factory,
+              ExperimentOptions options = {});
+
+} // namespace serving
+} // namespace spotserve
+
+#endif // SPOTSERVE_SERVING_EXPERIMENT_H

@@ -1,0 +1,57 @@
+#include "serving/report.h"
+
+namespace spotserve {
+namespace serving {
+
+void
+writePerRequestCsv(std::ostream &os, const ExperimentResult &result)
+{
+    os << "request_id,arrival_s,latency_s,restarts\n";
+    for (const auto &c : result.perRequest) {
+        os << c.id << ',' << c.arrival << ',' << c.latency << ','
+           << c.restarts << '\n';
+    }
+}
+
+void
+writeSummaryCsv(std::ostream &os,
+                const std::vector<ExperimentResult> &results)
+{
+    os << "model,trace,system,arrived,completed,unfinished,"
+          "avg_s,p90_s,p95_s,p96_s,p97_s,p98_s,p99_s,"
+          "cost_usd,cost_per_token_usd\n";
+    for (const auto &r : results) {
+        const auto s = r.latencies.summary();
+        os << r.modelName << ',' << r.traceName << ',' << r.systemName
+           << ',' << r.arrived << ',' << r.completed << ',' << r.unfinished
+           << ',' << s.avg << ',' << s.p90 << ',' << s.p95 << ',' << s.p96
+           << ',' << s.p97 << ',' << s.p98 << ',' << s.p99 << ','
+           << r.costUsd << ',' << r.costPerToken() << '\n';
+    }
+}
+
+void
+writeAvailabilityCsv(std::ostream &os,
+                     const cluster::AvailabilityTrace &trace, double dt,
+                     double grace_period)
+{
+    os << "time_s,spot,on_demand,total\n";
+    for (const auto &s : trace.series(dt, grace_period)) {
+        os << s.time << ',' << s.spot << ',' << s.onDemand << ','
+           << s.total() << '\n';
+    }
+}
+
+void
+writeConfigHistoryCsv(std::ostream &os, const ExperimentResult &result)
+{
+    os << "time_s,dp,pp,tp,batch,reason\n";
+    for (const auto &c : result.configHistory) {
+        os << c.time << ',' << c.config.dp << ',' << c.config.pp << ','
+           << c.config.tp << ',' << c.config.batch << ',' << c.reason
+           << '\n';
+    }
+}
+
+} // namespace serving
+} // namespace spotserve

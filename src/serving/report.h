@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CSV export of experiment results, for plotting the paper's figures from
+ * the bench outputs with external tooling.
+ */
+
+#ifndef SPOTSERVE_SERVING_REPORT_H
+#define SPOTSERVE_SERVING_REPORT_H
+
+#include <ostream>
+#include <vector>
+
+#include "cluster/availability_trace.h"
+#include "serving/experiment.h"
+
+namespace spotserve {
+namespace serving {
+
+/**
+ * Per-request rows: request id, arrival time, end-to-end latency,
+ * restart count (one row per completed request, Figure 8g/8h data).
+ */
+void writePerRequestCsv(std::ostream &os, const ExperimentResult &result);
+
+/**
+ * One summary row per result: model, trace, system, counts, avg and
+ * P90-P99 latencies, cost and cost-per-token (Figure 6/7 data).  Writes
+ * the header first.
+ */
+void writeSummaryCsv(std::ostream &os,
+                     const std::vector<ExperimentResult> &results);
+
+/** Availability series rows: time, spot, on-demand (Figure 5 data). */
+void writeAvailabilityCsv(std::ostream &os,
+                          const cluster::AvailabilityTrace &trace,
+                          double dt, double grace_period);
+
+/** Configuration-change rows: time, D, P, M, B, reason. */
+void writeConfigHistoryCsv(std::ostream &os,
+                           const ExperimentResult &result);
+
+} // namespace serving
+} // namespace spotserve
+
+#endif // SPOTSERVE_SERVING_REPORT_H

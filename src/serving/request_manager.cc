@@ -1,0 +1,96 @@
+#include "serving/request_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spotserve {
+namespace serving {
+
+RequestManager::RequestManager(sim::Simulation &simulation,
+                               double rate_window_seconds)
+    : sim_(simulation), rateWindow_(rate_window_seconds)
+{
+    if (rate_window_seconds <= 0.0)
+        throw std::invalid_argument("RequestManager: bad rate window");
+}
+
+void
+RequestManager::submit(const wl::Request &request)
+{
+    engine::ActiveRequest active;
+    active.request = request;
+    pending_.push_back(active);
+    recentArrivals_.push_back(sim_.now());
+    ++arrived_;
+}
+
+void
+RequestManager::requeue(std::vector<engine::ActiveRequest> requests)
+{
+    if (requests.empty())
+        return;
+    for (const auto &r : requests) {
+        if (r.committedTokens != 0)
+            throw std::invalid_argument(
+                "RequestManager::requeue: reset progress before requeueing");
+        pending_.push_back(r);
+    }
+    // Restarted requests are older than fresh arrivals; restore FIFO order.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const engine::ActiveRequest &a,
+                        const engine::ActiveRequest &b) {
+                         return a.request.arrival < b.request.arrival;
+                     });
+}
+
+std::vector<engine::ActiveRequest>
+RequestManager::nextBatch(int max_size)
+{
+    std::vector<engine::ActiveRequest> batch;
+    while (!pending_.empty() && static_cast<int>(batch.size()) < max_size) {
+        batch.push_back(pending_.front());
+        pending_.pop_front();
+    }
+    return batch;
+}
+
+double
+RequestManager::estimatedArrivalRate() const
+{
+    return estimatedArrivalRate(rateWindow_);
+}
+
+double
+RequestManager::estimatedArrivalRate(double window_seconds) const
+{
+    constexpr double kRetention = 180.0;
+    const sim::SimTime now = sim_.now();
+    while (!recentArrivals_.empty() &&
+           recentArrivals_.front() < now - kRetention) {
+        recentArrivals_.pop_front();
+    }
+    window_seconds = std::min(window_seconds, kRetention);
+    std::size_t count = 0;
+    for (auto it = recentArrivals_.rbegin(); it != recentArrivals_.rend();
+         ++it) {
+        if (*it < now - window_seconds)
+            break;
+        ++count;
+    }
+    const double window = std::max(1.0, std::min(now, window_seconds));
+    return static_cast<double>(count) / window;
+}
+
+void
+RequestManager::complete(const engine::ActiveRequest &request)
+{
+    const double latency = sim_.now() - request.request.arrival;
+    latencies_.add(latency);
+    completions_.push_back(CompletionRecord{request.request.id,
+                                            request.request.arrival, latency,
+                                            request.restarts});
+    tokensGenerated_ += request.request.outputLen;
+}
+
+} // namespace serving
+} // namespace spotserve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Request manager: queueing, batching, arrival-rate estimation, metrics.
+ *
+ * The inference server's request manager receives input requests,
+ * partitions them into batches for the inference pipelines, and collects
+ * outputs (§3.1).  It also estimates the arrival rate alpha_t by observing
+ * arrivals over a short trailing window (30 s, §3.2 footnote), which the
+ * parallelization controller consumes.
+ */
+
+#ifndef SPOTSERVE_SERVING_REQUEST_MANAGER_H
+#define SPOTSERVE_SERVING_REQUEST_MANAGER_H
+
+#include <deque>
+#include <vector>
+
+#include "engine/active_request.h"
+#include "simcore/simulation.h"
+#include "simcore/stats.h"
+#include "workload/request.h"
+
+namespace spotserve {
+namespace serving {
+
+/** Completed-request record (per-request timeline for Figure 8g/8h). */
+struct CompletionRecord
+{
+    wl::RequestId id = wl::kInvalidRequest;
+    sim::SimTime arrival = 0.0;
+    double latency = 0.0;
+    int restarts = 0;
+};
+
+/**
+ * FIFO pending queue plus completion bookkeeping.  Restarted requests
+ * re-enter at their arrival-order position so FIFO fairness holds across
+ * interruptions.
+ */
+class RequestManager
+{
+  public:
+    explicit RequestManager(sim::Simulation &simulation,
+                            double rate_window_seconds = 30.0);
+
+    /** A new request arrived (from the workload). */
+    void submit(const wl::Request &request);
+
+    /**
+     * Re-queue interrupted requests (cache lost or batch displaced).
+     * Progress must already be reset by the caller when the cache was
+     * dropped; requests keep their original arrival times and re-enter in
+     * arrival order.
+     */
+    void requeue(std::vector<engine::ActiveRequest> requests);
+
+    /**
+     * Pop up to @p max_size pending requests, oldest first.  Only
+     * fresh/restarted work lives in the queue (committed progress == 0);
+     * recovered batches are handed to pipelines directly by the serving
+     * systems.
+     */
+    std::vector<engine::ActiveRequest> nextBatch(int max_size);
+
+    bool pendingEmpty() const { return pending_.empty(); }
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /**
+     * Arrivals per second over a trailing window (alpha_t).  The default
+     * window is the construction-time one (30 s, §3.2 footnote); longer
+     * windows (up to 180 s of retained history) give smoother estimates
+     * for scale-down and overload decisions.
+     */
+    double estimatedArrivalRate() const;
+    double estimatedArrivalRate(double window_seconds) const;
+
+    /** Record a finished request. */
+    void complete(const engine::ActiveRequest &request);
+
+    /** Latency distribution over completed requests. */
+    const sim::LatencyRecorder &latencies() const { return latencies_; }
+
+    /** Per-request completion records in completion order. */
+    const std::vector<CompletionRecord> &completions() const
+    {
+        return completions_;
+    }
+
+    long arrivedCount() const { return arrived_; }
+    long completedCount() const { return static_cast<long>(completions_.size()); }
+
+    /** Output tokens of completed requests (per-token cost denominator). */
+    double tokensGenerated() const { return tokensGenerated_; }
+
+    /** Requests never completed: queued + in-flight elsewhere. */
+    long unfinishedCount() const { return arrived_ - completedCount(); }
+
+    /** Pending requests (diagnostic view). */
+    const std::deque<engine::ActiveRequest> &pending() const
+    {
+        return pending_;
+    }
+
+  private:
+    sim::Simulation &sim_;
+    double rateWindow_;
+
+    std::deque<engine::ActiveRequest> pending_;
+    mutable std::deque<sim::SimTime> recentArrivals_;
+
+    sim::LatencyRecorder latencies_;
+    std::vector<CompletionRecord> completions_;
+    long arrived_ = 0;
+    double tokensGenerated_ = 0.0;
+};
+
+} // namespace serving
+} // namespace spotserve
+
+#endif // SPOTSERVE_SERVING_REQUEST_MANAGER_H

@@ -1,0 +1,90 @@
+#include "simcore/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace spotserve {
+namespace sim {
+
+EventId
+EventQueue::schedule(SimTime when, EventCallback fn)
+{
+    EventId id = nextId_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    ++liveCount_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEventId || id >= nextId_)
+        return false;
+    // Lazy cancellation: remember the id and drop the entry when it
+    // surfaces.  Double-cancel and cancel-after-fire are no-ops.
+    if (cancelled_.count(id))
+        return false;
+    cancelled_.insert(id);
+    if (liveCount_ == 0)
+        return false;
+    --liveCount_;
+    return true;
+}
+
+bool
+EventQueue::empty() const
+{
+    return liveCount_ == 0;
+}
+
+std::size_t
+EventQueue::size() const
+{
+    return liveCount_;
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    // const_cast-free peek: copy out cancelled skips by scanning.  The heap
+    // top may be cancelled; we cannot mutate in a const method, so walk a
+    // copy only when needed.  In practice cancellations are rare enough
+    // that the top is almost always live, but correctness first.
+    if (liveCount_ == 0)
+        return kTimeInfinity;
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return heap_.top().time;
+}
+
+EventQueue::Fired
+EventQueue::pop()
+{
+    skipCancelled();
+    assert(!heap_.empty() && "pop() on empty EventQueue");
+    Entry top = heap_.top();
+    heap_.pop();
+    --liveCount_;
+    return Fired{top.time, top.id, std::move(top.fn)};
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    cancelled_.clear();
+    liveCount_ = 0;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+        cancelled_.erase(heap_.top().id);
+        heap_.pop();
+    }
+}
+
+} // namespace sim
+} // namespace spotserve

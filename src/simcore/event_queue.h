@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic pending-event set for the discrete-event simulator.
+ *
+ * Events are ordered by (time, sequence number) so that two events scheduled
+ * for the same instant always fire in the order they were scheduled,
+ * independent of heap internals.  This determinism is load-bearing: the
+ * serving experiments and the regression tests compare exact latency series
+ * across runs.
+ */
+
+#ifndef SPOTSERVE_SIMCORE_EVENT_QUEUE_H
+#define SPOTSERVE_SIMCORE_EVENT_QUEUE_H
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/sim_time.h"
+
+namespace spotserve {
+namespace sim {
+
+/** Action executed when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Priority queue of timed callbacks with O(log n) schedule/pop and
+ * lazy cancellation.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule @p fn to fire at absolute time @p when.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(SimTime when, EventCallback fn);
+
+    /**
+     * Cancel a previously scheduled event.  Cancelling an already-fired or
+     * unknown event is a harmless no-op.
+     * @retval true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if no live (non-cancelled) events remain. */
+    bool empty() const;
+
+    /** Number of live pending events. */
+    std::size_t size() const;
+
+    /** Time of the earliest live event; kTimeInfinity when empty. */
+    SimTime nextTime() const;
+
+    /**
+     * Remove and return the earliest live event.
+     * @pre !empty()
+     */
+    struct Fired
+    {
+        SimTime time;
+        EventId id;
+        EventCallback fn;
+    };
+    Fired pop();
+
+    /** Drop every pending event (used when tearing a simulation down). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        SimTime time;
+        EventId id;
+        EventCallback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.id > b.id;
+        }
+    };
+
+    /** Discard cancelled entries sitting at the top of the heap. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    EventId nextId_ = 1;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace sim
+} // namespace spotserve
+
+#endif // SPOTSERVE_SIMCORE_EVENT_QUEUE_H

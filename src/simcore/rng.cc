@@ -1,0 +1,51 @@
+#include "simcore/rng.h"
+
+#include <stdexcept>
+
+namespace spotserve {
+namespace sim {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        throw std::invalid_argument("Rng::exponential: rate must be positive");
+    return std::exponential_distribution<double>(rate)(gen_);
+}
+
+double
+Rng::gammaInterval(double mean, double cv)
+{
+    if (mean <= 0.0 || cv <= 0.0)
+        throw std::invalid_argument("Rng::gammaInterval: mean and cv must be positive");
+    const double shape = 1.0 / (cv * cv);
+    const double scale = mean * cv * cv;
+    return std::gamma_distribution<double>(shape, scale)(gen_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+} // namespace sim
+} // namespace spotserve

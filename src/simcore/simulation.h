@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Discrete-event simulation driver.
+ */
+
+#ifndef SPOTSERVE_SIMCORE_SIMULATION_H
+#define SPOTSERVE_SIMCORE_SIMULATION_H
+
+#include <cstdint>
+
+#include "simcore/event_queue.h"
+#include "simcore/sim_time.h"
+
+namespace spotserve {
+namespace sim {
+
+/**
+ * Owns the simulated clock and the event queue and advances time by firing
+ * events in deterministic order.
+ *
+ * Components hold a reference to the Simulation and schedule callbacks on
+ * it; nothing in the system reads wall-clock time.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time in seconds. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (must be >= now()). */
+    EventId schedule(SimTime when, EventCallback fn);
+
+    /** Schedule @p fn @p delay seconds from now (delay >= 0). */
+    EventId scheduleAfter(SimTime delay, EventCallback fn);
+
+    /** Cancel a pending event; no-op if already fired. */
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /**
+     * Run until the queue drains or simulated time would pass @p until.
+     * Events at exactly @p until still fire.
+     * @return number of events fired by this call.
+     */
+    std::uint64_t run(SimTime until = kTimeInfinity);
+
+    /**
+     * Fire exactly one event if any is pending.
+     * @retval true if an event fired.
+     */
+    bool step();
+
+    /** True when no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Number of events fired since construction. */
+    std::uint64_t eventsFired() const { return eventsFired_; }
+
+    /** Pending-event count (live only). */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    EventQueue queue_;
+    SimTime now_ = 0.0;
+    std::uint64_t eventsFired_ = 0;
+};
+
+} // namespace sim
+} // namespace spotserve
+
+#endif // SPOTSERVE_SIMCORE_SIMULATION_H

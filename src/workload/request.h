@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Inference request descriptor.
+ *
+ * The evaluation fixes S_in = 512 input tokens and S_out = 128 output
+ * tokens per request (§6.1); the structs still carry per-request lengths
+ * so other workloads can vary them.
+ */
+
+#ifndef SPOTSERVE_WORKLOAD_REQUEST_H
+#define SPOTSERVE_WORKLOAD_REQUEST_H
+
+#include <cstdint>
+
+#include "simcore/sim_time.h"
+
+namespace spotserve {
+namespace wl {
+
+using RequestId = std::int64_t;
+
+constexpr RequestId kInvalidRequest = -1;
+
+/** One generative-inference request. */
+struct Request
+{
+    RequestId id = kInvalidRequest;
+    sim::SimTime arrival = 0.0;
+    int inputLen = 512;
+    int outputLen = 128;
+};
+
+} // namespace wl
+} // namespace spotserve
+
+#endif // SPOTSERVE_WORKLOAD_REQUEST_H

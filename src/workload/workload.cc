@@ -1,0 +1,90 @@
+#include "workload/workload.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace spotserve {
+namespace wl {
+
+namespace {
+
+Request
+makeRequest(RequestId id, sim::SimTime t, const cost::SeqSpec &seq)
+{
+    Request r;
+    r.id = id;
+    r.arrival = t;
+    r.inputLen = seq.inputLen;
+    r.outputLen = seq.outputLen;
+    return r;
+}
+
+} // namespace
+
+Workload
+stationaryGamma(double rate, double cv, sim::SimTime duration,
+                const cost::SeqSpec &seq, sim::Rng &rng)
+{
+    if (rate <= 0.0)
+        throw std::invalid_argument("stationaryGamma: rate must be positive");
+    Workload out;
+    sim::SimTime t = 0.0;
+    RequestId id = 0;
+    while (true) {
+        t += rng.gammaInterval(1.0 / rate, cv);
+        if (t >= duration)
+            break;
+        out.push_back(makeRequest(id++, t, seq));
+    }
+    return out;
+}
+
+Workload
+stationaryPoisson(double rate, sim::SimTime duration,
+                  const cost::SeqSpec &seq, sim::Rng &rng)
+{
+    return stationaryGamma(rate, 1.0, duration, seq, rng);
+}
+
+Workload
+fluctuating(const std::function<double(sim::SimTime)> &rate_at, double cv,
+            sim::SimTime duration, const cost::SeqSpec &seq, sim::Rng &rng)
+{
+    Workload out;
+    sim::SimTime t = 0.0;
+    RequestId id = 0;
+    while (true) {
+        const double rate = rate_at(t);
+        if (rate <= 0.0)
+            throw std::invalid_argument("fluctuating: rate must be positive");
+        t += rng.gammaInterval(1.0 / rate, cv);
+        if (t >= duration)
+            break;
+        out.push_back(makeRequest(id++, t, seq));
+    }
+    return out;
+}
+
+double
+meanRate(const Workload &workload, sim::SimTime duration)
+{
+    if (duration <= 0.0)
+        return 0.0;
+    return static_cast<double>(workload.size()) / duration;
+}
+
+double
+defaultRateForModel(const std::string &model_name)
+{
+    if (model_name == "OPT-6.7B")
+        return 1.5;
+    if (model_name == "GPT-20B")
+        return 0.35;
+    if (model_name == "LLaMA-30B")
+        return 0.2;
+    throw std::invalid_argument("defaultRateForModel: unknown model " +
+                                model_name);
+}
+
+} // namespace wl
+} // namespace spotserve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload generators.
+ *
+ * Stable workloads use a Gamma request-arrival process with a coefficient
+ * of variation of 6 to model burstiness (§6.1, following AlpaServe); the
+ * default rates are 1.5 / 0.35 / 0.2 req/s for OPT-6.7B / GPT-20B /
+ * LLaMA-30B.  Fluctuating workloads draw their instantaneous rate from a
+ * rescaled MAF trace (§6.3).
+ */
+
+#ifndef SPOTSERVE_WORKLOAD_WORKLOAD_H
+#define SPOTSERVE_WORKLOAD_WORKLOAD_H
+
+#include <functional>
+#include <vector>
+
+#include "costmodel/cost_params.h"
+#include "simcore/rng.h"
+#include "workload/request.h"
+
+namespace spotserve {
+namespace wl {
+
+/** A fully materialised workload: requests sorted by arrival time. */
+using Workload = std::vector<Request>;
+
+/**
+ * Stationary arrival process at @p rate req/s with Gamma inter-arrival
+ * times of coefficient of variation @p cv, over [0, duration).
+ */
+Workload stationaryGamma(double rate, double cv, sim::SimTime duration,
+                         const cost::SeqSpec &seq, sim::Rng &rng);
+
+/** Poisson special case (cv = 1). */
+Workload stationaryPoisson(double rate, sim::SimTime duration,
+                           const cost::SeqSpec &seq, sim::Rng &rng);
+
+/**
+ * Non-stationary arrival process: the instantaneous mean rate is
+ * @p rate_at (time -> req/s), modulated by Gamma burstiness @p cv.
+ */
+Workload fluctuating(const std::function<double(sim::SimTime)> &rate_at,
+                     double cv, sim::SimTime duration,
+                     const cost::SeqSpec &seq, sim::Rng &rng);
+
+/** Empirical mean arrival rate of a workload over its span. */
+double meanRate(const Workload &workload, sim::SimTime duration);
+
+/** Default per-model stable rates from §6.1. */
+double defaultRateForModel(const std::string &model_name);
+
+} // namespace wl
+} // namespace spotserve
+
+#endif // SPOTSERVE_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the parallelization controller (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace spotserve::core {
+namespace {
+
+const cost::CostParams kParams = cost::CostParams::awsG4dn();
+const cost::SeqSpec kSeq{};
+
+ParallelizationController
+gptController()
+{
+    return ParallelizationController(model::ModelSpec::gpt20b(), kParams,
+                                     kSeq);
+}
+
+TEST(ControllerTest, NoInstancesNoConfig)
+{
+    auto ctrl = gptController();
+    EXPECT_FALSE(ctrl.chooseConfig(0, 0.35).has_value());
+    // GPT-20B needs 12 GPUs = 3 instances.
+    EXPECT_FALSE(ctrl.chooseConfig(2, 0.35).has_value());
+    EXPECT_TRUE(ctrl.chooseConfig(3, 0.35).has_value());
+}
+
+TEST(ControllerTest, MeetsDemandWhenPossible)
+{
+    auto ctrl = gptController();
+    const auto d = ctrl.chooseConfig(8, 0.35);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->meetsDemand);
+    EXPECT_GE(d->throughput, 0.35);
+    EXPECT_LE(d->instancesNeeded, 8);
+}
+
+TEST(ControllerTest, PicksPaperConfigAtHighAvailability)
+{
+    // §6.2: with >= 8 instances, GPT-20B's minimum-latency configuration
+    // is (D=2, P=2, M=8) at B=8.
+    auto ctrl = gptController();
+    const auto d = ctrl.chooseConfig(10, 0.35);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->config.pp, 2);
+    EXPECT_EQ(d->config.tp, 8);
+    EXPECT_GE(d->config.dp, 2);
+}
+
+TEST(ControllerTest, FallsBackToSmallerParallelismWhenScarce)
+{
+    // With 6 instances (24 GPUs), (2,2,8) does not fit; the paper's
+    // fallback shape is (2,3,4) = 24 GPUs.
+    auto ctrl = gptController();
+    const auto d = ctrl.chooseConfig(6, 0.35);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LE(d->instancesNeeded, 6);
+    EXPECT_TRUE(d->meetsDemand);
+}
+
+TEST(ControllerTest, MaximizesThroughputWhenOverloaded)
+{
+    auto ctrl = gptController();
+    // Demand far above anything 3 instances can do: line 5 applies.
+    const auto d = ctrl.chooseConfig(3, 50.0);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_FALSE(d->meetsDemand);
+    // The decision must be the throughput-maximal feasible config.
+    const auto all = ctrl.space().enumerate(3);
+    double best_phi = 0.0;
+    for (const auto &c : all) {
+        best_phi =
+            std::max(best_phi, ctrl.throughputModel().throughput(c, kSeq));
+    }
+    EXPECT_NEAR(d->throughput, best_phi, 1e-9);
+}
+
+TEST(ControllerTest, ZeroRatePrefersFewInstances)
+{
+    auto ctrl = gptController();
+    const auto d = ctrl.chooseConfig(12, 0.0);
+    ASSERT_TRUE(d.has_value());
+    // With no demand, the latency-minimal band is taken by the cheapest
+    // member: no data parallelism needed.
+    EXPECT_EQ(d->config.dp, 1);
+    EXPECT_EQ(d->config.batch, 1);
+}
+
+TEST(ControllerTest, MoreDemandMoreReplicas)
+{
+    auto ctrl = gptController();
+    const auto low = ctrl.chooseConfig(12, 0.1);
+    const auto high = ctrl.chooseConfig(12, 0.8);
+    ASSERT_TRUE(low.has_value());
+    ASSERT_TRUE(high.has_value());
+    EXPECT_GE(high->config.concurrentRequests(),
+              low->config.concurrentRequests());
+    EXPECT_GE(high->throughput, 0.8);
+}
+
+TEST(ControllerTest, DecisionIsDeterministic)
+{
+    auto ctrl = gptController();
+    for (int n : {3, 5, 8, 12}) {
+        const auto a = ctrl.chooseConfig(n, 0.35);
+        const auto b = ctrl.chooseConfig(n, 0.35);
+        ASSERT_TRUE(a.has_value());
+        EXPECT_EQ(a->config, b->config);
+    }
+}
+
+TEST(ControllerTest, MonotoneInInstances)
+{
+    // More instances never hurt the achievable estimated latency.
+    auto ctrl = gptController();
+    double prev = std::numeric_limits<double>::infinity();
+    for (int n : {3, 4, 6, 8, 10, 12}) {
+        const auto d = ctrl.chooseConfig(n, 0.35);
+        ASSERT_TRUE(d.has_value());
+        EXPECT_LE(d->estimatedLatency, prev * 1.0001) << "n=" << n;
+        prev = d->estimatedLatency;
+    }
+}
+
+TEST(WorthReconfiguringTest, GatesMarginalChanges)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    cost::LatencyModel lat(spec, kParams);
+    cost::ThroughputModel thr(lat);
+
+    par::ParallelConfig current{2, 2, 8, 8};
+    ControllerDecision d;
+    d.config = current;
+    // Identical config: never worth it.
+    EXPECT_FALSE(worthReconfiguring(thr, kSeq, current, 8, d, 0.35, 0.35, 0, 6.0));
+
+    // A change that does NOT substantially improve latency: gated.
+    d.config = par::ParallelConfig{2, 3, 4, 8};
+    d.throughput = thr.throughput(d.config, kSeq);
+    d.estimatedLatency = thr.requestLatency(d.config, kSeq, 0.35, 6.0);
+    ASSERT_GT(d.estimatedLatency,
+              0.8 * thr.requestLatency(current, kSeq, 0.35, 6.0));
+    EXPECT_FALSE(
+        worthReconfiguring(thr, kSeq, current, 8, d, 0.35, 0.35, 0, 6.0));
+
+    // Sustained demand above capacity: must act.
+    const double phi = thr.throughput(current, kSeq);
+    EXPECT_TRUE(worthReconfiguring(thr, kSeq, current, 8, d, phi * 2.0,
+                                   phi * 2.0, 0, 6.0));
+
+    // Backlog alone only matters with a real capacity bump.
+    EXPECT_FALSE(worthReconfiguring(thr, kSeq, current, 8, d, 0.35, 0.35, 500,
+                                    6.0));
+    ControllerDecision big = d;
+    big.config = par::ParallelConfig{4, 2, 8, 8};
+    big.throughput = 2.0 * phi;
+    big.estimatedLatency = d.estimatedLatency;
+    EXPECT_TRUE(
+        worthReconfiguring(thr, kSeq, current, 8, big, 0.35, 0.35, 500, 6.0));
+}
+
+TEST(ControllerTest, FeasibleSetHonoursMemOptPlannerFlag)
+{
+    cost::ConfigSpaceOptions naive;
+    naive.memOptPlanner = false;
+    ParallelizationController without(model::ModelSpec::gpt20b(), kParams,
+                                      kSeq, naive);
+    // Without the memory-optimised planner, GPT-20B needs 16 GPUs = 4
+    // instances (§6.2).
+    EXPECT_FALSE(without.chooseConfig(3, 0.35).has_value());
+    EXPECT_TRUE(without.chooseConfig(4, 0.35).has_value());
+}
+
+} // namespace
+} // namespace spotserve::core

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for the migration planner (Algorithm 2, §3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/device_mapper.h"
+#include "core/migration_planner.h"
+
+namespace spotserve::core {
+namespace {
+
+const cost::CostParams kParams = cost::CostParams::awsG4dn();
+
+class PlannerFixture : public ::testing::Test
+{
+  protected:
+    model::ModelSpec spec = model::ModelSpec::gpt20b();
+    DeviceMapper mapper{spec, kParams};
+    MigrationPlanner planner{spec, kParams};
+
+    std::vector<std::unique_ptr<cluster::Instance>> storage;
+    std::vector<const cluster::Instance *> instances;
+
+    void
+    makeInstances(int n)
+    {
+        storage.clear();
+        instances.clear();
+        for (int i = 0; i < n; ++i) {
+            storage.push_back(std::make_unique<cluster::Instance>(
+                i, cluster::InstanceType::Spot, 4, 0.0));
+            storage.back()->markRunning(0.0);
+            instances.push_back(storage.back().get());
+        }
+    }
+
+    engine::ContextSnapshot
+    packedSnapshot(const par::ParallelConfig &cfg, double cache_tokens = 0.0)
+    {
+        engine::ContextSnapshot snap;
+        par::Topology topo(cfg, spec.numLayers());
+        for (int i = 0; i < topo.size(); ++i) {
+            engine::GpuContext ctx;
+            ctx.gpu = i;
+            ctx.instance = i / 4;
+            ctx.hasModelContext = true;
+            ctx.config = cfg;
+            ctx.position = topo.position(i);
+            ctx.cacheTokens = cache_tokens;
+            snap.gpus.push_back(ctx);
+        }
+        return snap;
+    }
+};
+
+TEST_F(PlannerFixture, IdentityMigrationIsNearlyFree)
+{
+    par::ParallelConfig cfg{2, 2, 8, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(cfg);
+    const auto mapping = mapper.map(snap, cfg, instances, {0.0, 0.0});
+    const auto plan = planner.plan(snap, mapping, cfg, {0.0, 0.0});
+    EXPECT_NEAR(plan.movedModelBytes, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(plan.coldLoadBytes, 0.0);
+    EXPECT_LE(plan.totalDuration, kParams.migrationSetupTime + 1e-9);
+}
+
+TEST_F(PlannerFixture, ColdStartLoadsEverythingFromDisk)
+{
+    par::ParallelConfig cfg{1, 2, 8, 8};
+    makeInstances(4);
+    const auto mapping =
+        mapper.map(engine::ContextSnapshot{}, cfg, instances, {});
+    const auto plan =
+        planner.plan(engine::ContextSnapshot{}, mapping, cfg, {});
+    EXPECT_NEAR(plan.coldLoadBytes, spec.totalWeightBytes(),
+                spec.totalWeightBytes() * 1e-9);
+    EXPECT_DOUBLE_EQ(plan.movedModelBytes, plan.coldLoadBytes);
+    // Per-instance disk loads run concurrently: the duration tracks the
+    // per-instance bytes (W/4 per instance at 1 GB/s), not the total.
+    const double per_instance = spec.totalWeightBytes() / 4.0;
+    EXPECT_NEAR(plan.totalDuration,
+                kParams.migrationSetupTime +
+                    per_instance / kParams.diskBandwidth,
+                2.0);
+}
+
+TEST_F(PlannerFixture, ByteConservation)
+{
+    // Re-parallelize (2,2,8) -> (2,3,4) on the same 8 instances: every
+    // needed byte is either reused in place or moved.
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {0.0, 0.0});
+    const auto plan = planner.plan(snap, mapping, new_cfg, {0.0, 0.0});
+    EXPECT_NEAR(plan.reusedBytes + plan.movedModelBytes,
+                mapping.neededModelBytes, mapping.neededModelBytes * 1e-6);
+    EXPECT_DOUBLE_EQ(plan.coldLoadBytes, 0.0);
+    EXPECT_GT(plan.reusedBytes, 0.0);
+    EXPECT_GT(plan.movedModelBytes, 0.0);
+}
+
+TEST_F(PlannerFixture, CacheStepComesFirst)
+{
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg, 5000.0);
+    const auto mapping =
+        mapper.map(snap, new_cfg, instances, {5000.0, 5000.0});
+    const auto plan =
+        planner.plan(snap, mapping, new_cfg, {5000.0, 5000.0});
+    ASSERT_FALSE(plan.steps.empty());
+    EXPECT_TRUE(plan.cacheMigrated);
+    EXPECT_TRUE(plan.steps.front().isCache());
+    EXPECT_GT(plan.movedCacheBytes, 0.0);
+    for (std::size_t i = 1; i < plan.steps.size(); ++i)
+        EXPECT_FALSE(plan.steps[i].isCache());
+}
+
+TEST_F(PlannerFixture, MigrateCacheFalseDropsCacheStep)
+{
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg, 5000.0);
+    const auto mapping =
+        mapper.map(snap, new_cfg, instances, {5000.0, 5000.0});
+    PlannerOptions opts;
+    opts.migrateCache = false;
+    const auto plan =
+        planner.plan(snap, mapping, new_cfg, {5000.0, 5000.0}, opts);
+    EXPECT_FALSE(plan.cacheMigrated);
+    EXPECT_DOUBLE_EQ(plan.movedCacheBytes, 0.0);
+    for (const auto &s : plan.steps)
+        EXPECT_FALSE(s.isCache());
+}
+
+TEST_F(PlannerFixture, ProgressiveResumeBeatsBlocking)
+{
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {0.0, 0.0});
+
+    PlannerOptions progressive;
+    const auto p1 = planner.plan(snap, mapping, new_cfg, {0.0, 0.0},
+                                 progressive);
+    PlannerOptions blocking;
+    blocking.progressive = false;
+    const auto p2 =
+        planner.plan(snap, mapping, new_cfg, {0.0, 0.0}, blocking);
+
+    // Progressive resume never waits longer than blocking; the *strict*
+    // win shows on replicas whose context is reused in place (see
+    // UntouchedReplicaResumesImmediately) — when the memory-optimised
+    // order defers a front-stage layer to the end, a fully re-sharded
+    // replica can only start when everything has arrived.
+    EXPECT_LE(p1.resumeOffset, p2.resumeOffset + 1e-12);
+    EXPECT_DOUBLE_EQ(p2.resumeOffset, p2.totalDuration);
+    EXPECT_LE(p1.resumeOffset, p1.totalDuration + 1e-12);
+    for (double r : p1.pipelineResume)
+        EXPECT_LE(r, p1.totalDuration + 1e-12);
+}
+
+TEST_F(PlannerFixture, UntouchedReplicaResumesImmediately)
+{
+    // One replica keeps its context in place; the other is rebuilt on
+    // four fresh instances.  The warm replica's resume must be ~setup
+    // time only.
+    par::ParallelConfig cfg{2, 2, 8, 8};
+    makeInstances(12);
+    auto snap = packedSnapshot(cfg);
+    // Drop replica 0's holdings (instances 0-3) as if those were lost.
+    engine::ContextSnapshot partial;
+    for (const auto &g : snap.gpus) {
+        if (g.instance >= 4)
+            partial.gpus.push_back(g);
+    }
+    // Survivors: warm instances 4..7 plus fresh instances 8..11.
+    std::vector<const cluster::Instance *> survivors(instances.begin() + 4,
+                                                     instances.end());
+    const auto mapping = mapper.map(partial, cfg, survivors, {0.0, 0.0});
+    const auto plan = planner.plan(partial, mapping, cfg, {0.0, 0.0});
+    ASSERT_EQ(plan.pipelineResume.size(), 2u);
+    const double fast =
+        std::min(plan.pipelineResume[0], plan.pipelineResume[1]);
+    const double slow =
+        std::max(plan.pipelineResume[0], plan.pipelineResume[1]);
+    EXPECT_NEAR(fast, kParams.migrationSetupTime, 1e-6);
+    EXPECT_GT(slow, fast);
+}
+
+TEST_F(PlannerFixture, MemoryOptRespectsUmaxWhenPossible)
+{
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {0.0, 0.0});
+
+    PlannerOptions opt;
+    const auto optimised = planner.plan(snap, mapping, new_cfg, {0.0, 0.0},
+                                        opt);
+    PlannerOptions naive;
+    naive.memoryOpt = false;
+    const auto plain =
+        planner.plan(snap, mapping, new_cfg, {0.0, 0.0}, naive);
+
+    EXPECT_LE(optimised.peakBufferBytes, plain.peakBufferBytes + 1.0);
+    // Both plans carry every layer exactly once.
+    std::set<int> layers_a, layers_b;
+    for (const auto &s : optimised.steps) {
+        if (!s.isCache())
+            layers_a.insert(s.layer);
+    }
+    for (const auto &s : plain.steps) {
+        if (!s.isCache())
+            layers_b.insert(s.layer);
+    }
+    EXPECT_EQ(layers_a.size(), static_cast<std::size_t>(spec.numLayers()));
+    EXPECT_EQ(layers_a, layers_b);
+    EXPECT_NEAR(optimised.movedModelBytes, plain.movedModelBytes, 1.0);
+}
+
+TEST_F(PlannerFixture, StageReadyWithinTotal)
+{
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {0.0, 0.0});
+    const auto plan = planner.plan(snap, mapping, new_cfg, {0.0, 0.0});
+    ASSERT_EQ(plan.stageReady.size(), 3u);
+    for (double r : plan.stageReady) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, plan.totalDuration + 1e-9);
+    }
+    // Step durations sum to the total.
+    double sum = kParams.migrationSetupTime;
+    for (const auto &s : plan.steps)
+        sum += s.duration;
+    EXPECT_NEAR(sum, plan.totalDuration, 1e-6);
+}
+
+TEST_F(PlannerFixture, ScaleInFindsPeerSources)
+{
+    // (2,2,8) on 8 instances -> (1,2,8) on 4 survivors: the survivors
+    // hold replica-0 or replica-1 context; all needs are servable from
+    // peers, nothing from disk.
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{1, 2, 8, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg);
+    std::vector<const cluster::Instance *> survivors(instances.begin(),
+                                                     instances.begin() + 4);
+    engine::ContextSnapshot partial;
+    for (const auto &g : snap.gpus) {
+        if (g.instance < 4)
+            partial.gpus.push_back(g);
+    }
+    const auto mapping = mapper.map(partial, new_cfg, survivors, {0.0});
+    const auto plan = planner.plan(partial, mapping, new_cfg, {0.0});
+    EXPECT_DOUBLE_EQ(plan.coldLoadBytes, 0.0);
+    // Identity on the survivors: nothing moves either.
+    EXPECT_NEAR(plan.movedModelBytes, 0.0, 1.0);
+}
+
+} // namespace
+} // namespace spotserve::core

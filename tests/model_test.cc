@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the LLM model specifications (Table 1 sizing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_spec.h"
+
+namespace spotserve::model {
+namespace {
+
+TEST(ModelSpecTest, Opt67bMatchesTable1Size)
+{
+    const auto m = ModelSpec::opt6_7b();
+    EXPECT_EQ(m.name(), "OPT-6.7B");
+    // Table 1: 25.0 GiB of fp32 weights.
+    EXPECT_NEAR(m.totalWeightBytes() / kGiB, 25.0, 0.1);
+    EXPECT_EQ(m.numLayers(), 32);
+    EXPECT_EQ(m.hiddenDim(), 4096);
+}
+
+TEST(ModelSpecTest, Gpt20bMatchesTable1Size)
+{
+    const auto m = ModelSpec::gpt20b();
+    EXPECT_NEAR(m.totalWeightBytes() / kGiB, 74.5, 0.1);
+    EXPECT_EQ(m.numLayers(), 44);
+}
+
+TEST(ModelSpecTest, Llama30bMatchesTable1Size)
+{
+    const auto m = ModelSpec::llama30b();
+    EXPECT_NEAR(m.totalWeightBytes() / kGiB, 111.8, 0.2);
+    EXPECT_EQ(m.numLayers(), 60);
+}
+
+TEST(ModelSpecTest, LayerBytesSumToTotal)
+{
+    for (const auto &m : {ModelSpec::opt6_7b(), ModelSpec::gpt20b(),
+                          ModelSpec::llama30b()}) {
+        EXPECT_NEAR(m.layerWeightBytes() * m.numLayers(),
+                    m.totalWeightBytes(), 1.0);
+    }
+}
+
+TEST(ModelSpecTest, KvBytesMatchVllmFigure)
+{
+    // §2.1 cites 1.7 GB of KV per sequence for LLaMA-13B (h=5120, L=40)
+    // at a 2048-token context in fp16.
+    ModelSpec llama13b("LLaMA-13B", 40, 5120, 40, 32000);
+    const double per_seq = llama13b.kvBytesPerToken() * 2048;
+    EXPECT_NEAR(per_seq / 1e9, 1.7, 0.1);
+}
+
+TEST(ModelSpecTest, KvPerLayerTimesLayersEqualsPerToken)
+{
+    const auto m = ModelSpec::gpt20b();
+    EXPECT_DOUBLE_EQ(m.kvBytesPerTokenPerLayer() * m.numLayers(),
+                     m.kvBytesPerToken());
+}
+
+TEST(ModelSpecTest, DerivedParamsWithoutOverride)
+{
+    // 12 h^2 L + vocab*h.
+    ModelSpec m("toy", 2, 8, 2, 100);
+    EXPECT_DOUBLE_EQ(m.totalParams(), 12.0 * 64 * 2 + 100 * 8);
+    EXPECT_DOUBLE_EQ(m.totalWeightBytes(), m.totalParams() * 4);
+}
+
+TEST(ModelSpecTest, FlopsPerTokenIsTwoPerParam)
+{
+    const auto m = ModelSpec::opt6_7b();
+    EXPECT_DOUBLE_EQ(m.flopsPerToken(), 2.0 * m.totalParams());
+}
+
+TEST(ModelSpecTest, SizeStringFormatsGiB)
+{
+    EXPECT_EQ(ModelSpec::opt6_7b().sizeString(), "25.0 GiB");
+    EXPECT_EQ(ModelSpec::gpt20b().sizeString(), "74.5 GiB");
+}
+
+TEST(ModelSpecTest, RejectsInvalidGeometry)
+{
+    EXPECT_THROW(ModelSpec("bad", 0, 8, 2, 100), std::invalid_argument);
+    EXPECT_THROW(ModelSpec("bad", 2, 0, 2, 100), std::invalid_argument);
+    EXPECT_THROW(ModelSpec("bad", 2, 8, 0, 100), std::invalid_argument);
+    EXPECT_THROW(ModelSpec("bad", 2, 8, 2, 0), std::invalid_argument);
+    // hidden not divisible by heads
+    EXPECT_THROW(ModelSpec("bad", 2, 9, 2, 100), std::invalid_argument);
+}
+
+} // namespace
+} // namespace spotserve::model

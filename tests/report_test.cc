@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for CSV export and heterogeneous-output-length batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/trace_library.h"
+#include "engine/inference_pipeline.h"
+#include "serving/presets.h"
+#include "serving/report.h"
+
+namespace spotserve {
+namespace {
+
+const cost::CostParams kParams = cost::CostParams::awsG4dn();
+
+TEST(ReportTest, SummaryCsvShape)
+{
+    const auto spec = model::ModelSpec::opt6_7b();
+    const auto r = presets::runStable(spec, cluster::traceAS(), "SpotServe");
+    std::ostringstream os;
+    serving::writeSummaryCsv(os, {r});
+    const std::string csv = os.str();
+    // Header + one row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    EXPECT_NE(csv.find("model,trace,system"), std::string::npos);
+    EXPECT_NE(csv.find("OPT-6.7B,AS,SpotServe"), std::string::npos);
+}
+
+TEST(ReportTest, PerRequestCsvRowPerCompletion)
+{
+    const auto spec = model::ModelSpec::opt6_7b();
+    const auto r = presets::runStable(spec, cluster::traceAS(), "SpotServe");
+    std::ostringstream os;
+    serving::writePerRequestCsv(os, r);
+    const std::string csv = os.str();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+              static_cast<long>(r.perRequest.size()) + 1);
+}
+
+TEST(ReportTest, AvailabilityCsv)
+{
+    std::ostringstream os;
+    serving::writeAvailabilityCsv(os, cluster::traceBS(), 60.0,
+                                  kParams.gracePeriod);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("time_s,spot,on_demand,total"), std::string::npos);
+    // 1200 s at 60 s steps inclusive: 21 samples + header.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 22);
+}
+
+TEST(ReportTest, ConfigHistoryCsv)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const auto r = presets::runStable(spec, cluster::traceBS(), "SpotServe");
+    std::ostringstream os;
+    serving::writeConfigHistoryCsv(os, r);
+    const std::string csv = os.str();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+              static_cast<long>(r.configHistory.size()) + 1);
+}
+
+TEST(HeterogeneousBatchTest, ShorterRequestsFinishEarly)
+{
+    // A batch whose members want different output lengths: the short ones
+    // complete and leave; the batch shrinks and continues.
+    sim::Simulation sim;
+    const auto spec = model::ModelSpec::opt6_7b();
+    cost::LatencyModel latency(spec, kParams);
+    std::vector<std::pair<wl::RequestId, double>> completions;
+    engine::InferencePipeline::Callbacks cb;
+    cb.onRequestComplete = [&](const engine::ActiveRequest &r) {
+        completions.push_back({r.request.id, sim.now()});
+    };
+    engine::InferencePipeline pipeline(
+        sim, latency, par::ParallelConfig{1, 1, 4, 8}, 0, cb);
+
+    engine::ActiveRequest short_req, long_req;
+    short_req.request.id = 1;
+    short_req.request.outputLen = 32;
+    long_req.request.id = 2;
+    long_req.request.outputLen = 128;
+    pipeline.startBatch({short_req, long_req});
+    sim.run();
+
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0].first, 1);
+    EXPECT_EQ(completions[1].first, 2);
+    EXPECT_LT(completions[0].second, completions[1].second);
+    // 32 shared iterations + 96 solo ones.
+    EXPECT_EQ(pipeline.iterationsExecuted(), 128);
+    EXPECT_EQ(pipeline.tokensCommitted(), 32 + 128);
+}
+
+TEST(HeterogeneousBatchTest, SoloTailRunsFasterPerIteration)
+{
+    // After the B=2 phase ends, iterations continue at B=1 cost.
+    sim::Simulation sim;
+    const auto spec = model::ModelSpec::opt6_7b();
+    cost::LatencyModel latency(spec, kParams);
+    engine::InferencePipeline::Callbacks cb;
+    double first_done = 0.0, second_done = 0.0;
+    cb.onRequestComplete = [&](const engine::ActiveRequest &r) {
+        (r.request.outputLen == 32 ? first_done : second_done) = sim.now();
+    };
+    engine::InferencePipeline pipeline(
+        sim, latency, par::ParallelConfig{1, 1, 4, 8}, 0, cb);
+    engine::ActiveRequest a, b;
+    a.request.id = 1;
+    a.request.outputLen = 32;
+    b.request.id = 2;
+    b.request.outputLen = 128;
+    pipeline.startBatch({a, b});
+    sim.run();
+
+    par::ParallelConfig b1{1, 1, 4, 1};
+    par::ParallelConfig b2{1, 1, 4, 2};
+    const double tail_expected =
+        latency.decodeSpanTime(b1, 512 + 33, 96); // iterations 33..128 solo
+    EXPECT_NEAR(second_done - first_done, tail_expected,
+                tail_expected * 0.02);
+    const double head_expected = latency.prefillTime(b2, 512) +
+                                 latency.decodeSpanTime(b2, 513, 32);
+    EXPECT_NEAR(first_done, head_expected, head_expected * 0.02);
+}
+
+} // namespace
+} // namespace spotserve

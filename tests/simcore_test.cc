@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit and property tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simcore/event_queue.h"
+#include "simcore/rng.h"
+#include "simcore/simulation.h"
+#include "simcore/stats.h"
+
+namespace spotserve::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.pop().fn();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5.0, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().fn();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent)
+{
+    EventQueue q;
+    EventId id = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled)
+{
+    EventQueue q;
+    EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    q.cancel(a);
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+}
+
+TEST(EventQueueTest, ClearEmptiesEverything)
+{
+    EventQueue q;
+    q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.nextTime(), kTimeInfinity);
+}
+
+TEST(SimulationTest, ClockAdvancesWithEvents)
+{
+    Simulation sim;
+    double seen = -1.0;
+    sim.schedule(4.5, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 4.5);
+    EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(10.0, [&] { ++fired; });
+    EXPECT_EQ(sim.run(5.0), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents)
+{
+    Simulation sim;
+    int chain = 0;
+    std::function<void()> tick = [&] {
+        if (++chain < 5)
+            sim.scheduleAfter(1.0, tick);
+    };
+    sim.scheduleAfter(1.0, tick);
+    sim.run();
+    EXPECT_EQ(chain, 5);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationTest, SchedulingInPastThrows)
+{
+    Simulation sim;
+    sim.schedule(5.0, [] {});
+    sim.run();
+    EXPECT_THROW(sim.schedule(1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.scheduleAfter(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulationTest, CancelledEventDoesNotFire)
+{
+    Simulation sim;
+    bool fired = false;
+    EventId id = sim.schedule(1.0, [&] { fired = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.eventsFired(), 0u);
+}
+
+TEST(SimulationTest, StepFiresExactlyOne)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(2.0, [&] { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    EXPECT_NE(a.uniform(), c.uniform());
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusive)
+{
+    Rng rng(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate)
+{
+    Rng rng(3);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.exponential(2.0));
+    EXPECT_NEAR(stat.mean(), 0.5, 0.02);
+}
+
+/** Gamma intervals must hit the requested mean and CV (paper: CV = 6). */
+class GammaCvTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GammaCvTest, MeanAndCvMatch)
+{
+    const double cv = GetParam();
+    Rng rng(7);
+    RunningStat stat;
+    for (int i = 0; i < 200000; ++i)
+        stat.add(rng.gammaInterval(2.0, cv));
+    EXPECT_NEAR(stat.mean(), 2.0, 0.15 * cv);
+    EXPECT_NEAR(stat.cv(), cv, 0.15 * cv);
+}
+
+INSTANTIATE_TEST_SUITE_P(CvSweep, GammaCvTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 6.0));
+
+TEST(RngTest, GammaRejectsBadArgs)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.gammaInterval(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(rng.gammaInterval(1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(LatencyRecorderTest, EmptyIsZero)
+{
+    LatencyRecorder r;
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(r.percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(r.max(), 0.0);
+}
+
+TEST(LatencyRecorderTest, BasicMoments)
+{
+    LatencyRecorder r;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        r.add(v);
+    EXPECT_DOUBLE_EQ(r.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(r.min(), 1.0);
+    EXPECT_DOUBLE_EQ(r.max(), 4.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(r.percentile(100), 4.0);
+    EXPECT_DOUBLE_EQ(r.percentile(50), 2.5);
+}
+
+TEST(LatencyRecorderTest, PercentileInterpolates)
+{
+    LatencyRecorder r;
+    r.add(0.0);
+    r.add(10.0);
+    EXPECT_DOUBLE_EQ(r.percentile(25), 2.5);
+    EXPECT_DOUBLE_EQ(r.percentile(99), 9.9);
+}
+
+TEST(LatencyRecorderTest, PercentileMonotone)
+{
+    LatencyRecorder r;
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i)
+        r.add(rng.uniform(0.0, 100.0));
+    double prev = 0.0;
+    for (double p = 0; p <= 100; p += 1.0) {
+        const double v = r.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(LatencyRecorderTest, SummaryConsistent)
+{
+    LatencyRecorder r;
+    for (int i = 1; i <= 100; ++i)
+        r.add(static_cast<double>(i));
+    const auto s = r.summary();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.avg, 50.5);
+    EXPECT_DOUBLE_EQ(s.p99, r.percentile(99));
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_LE(s.p90, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(LatencyRecorderTest, InterleavedAddAndQuery)
+{
+    LatencyRecorder r;
+    r.add(5.0);
+    EXPECT_DOUBLE_EQ(r.percentile(50), 5.0);
+    r.add(1.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0), 1.0);
+    r.clear();
+    EXPECT_EQ(r.count(), 0u);
+}
+
+TEST(RunningStatTest, MatchesClosedForm)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+    EXPECT_NEAR(s.cv(), 0.4, 1e-12);
+}
+
+TEST(FormatSecondsTest, PicksUnits)
+{
+    EXPECT_EQ(formatSeconds(2.5), "2.500s");
+    EXPECT_EQ(formatSeconds(0.0421), "42.1ms");
+}
+
+} // namespace
+} // namespace spotserve::sim
