@@ -17,6 +17,7 @@ ReparallelizationSystem::ReparallelizationSystem(
       controller_(spec, params, seq, cost::ConfigSpaceOptions{},
                   options.controller)
 {
+    setContinuousBatching(options_.continuousBatching);
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
 }

@@ -30,6 +30,9 @@ struct ReparallelizationOptions
     /** Workload monitor period. */
     double workloadCheckInterval = 30.0;
 
+    /** Iteration-level batching (same engine setting as SpotServe). */
+    bool continuousBatching = true;
+
     core::ControllerOptions controller{};
 };
 

@@ -19,6 +19,7 @@ ReroutingSystem::ReroutingSystem(sim::Simulation &simulation,
       controller_(spec, params, seq, cost::ConfigSpaceOptions{},
                   options.controller)
 {
+    setContinuousBatching(options_.continuousBatching);
 }
 
 std::string

@@ -31,6 +31,9 @@ struct ReroutingOptions
     /** Expected workload rate used to pre-define (P, M, B). */
     double designArrivalRate = 0.0;
 
+    /** Iteration-level batching (same engine setting as SpotServe). */
+    bool continuousBatching = true;
+
     core::ControllerOptions controller{};
 };
 

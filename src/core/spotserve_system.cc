@@ -29,6 +29,7 @@ SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
                                   options.enableArranger}),
       planner_(spec, params), arranger_(latency_)
 {
+    setContinuousBatching(options_.continuousBatching);
     // Periodic workload monitor (overload and scale-down detection, §3.2).
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
@@ -371,10 +372,14 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
                 continue;
             par::ParallelConfig c = dep.config;
             c.batch = static_cast<int>(p->batch().size());
-            committed_work = std::max(
-                committed_work,
-                arranger_.recomputeTime(c, p->batch().front().request.inputLen,
-                                        p->batch().front().committedTokens));
+            // Continuous batching: progress differs per request, so the
+            // batch is worth its most-progressed member's recompute time.
+            for (const auto &r : p->batch()) {
+                committed_work = std::max(
+                    committed_work,
+                    arranger_.recomputeTime(c, r.request.inputLen,
+                                            r.committedTokens));
+            }
         }
     }
     pm.migrateCache = options_.enableArranger &&
@@ -431,11 +436,20 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
         if (pending_ && remaining_grace > 0.0) {
             par::ParallelConfig c = dep.config;
             c.batch = static_cast<int>(p->batch().size());
-            const auto &front = p->batch().front();
+            // Mixed-progress batch: time iterations at the longest
+            // context (slowest, conservative), but budget them by the
+            // largest remaining output — early finishers leave the batch
+            // individually, so the drain may keep decoding for the rest.
+            int max_ctx = 0;
+            int max_remaining = 0;
+            for (const auto &r : p->batch()) {
+                max_ctx = std::max(max_ctx, r.request.inputLen +
+                                                r.committedTokens + 1);
+                max_remaining = std::max(
+                    max_remaining, r.request.outputLen - r.committedTokens);
+            }
             const Arrangement a = arranger_.arrangeForPreemption(
-                c, front.request.inputLen + front.committedTokens + 1,
-                front.request.outputLen - front.committedTokens,
-                committed_work, remaining_grace,
+                c, max_ctx, max_remaining, committed_work, remaining_grace,
                 pending_->plan.totalDuration);
             iters = a.iterations;
         }
@@ -531,20 +545,35 @@ SpotServeSystem::startMigration()
                 continue;
             consumed[od] = true;
             auto &batch = batches[od];
-            if (batch.empty() || batch.front().committedTokens == 0) {
-                // Nothing recoverable (interrupted during prefill).
-                restartAndRequeue(std::move(batch));
-                continue;
-            }
-            if (static_cast<int>(batch.size()) > pm.target.batch) {
+            // Continuous batching drains mixed-progress batches: recover
+            // each request's committed tokens individually.  Requests
+            // interrupted during prefill (no committed token) have no
+            // cache worth moving and recompute from the queue.
+            std::vector<engine::ActiveRequest> recovered;
+            std::vector<engine::ActiveRequest> lost;
+            for (auto &r : batch)
+                (r.committedTokens > 0 ? recovered : lost)
+                    .push_back(std::move(r));
+            batch.clear();
+            restartAndRequeue(std::move(lost));
+            if (static_cast<int>(recovered.size()) > pm.target.batch) {
                 // The new configuration holds fewer concurrent requests:
-                // displaced ones recompute (§3.3).
+                // keep the most-progressed cache contexts, displaced ones
+                // recompute (§3.3).
+                std::stable_sort(recovered.begin(), recovered.end(),
+                                 [](const engine::ActiveRequest &a,
+                                    const engine::ActiveRequest &b) {
+                                     return a.committedTokens >
+                                            b.committedTokens;
+                                 });
                 std::vector<engine::ActiveRequest> displaced(
-                    batch.begin() + pm.target.batch, batch.end());
-                batch.resize(pm.target.batch);
+                    std::make_move_iterator(recovered.begin() +
+                                            pm.target.batch),
+                    std::make_move_iterator(recovered.end()));
+                recovered.resize(pm.target.batch);
                 restartAndRequeue(std::move(displaced));
             }
-            pm.inherited[d] = std::move(batch);
+            pm.inherited[d] = std::move(recovered);
         }
     }
     for (std::size_t od = 0; od < batches.size(); ++od) {

@@ -49,6 +49,14 @@ struct SpotServeOptions
     bool enableArranger = true;
 
     /**
+     * Iteration-level (continuous) batching: admit queued requests into
+     * live batches at decode-iteration boundaries instead of waiting for
+     * a whole batch to run to completion.  Disable for the rigid
+     * FasterTransformer-style batching the paper inherits.
+     */
+    bool continuousBatching = true;
+
+    /**
      * Expected workload rate used to size the very first deployment (the
      * arrival-rate estimator has no history at t=0); subsequent decisions
      * use max(estimate, designArrivalRate) only while no deployment

@@ -115,6 +115,30 @@ LatencyModel::prefillTime(const par::ParallelConfig &config,
 }
 
 double
+LatencyModel::mixedIterTime(const par::ParallelConfig &config,
+                            int prefill_batch, int input_len,
+                            int decode_batch, int ctx_len) const
+{
+    if (prefill_batch <= 0 && decode_batch <= 0)
+        throw std::invalid_argument("mixedIterTime: empty iteration");
+    // The two phases contend for the same GPUs, so their costs add: the
+    // compute-bound prefill pass for the newcomers runs alongside (and
+    // serialises with) the memory-bound decode step of the incumbents.
+    double total = 0.0;
+    if (prefill_batch > 0) {
+        par::ParallelConfig c = config;
+        c.batch = prefill_batch;
+        total += prefillTime(c, input_len);
+    }
+    if (decode_batch > 0) {
+        par::ParallelConfig c = config;
+        c.batch = decode_batch;
+        total += decodeIterTime(c, ctx_len);
+    }
+    return total;
+}
+
+double
 LatencyModel::execLatency(const par::ParallelConfig &config,
                           const SeqSpec &seq) const
 {

@@ -61,6 +61,17 @@ class LatencyModel
                        int input_len) const;
 
     /**
+     * Latency of one continuous-batching iteration that mixes the prefill
+     * of @p prefill_batch newly admitted requests (longest input
+     * @p input_len) with one decode step for @p decode_batch incumbent
+     * requests (longest context @p ctx_len).  Either side may be empty;
+     * with a single-phase batch this reduces exactly to prefillTime() or
+     * decodeIterTime() at the corresponding batch size.
+     */
+    double mixedIterTime(const par::ParallelConfig &config, int prefill_batch,
+                         int input_len, int decode_batch, int ctx_len) const;
+
+    /**
      * End-to-end execution latency l_exe(S_out | S_in) for one batch:
      * prefill plus output_len decode iterations with growing context.
      */

@@ -24,6 +24,14 @@ struct ActiveRequest
     /** Output tokens generated and committed (KV cached). */
     int committedTokens = 0;
 
+    /**
+     * Prefill completed on the pipeline currently running the request.
+     * Engine-internal: not preserved across migration — a request handed
+     * back with committedTokens == 0 redoes its prefill, while committed
+     * tokens imply a live KV cache and therefore a completed prefill.
+     */
+    bool prefilled = false;
+
     /** Times the request was restarted from scratch (diagnostics). */
     int restarts = 0;
 
@@ -40,6 +48,7 @@ struct ActiveRequest
     void restart()
     {
         committedTokens = 0;
+        prefilled = false;
         ++restarts;
     }
 };

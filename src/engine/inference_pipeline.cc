@@ -1,5 +1,6 @@
 #include "engine/inference_pipeline.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -50,30 +51,25 @@ InferencePipeline::startBatch(std::vector<ActiveRequest> batch)
     if (static_cast<int>(batch.size()) > config_.batch)
         throw std::invalid_argument(
             "InferencePipeline::startBatch: batch larger than B");
-    const int progress = batch.front().committedTokens;
     for (const auto &r : batch) {
-        if (r.committedTokens != progress)
-            throw std::invalid_argument(
-                "InferencePipeline::startBatch: non-uniform progress");
         if (r.done())
             throw std::invalid_argument(
                 "InferencePipeline::startBatch: already-finished request");
     }
 
     batch_ = std::move(batch);
-    if (progress == 0) {
-        // Fresh batch: run the initial phase over the input tokens.
-        phase_ = PipelinePhase::Prefill;
-        scheduleBoundary(
-            latency_.prefillTime(execConfig(), batch_.front().request.inputLen));
-    } else {
-        // Recovered batch: the KV cache of the committed tokens survived
-        // migration, resume decoding directly (stateful recovery, §4).
-        phase_ = PipelinePhase::Decode;
-        scheduleBoundary(
-            latency_.decodeIterTime(execConfig(),
-                                    batch_.front().nextContextLen()));
-    }
+    // Committed tokens imply the KV cache of the prior tokens survived
+    // (stateful recovery, §4): such requests resume decoding directly;
+    // the rest run their prefill first.
+    for (auto &r : batch_)
+        r.prefilled = r.committedTokens > 0;
+    scheduleStep();
+}
+
+int
+InferencePipeline::freeSlots() const
+{
+    return config_.batch - static_cast<int>(batch_.size());
 }
 
 void
@@ -122,12 +118,30 @@ InferencePipeline::executing() const
     return phase_ == PipelinePhase::Prefill || phase_ == PipelinePhase::Decode;
 }
 
-par::ParallelConfig
-InferencePipeline::execConfig() const
+void
+InferencePipeline::scheduleStep()
 {
-    par::ParallelConfig c = config_;
-    c.batch = static_cast<int>(batch_.size());
-    return c;
+    int prefillers = 0;
+    int decoders = 0;
+    int max_input = 0;
+    int max_ctx = 0;
+    for (const auto &r : batch_) {
+        if (r.prefilled) {
+            ++decoders;
+            max_ctx = std::max(max_ctx, r.nextContextLen());
+        } else if (!haltPending_) {
+            // While draining, requests still awaiting prefill are frozen:
+            // their prefill could not commit a token before the halt, so
+            // spending arranged grace time on it would only delay the
+            // drain (they requeue and recompute instead).
+            ++prefillers;
+            max_input = std::max(max_input, r.request.inputLen);
+        }
+    }
+    stepRanPrefill_ = prefillers > 0;
+    phase_ = prefillers > 0 ? PipelinePhase::Prefill : PipelinePhase::Decode;
+    scheduleBoundary(latency_.mixedIterTime(config_, prefillers, max_input,
+                                            decoders, max_ctx));
 }
 
 void
@@ -141,59 +155,92 @@ InferencePipeline::onBoundary()
 {
     pendingEvent_ = sim::kInvalidEventId;
 
-    if (phase_ == PipelinePhase::Prefill) {
-        // Prefill commits no output token; decoding starts next.
-        phase_ = PipelinePhase::Decode;
-    } else {
-        // One decode iteration: every request commits one token.
-        ++itersExecuted_;
-        for (auto &r : batch_)
+    // Requests already prefilled when the elapsed step began were
+    // decoding: each commits one token.  The rest finished their prefill
+    // (which commits nothing) and decode from the next step on.
+    int decoded = 0;
+    for (auto &r : batch_) {
+        if (r.prefilled) {
             ++r.committedTokens;
-        tokensCommitted_ += static_cast<long>(batch_.size());
-
-        // Complete finished requests (uniform lengths finish together but
-        // handle the general case).
-        std::vector<ActiveRequest> still_running;
-        still_running.reserve(batch_.size());
-        for (auto &r : batch_) {
-            if (r.done()) {
-                if (callbacks_.onRequestComplete)
-                    callbacks_.onRequestComplete(r);
-            } else {
-                still_running.push_back(r);
-            }
-        }
-        batch_ = std::move(still_running);
-
-        if (batch_.empty()) {
-            phase_ = PipelinePhase::Idle;
-            if (haltPending_) {
-                enterHalted();
-            } else if (callbacks_.onIdle) {
-                callbacks_.onIdle(*this);
-            }
-            return;
-        }
-
-        if (haltPending_) {
-            if (allowedIters_ <= 0) {
-                enterHalted();
-                return;
-            }
-            --allowedIters_;
+            ++decoded;
+        } else if (stepRanPrefill_) {
+            r.prefilled = true;
         }
     }
+    if (decoded > 0) {
+        ++itersExecuted_;
+        tokensCommitted_ += decoded;
+    }
 
-    if (haltPending_ && phase_ == PipelinePhase::Decode &&
-        allowedIters_ <= 0 && batch_.front().committedTokens == 0) {
-        // Halt arranged during prefill with no decode budget: stop here,
-        // before the first decode iteration.
-        enterHalted();
+    // Requests leave the batch individually on completion.
+    std::vector<ActiveRequest> still_running;
+    still_running.reserve(batch_.size());
+    for (auto &r : batch_) {
+        if (r.done()) {
+            if (callbacks_.onRequestComplete)
+                callbacks_.onRequestComplete(r);
+        } else {
+            still_running.push_back(r);
+        }
+    }
+    batch_ = std::move(still_running);
+
+    if (haltPending_) {
+        // Draining: no admission; spend the arranged decode budget, then
+        // halt with whatever mixed-progress batch remains.
+        if (batch_.empty() || allowedIters_ <= 0) {
+            enterHalted();
+            return;
+        }
+        // Only prefilled requests can commit tokens before the halt; if
+        // none remain (frozen newcomers only), drain immediately.
+        const bool any_decoder =
+            std::any_of(batch_.begin(), batch_.end(),
+                        [](const ActiveRequest &r) { return r.prefilled; });
+        if (!any_decoder) {
+            enterHalted();
+            return;
+        }
+        if (decoded > 0)
+            --allowedIters_;
+        scheduleStep();
         return;
     }
 
-    scheduleBoundary(
-        latency_.decodeIterTime(execConfig(), batch_.front().nextContextLen()));
+    // Iteration-level admission into the freed slots.
+    admitNewWork();
+
+    if (batch_.empty()) {
+        phase_ = PipelinePhase::Idle;
+        if (callbacks_.onIdle)
+            callbacks_.onIdle(*this);
+        return;
+    }
+    scheduleStep();
+}
+
+void
+InferencePipeline::admitNewWork()
+{
+    if (!callbacks_.onAdmit)
+        return;
+    const int free = freeSlots();
+    if (free <= 0)
+        return;
+    auto admitted = callbacks_.onAdmit(*this, free);
+    if (admitted.empty())
+        return;
+    if (static_cast<int>(admitted.size()) > free)
+        throw std::logic_error(
+            "InferencePipeline::onAdmit returned more than the free slots");
+    for (auto &r : admitted) {
+        if (r.done())
+            throw std::invalid_argument(
+                "InferencePipeline: admitted already-finished request");
+        r.prefilled = r.committedTokens > 0;
+        batch_.push_back(std::move(r));
+        ++admittedMidBatch_;
+    }
 }
 
 void

@@ -2,11 +2,16 @@
  * @file
  * Simulated distributed inference pipeline (one data-parallel replica).
  *
- * Executes batches at iteration granularity: a prefill phase followed by
- * one event per incremental-decoding iteration, with durations taken from
- * the analytical LatencyModel.  Supports the interruption arranger's
- * just-in-time halting (run at most S_t more iterations, then drain) and
- * immediate suspension, both preserving committed token progress (§4.1).
+ * Executes batches at iteration granularity with continuous (iteration-
+ * level) batching: at every decode-iteration boundary, requests that
+ * finished all their output tokens leave the batch individually, and new
+ * requests are admitted into the free slots through the onAdmit callback
+ * (ORCA-style).  Newly admitted requests run their prefill alongside the
+ * incumbents' decode step; durations come from the analytical
+ * LatencyModel.  Supports the interruption arranger's just-in-time
+ * halting (run at most S_t more iterations, then drain) and immediate
+ * suspension, both preserving committed token progress (§4.1) — a drained
+ * batch may therefore carry mixed per-request progress.
  */
 
 #ifndef SPOTSERVE_ENGINE_INFERENCE_PIPELINE_H
@@ -27,7 +32,7 @@ namespace engine {
 enum class PipelinePhase
 {
     Idle,    ///< No batch loaded.
-    Prefill, ///< Initial phase over the input tokens.
+    Prefill, ///< At least one request of the running step is in prefill.
     Decode,  ///< Incremental decoding, one token per iteration.
     Halted,  ///< Drained by the arranger; batch retained, not executing.
 };
@@ -52,6 +57,16 @@ class InferencePipeline
         std::function<void(InferencePipeline &)> onIdle;
         /** haltAfter() drained; the pipeline is Halted with its batch. */
         std::function<void(InferencePipeline &)> onHalted;
+        /**
+         * Iteration-level admission: called at every iteration boundary
+         * with the number of free batch slots; the returned requests (at
+         * most @p free_slots, none finished) join the live batch, entering
+         * prefill unless they carry committed progress.  Leave unset for
+         * rigid FasterTransformer-style run-to-completion batching.
+         */
+        std::function<std::vector<ActiveRequest>(InferencePipeline &,
+                                                 int free_slots)>
+            onAdmit;
     };
 
     InferencePipeline(sim::Simulation &simulation,
@@ -65,10 +80,10 @@ class InferencePipeline
     InferencePipeline &operator=(const InferencePipeline &) = delete;
 
     /**
-     * Load and start a batch.  All requests must share the same committed
-     * progress (FasterTransformer-style batch decoding); a batch with
-     * committed progress skips prefill and resumes decoding from its
-     * cached state (stateful recovery).
+     * Load and start a batch.  Requests may carry mixed committed
+     * progress: those with committed tokens resume decoding from their
+     * cached state (stateful recovery) while the rest run their prefill
+     * first.
      * @pre phase() == Idle and batch size <= config.batch.
      */
     void startBatch(std::vector<ActiveRequest> batch);
@@ -101,6 +116,8 @@ class InferencePipeline
     bool haltPending() const { return haltPending_; }
 
     const std::vector<ActiveRequest> &batch() const { return batch_; }
+    /** Free batch slots (config batch size minus live requests). */
+    int freeSlots() const;
     int index() const { return index_; }
     const par::ParallelConfig &config() const { return config_; }
 
@@ -108,12 +125,16 @@ class InferencePipeline
     long iterationsExecuted() const { return itersExecuted_; }
     /** Output tokens committed over this pipeline's lifetime. */
     long tokensCommitted() const { return tokensCommitted_; }
+    /** Requests admitted at iteration boundaries (continuous batching). */
+    long admittedMidBatch() const { return admittedMidBatch_; }
 
   private:
-    /** Batch-size-adjusted config for the latency model. */
-    par::ParallelConfig execConfig() const;
+    /** Size, cost and schedule the next iteration over the live batch. */
+    void scheduleStep();
     void scheduleBoundary(double delay);
     void onBoundary();
+    /** Pull new work into the free slots through onAdmit. */
+    void admitNewWork();
     void enterHalted();
 
     sim::Simulation &sim_;
@@ -128,9 +149,12 @@ class InferencePipeline
 
     bool haltPending_ = false;
     long allowedIters_ = 0;
+    /** The in-flight step includes prefill work (drain steps never do). */
+    bool stepRanPrefill_ = false;
 
     long itersExecuted_ = 0;
     long tokensCommitted_ = 0;
+    long admittedMidBatch_ = 0;
 };
 
 } // namespace engine

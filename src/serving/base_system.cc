@@ -122,6 +122,11 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
     cb.onHalted = [this](engine::InferencePipeline &p) {
         onPipelineHalted(p);
     };
+    if (continuousBatching_) {
+        cb.onAdmit = [this](engine::InferencePipeline &p, int free_slots) {
+            return admitAtBoundary(p, free_slots);
+        };
+    }
     return std::make_unique<engine::InferencePipeline>(sim_, latency_, config,
                                                        index, std::move(cb));
 }
@@ -331,6 +336,12 @@ BaseServingSystem::onPipelineIdle(engine::InferencePipeline &pipeline)
 void
 BaseServingSystem::onPipelineHalted(engine::InferencePipeline &)
 {
+}
+
+std::vector<engine::ActiveRequest>
+BaseServingSystem::admitAtBoundary(engine::InferencePipeline &, int free_slots)
+{
+    return requests_.admitAtBoundary(free_slots);
 }
 
 } // namespace serving

@@ -140,6 +140,24 @@ class BaseServingSystem : public ServingSystem
     /** Hook: request arrivals (default: submit + dispatch). */
     virtual void handleArrival(const wl::Request &request);
 
+    /**
+     * Hook: iteration-level admission (continuous batching).  Called by an
+     * executing pipeline at every iteration boundary with its free slot
+     * count; the default packs the batch back up to capacity from the
+     * FIFO queue.  Never called once a halt is pending on the pipeline.
+     */
+    virtual std::vector<engine::ActiveRequest>
+    admitAtBoundary(engine::InferencePipeline &pipeline, int free_slots);
+
+    /**
+     * Disable to fall back to rigid run-to-completion batching (batches
+     * only form when a pipeline is idle); used by benches to quantify the
+     * continuous-batching win.  Takes effect for pipelines built after
+     * the call.
+     */
+    void setContinuousBatching(bool enabled) { continuousBatching_ = enabled; }
+    bool continuousBatching() const { return continuousBatching_; }
+
     /** Build a pipeline wired to this system's callbacks. */
     std::unique_ptr<engine::InferencePipeline>
     makePipeline(const par::ParallelConfig &config, int index);
@@ -156,6 +174,7 @@ class BaseServingSystem : public ServingSystem
   private:
     std::optional<Deployment> deployment_;
     std::vector<ConfigChange> history_;
+    bool continuousBatching_ = true;
 
     /** What each GPU's context daemon holds (survives clearDeployment). */
     std::unordered_map<par::GpuId, engine::GpuContext> holdings_;

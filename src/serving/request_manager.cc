@@ -54,6 +54,14 @@ RequestManager::nextBatch(int max_size)
     return batch;
 }
 
+std::vector<engine::ActiveRequest>
+RequestManager::admitAtBoundary(int free_slots)
+{
+    auto admitted = nextBatch(free_slots);
+    midBatchAdmissions_ += static_cast<long>(admitted.size());
+    return admitted;
+}
+
 double
 RequestManager::estimatedArrivalRate() const
 {

@@ -62,6 +62,19 @@ class RequestManager
      */
     std::vector<engine::ActiveRequest> nextBatch(int max_size);
 
+    /**
+     * Iteration-level scheduler (continuous batching): pack a live batch
+     * back up to capacity at a decode-iteration boundary by popping up to
+     * @p free_slots pending requests.  FIFO fairness holds across
+     * requeues and interruptions because the queue is kept in arrival
+     * order.  Counted separately from idle-pipeline batch formation so
+     * benches and tests can observe mid-batch admission.
+     */
+    std::vector<engine::ActiveRequest> admitAtBoundary(int free_slots);
+
+    /** Requests admitted into live batches at iteration boundaries. */
+    long midBatchAdmissions() const { return midBatchAdmissions_; }
+
     bool pendingEmpty() const { return pending_.empty(); }
     std::size_t pendingCount() const { return pending_.size(); }
 
@@ -111,6 +124,7 @@ class RequestManager
     sim::LatencyRecorder latencies_;
     std::vector<CompletionRecord> completions_;
     long arrived_ = 0;
+    long midBatchAdmissions_ = 0;
     double tokensGenerated_ = 0.0;
 };
 

@@ -169,8 +169,8 @@ TEST(InferencePipelineTest, RefusesBadBatches)
     for (int i = 0; i < 9; ++i)
         too_big[i].request.id = i;
     EXPECT_THROW(h.pipeline->startBatch(too_big), std::invalid_argument);
-    // Non-uniform progress.
-    EXPECT_THROW(h.pipeline->startBatch({makeRequest(1, 0), makeRequest(2, 5)}),
+    // Already-finished request.
+    EXPECT_THROW(h.pipeline->startBatch({makeRequest(1, 128)}),
                  std::invalid_argument);
     // Busy pipeline refuses another batch.
     h.pipeline->startBatch({makeRequest(1)});
