@@ -127,6 +127,29 @@ main()
                         r_rigid.latencies.mean() /
                             results[0].latencies.mean());
         }
+        // Admission ablation: fixed-B admission (trust the batch cap B)
+        // vs the default KV-token-budget admission on the same trace and
+        // workload.  The budget mode must be no worse on P99 while being
+        // the only one that provably never exceeds the memory model's
+        // per-replica KV budget (tests/memory_admission_test.cc).
+        {
+            core::SpotServeOptions fixedb;
+            fixedb.designArrivalRate = 0.55;
+            fixedb.kvBudgetAdmission = false;
+            const auto r_fixedb = serving::runExperiment(
+                spec, params, trace, workload,
+                presets::spotServeFactory(spec, params, seq, fixedb));
+            std::printf("  %-18s avg %7.2f  P99 %7.2f  peak KV %ld tok  "
+                        "(fixed-B admission ablation; P99 ratio "
+                        "fixed-B/KV-budget %.2fx, KV-budget peak KV "
+                        "%ld tok)\n",
+                        "SpotServe-fixedB", r_fixedb.latencies.mean(),
+                        r_fixedb.latencies.percentile(99),
+                        r_fixedb.peakKvReservedTokens,
+                        r_fixedb.latencies.percentile(99) /
+                            results[0].latencies.percentile(99),
+                        results[0].peakKvReservedTokens);
+        }
         const double spot_p99 = results[0].latencies.percentile(99);
         std::printf("  SpotServe improvement: P99 %.2fx vs Repar, "
                     "%.2fx vs Rerouting\n",

@@ -18,6 +18,8 @@ ReparallelizationSystem::ReparallelizationSystem(
                   options.controller)
 {
     setContinuousBatching(options_.continuousBatching);
+    setKvBudgetAdmission(options_.kvBudgetAdmission);
+    setPrefillChunkTokens(options_.prefillChunkTokens);
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
 }

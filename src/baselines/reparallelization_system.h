@@ -33,6 +33,12 @@ struct ReparallelizationOptions
     /** Iteration-level batching (same engine setting as SpotServe). */
     bool continuousBatching = true;
 
+    /** KV-token-budget admission (same engine setting as SpotServe). */
+    bool kvBudgetAdmission = true;
+
+    /** Chunked-prefill chunk size in tokens (0 = unchunked). */
+    int prefillChunkTokens = 0;
+
     core::ControllerOptions controller{};
 };
 

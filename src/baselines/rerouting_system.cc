@@ -20,6 +20,8 @@ ReroutingSystem::ReroutingSystem(sim::Simulation &simulation,
                   options.controller)
 {
     setContinuousBatching(options_.continuousBatching);
+    setKvBudgetAdmission(options_.kvBudgetAdmission);
+    setPrefillChunkTokens(options_.prefillChunkTokens);
 }
 
 std::string
@@ -195,6 +197,13 @@ ReroutingSystem::assemble()
 void
 ReroutingSystem::dispatchSlots()
 {
+    if (!fixed_)
+        return;
+    // Same policy as BaseServingSystem::dispatchAll: a head that exceeds
+    // a whole (fixed-configuration) replica's budget can never be served.
+    par::ParallelConfig pipe_cfg = *fixed_;
+    pipe_cfg.dp = 1;
+    rejectUnservableHeads(replicaKvBudget(pipe_cfg));
     for (auto &s : slots_) {
         if (!s->online || !s->pipeline || !s->pipeline->idle() ||
             s->pipeline->haltPending()) {
@@ -202,7 +211,8 @@ ReroutingSystem::dispatchSlots()
         }
         if (requests_.pendingEmpty())
             return;
-        auto batch = requests_.nextBatch(fixed_->batch);
+        auto batch = requests_.nextBatch(fixed_->batch,
+                                         s->pipeline->freeKvTokens());
         if (batch.empty())
             return;
         s->pipeline->startBatch(std::move(batch));

@@ -30,6 +30,12 @@ SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
       planner_(spec, params), arranger_(latency_)
 {
     setContinuousBatching(options_.continuousBatching);
+    setKvBudgetAdmission(options_.kvBudgetAdmission);
+    setPrefillChunkTokens(options_.prefillChunkTokens);
+    // The KV budget must deduct the same migration reserve the
+    // feasibility check assumed (naive double-buffering when the
+    // memory-optimised planner is ablated).
+    setMemOptReserve(options_.enableMigrationPlanner);
     // Periodic workload monitor (overload and scale-down detection, §3.2).
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
@@ -321,10 +327,7 @@ SpotServeSystem::pipelineCacheTokens() const
     for (std::size_t d = 0; d < dep.pipelines.size(); ++d) {
         if (!dep.pipelines[d])
             continue;
-        for (const auto &r : dep.pipelines[d]->batch()) {
-            if (r.committedTokens > 0)
-                tokens[d] += r.request.inputLen + r.committedTokens;
-        }
+        tokens[d] = static_cast<double>(dep.pipelines[d]->kvTokensHeld());
     }
     return tokens;
 }
@@ -546,31 +549,47 @@ SpotServeSystem::startMigration()
             consumed[od] = true;
             auto &batch = batches[od];
             // Continuous batching drains mixed-progress batches: recover
-            // each request's committed tokens individually.  Requests
-            // interrupted during prefill (no committed token) have no
-            // cache worth moving and recompute from the queue.
+            // each request's committed KV individually — decode tokens
+            // and prefill chunks alike.  Requests with any committed KV
+            // ride in the inherited batch of the replica that receives
+            // their cache, so the chunk KV stays accounted against that
+            // replica's budget from the moment it activates (a
+            // mid-prefill request resumes from its last chunk there).
+            // Requests that never committed anything recompute from the
+            // queue.
             std::vector<engine::ActiveRequest> recovered;
             std::vector<engine::ActiveRequest> lost;
             for (auto &r : batch)
-                (r.committedTokens > 0 ? recovered : lost)
+                (r.kvTokensHeld() > 0 ? recovered : lost)
                     .push_back(std::move(r));
             batch.clear();
             restartAndRequeue(std::move(lost));
-            if (static_cast<int>(recovered.size()) > pm.target.batch) {
-                // The new configuration holds fewer concurrent requests:
-                // keep the most-progressed cache contexts, displaced ones
-                // recompute (§3.3).
-                std::stable_sort(recovered.begin(), recovered.end(),
-                                 [](const engine::ActiveRequest &a,
-                                    const engine::ActiveRequest &b) {
-                                     return a.committedTokens >
-                                            b.committedTokens;
-                                 });
+            // The new configuration may hold fewer concurrent requests
+            // (batch slots) or less KV cache (token budget): keep the
+            // most-progressed cache contexts, displaced ones recompute
+            // (§3.3).
+            std::stable_sort(recovered.begin(), recovered.end(),
+                             [](const engine::ActiveRequest &a,
+                                const engine::ActiveRequest &b) {
+                                 return a.kvTokensHeld() > b.kvTokensHeld();
+                             });
+            const long budget = replicaKvBudget(pm.target);
+            long reserved = 0;
+            std::size_t keep = 0;
+            while (keep < recovered.size() &&
+                   static_cast<int>(keep) < pm.target.batch) {
+                const long peak = recovered[keep].kvPeakTokens();
+                if (budget != engine::kUnboundedKvTokens &&
+                    reserved + peak > budget)
+                    break;
+                reserved += peak;
+                ++keep;
+            }
+            if (keep < recovered.size()) {
                 std::vector<engine::ActiveRequest> displaced(
-                    std::make_move_iterator(recovered.begin() +
-                                            pm.target.batch),
+                    std::make_move_iterator(recovered.begin() + keep),
                     std::make_move_iterator(recovered.end()));
-                recovered.resize(pm.target.batch);
+                recovered.resize(keep);
                 restartAndRequeue(std::move(displaced));
             }
             pm.inherited[d] = std::move(recovered);

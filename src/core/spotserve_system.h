@@ -57,6 +57,23 @@ struct SpotServeOptions
     bool continuousBatching = true;
 
     /**
+     * Memory-aware admission: enforce the MemoryModel's per-replica
+     * KV-cache token budget at batch formation and at every iteration
+     * boundary, instead of trusting the fixed batch cap B to imply the
+     * footprint the optimizer planned for.  Disable for the fixed-B
+     * ablation.
+     */
+    bool kvBudgetAdmission = true;
+
+    /**
+     * Chunked prefill: cap one request's prefill work per iteration at
+     * this many input tokens (0 = the whole input in one iteration),
+     * bounding the decode stall a long-input newcomer can inflict on the
+     * in-flight batch.
+     */
+    int prefillChunkTokens = 0;
+
+    /**
      * Expected workload rate used to size the very first deployment (the
      * arrival-rate estimator has no history at t=0); subsequent decisions
      * use max(estimate, designArrivalRate) only while no deployment

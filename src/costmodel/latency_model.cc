@@ -55,6 +55,16 @@ LatencyModel::p2pTime(const par::ParallelConfig &config, double bytes) const
 }
 
 double
+LatencyModel::kvReadTime(const par::ParallelConfig &config, int batch,
+                         int ctx_len) const
+{
+    const double batch_derate = 1.0 + params_.batchMemPenalty * (batch - 1);
+    const double eff_bw =
+        params_.gpu.memBandwidth * memEfficiency(config.tp) / batch_derate;
+    return batch * spec_.kvBytesPerToken() * ctx_len / (config.tp * eff_bw);
+}
+
+double
 LatencyModel::decodeIterTime(const par::ParallelConfig &config,
                              int ctx_len) const
 {
@@ -74,8 +84,7 @@ LatencyModel::decodeIterTime(const par::ParallelConfig &config,
 
     // Attention reads the KV cache of every context token for every
     // request in the batch.
-    const double kv_read = config.batch * spec_.kvBytesPerToken() * ctx_len /
-                           (tp * eff_bw);
+    const double kv_read = kvReadTime(config, config.batch, ctx_len);
 
     // Two all-reduces per transformer layer on the activations.
     const double act_bytes =
@@ -119,6 +128,16 @@ LatencyModel::mixedIterTime(const par::ParallelConfig &config,
                             int prefill_batch, int input_len,
                             int decode_batch, int ctx_len) const
 {
+    return mixedIterTime(config, prefill_batch, input_len, 0, decode_batch,
+                         ctx_len);
+}
+
+double
+LatencyModel::mixedIterTime(const par::ParallelConfig &config,
+                            int prefill_batch, int input_len,
+                            int prefill_ctx_len, int decode_batch,
+                            int ctx_len) const
+{
     if (prefill_batch <= 0 && decode_batch <= 0)
         throw std::invalid_argument("mixedIterTime: empty iteration");
     // The two phases contend for the same GPUs, so their costs add: the
@@ -129,6 +148,12 @@ LatencyModel::mixedIterTime(const par::ParallelConfig &config,
         par::ParallelConfig c = config;
         c.batch = prefill_batch;
         total += prefillTime(c, input_len);
+        if (prefill_ctx_len > 0) {
+            // A later chunk attends over the KV cache committed by the
+            // earlier chunks: memory-bound, same per-token read cost as
+            // the decode phase's cache traffic.
+            total += kvReadTime(config, prefill_batch, prefill_ctx_len);
+        }
     }
     if (decode_batch > 0) {
         par::ParallelConfig c = config;

@@ -56,6 +56,15 @@ class LatencyModel
     double decodeIterTime(const par::ParallelConfig &config,
                           int ctx_len) const;
 
+    /**
+     * Time to stream @p ctx_len KV-cache tokens for each of @p batch
+     * requests at the batch-derated effective bandwidth.  The shared
+     * cache-traffic term of decodeIterTime and the chunked-prefill
+     * committed-prefix re-read.
+     */
+    double kvReadTime(const par::ParallelConfig &config, int batch,
+                      int ctx_len) const;
+
     /** Latency of the initial (prefill) phase over @p input_len tokens. */
     double prefillTime(const par::ParallelConfig &config,
                        int input_len) const;
@@ -70,6 +79,17 @@ class LatencyModel
      */
     double mixedIterTime(const par::ParallelConfig &config, int prefill_batch,
                          int input_len, int decode_batch, int ctx_len) const;
+
+    /**
+     * Chunked-prefill variant: the prefill side processes a partial chunk
+     * of @p input_len new tokens whose attention also re-reads the KV
+     * cache of the @p prefill_ctx_len input tokens committed by earlier
+     * chunks.  With prefill_ctx_len == 0 this is exactly the unchunked
+     * overload above.
+     */
+    double mixedIterTime(const par::ParallelConfig &config, int prefill_batch,
+                         int input_len, int prefill_ctx_len, int decode_batch,
+                         int ctx_len) const;
 
     /**
      * End-to-end execution latency l_exe(S_out | S_in) for one batch:

@@ -56,6 +56,27 @@ MemoryModel::fits(const par::ParallelConfig &config, const SeqSpec &seq,
            params_.gpu.memBytes;
 }
 
+long
+MemoryModel::kvBudgetTokens(const par::ParallelConfig &config,
+                            bool mem_opt_planner) const
+{
+    // Bytes left for KV on each GPU of the replica; the replica-wide
+    // token budget scales by the P*M GPUs the cache is sharded over.
+    const double free_per_gpu =
+        params_.gpu.memBytes - weightShardBytes(config) -
+        params_.workspaceBytes -
+        migrationReserveBytes(config, mem_opt_planner);
+    if (free_per_gpu <= 0.0)
+        return 0;
+    const double tokens =
+        free_per_gpu * config.gpusPerPipeline() / spec_.kvBytesPerToken();
+    // Floor with an epsilon so a config sitting exactly on the fits()
+    // frontier keeps its full B * (S_in + S_out) tokens despite
+    // floating-point round-off (the budget must never be stricter than
+    // the fixed-B capacity of a feasible config).
+    return static_cast<long>(tokens + 1e-6);
+}
+
 int
 MemoryModel::minGpus(bool mem_opt_planner) const
 {

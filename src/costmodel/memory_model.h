@@ -53,6 +53,20 @@ class MemoryModel
               bool mem_opt_planner = true) const;
 
     /**
+     * Per-replica KV-cache token budget: the number of cached tokens one
+     * pipeline may hold across its batch before any GPU of the replica
+     * exceeds usable memory (weights + workspace + migration reserve
+     * already deducted).  This is the runtime admission budget the
+     * engine enforces at every iteration boundary; for any config with
+     * fits(config, seq), kvBudgetTokens(config) >=
+     * config.batch * (seq.inputLen + seq.outputLen), so token-budget
+     * admission is never stricter than the fixed-B capacity the
+     * optimizer planned for.  Returns 0 when even the weights do not fit.
+     */
+    long kvBudgetTokens(const par::ParallelConfig &config,
+                        bool mem_opt_planner = true) const;
+
+    /**
      * Smallest number of GPUs on which the model can serve at all
      * (minimum over feasible configs with D=1, B=1), mirroring Table 1's
      * "min #GPUs" column.  Returns 0 if nothing fits.

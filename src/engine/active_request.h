@@ -5,16 +5,24 @@
  * Stateful inference recovery (§4) commits progress at the token level:
  * committedTokens output tokens have been generated and their KV cache is
  * held by the context daemon, so a migrated request resumes from there
- * instead of recomputing.  Dropping the cache resets committedTokens to 0.
+ * instead of recomputing.  With chunked prefill the input side commits at
+ * chunk granularity too: prefillTokens input tokens have their KV cached,
+ * and a mid-prefill request resumes from the last committed chunk.
+ * Dropping the cache resets both counters to 0.
  */
 
 #ifndef SPOTSERVE_ENGINE_ACTIVE_REQUEST_H
 #define SPOTSERVE_ENGINE_ACTIVE_REQUEST_H
 
+#include <limits>
+
 #include "workload/request.h"
 
 namespace spotserve {
 namespace engine {
+
+/** "No KV budget": token budgets of this value are never binding. */
+constexpr long kUnboundedKvTokens = std::numeric_limits<long>::max();
 
 /** One in-flight request with committed decoding progress. */
 struct ActiveRequest
@@ -25,10 +33,18 @@ struct ActiveRequest
     int committedTokens = 0;
 
     /**
+     * Input tokens whose KV is computed and committed by completed
+     * prefill chunks.  Equals request.inputLen once prefill finished;
+     * strictly between 0 and inputLen only while a chunked prefill is in
+     * flight.  Preserved across migration together with the cache
+     * context (a mid-prefill request resumes from its last chunk).
+     */
+    int prefillTokens = 0;
+
+    /**
      * Prefill completed on the pipeline currently running the request.
-     * Engine-internal: not preserved across migration — a request handed
-     * back with committedTokens == 0 redoes its prefill, while committed
-     * tokens imply a live KV cache and therefore a completed prefill.
+     * Engine-internal: recomputed from prefillTokens/committedTokens
+     * whenever a batch is (re)started.
      */
     bool prefilled = false;
 
@@ -44,10 +60,28 @@ struct ActiveRequest
         return request.inputLen + committedTokens + 1;
     }
 
+    /** KV-cache tokens this request currently holds on its replica. */
+    long kvTokensHeld() const
+    {
+        return static_cast<long>(prefillTokens) + committedTokens;
+    }
+
+    /**
+     * Worst-case KV-cache tokens the request will ever hold (full input
+     * plus full output).  Token-budget admission reserves this peak so a
+     * request admitted once can always run to completion without the
+     * replica exceeding the memory model's KV budget.
+     */
+    long kvPeakTokens() const
+    {
+        return static_cast<long>(request.inputLen) + request.outputLen;
+    }
+
     /** Drop cached progress (cache context lost / discarded). */
     void restart()
     {
         committedTokens = 0;
+        prefillTokens = 0;
         prefilled = false;
         ++restarts;
     }

@@ -26,10 +26,18 @@ toString(PipelinePhase phase)
 InferencePipeline::InferencePipeline(sim::Simulation &simulation,
                                      const cost::LatencyModel &latency,
                                      const par::ParallelConfig &config,
-                                     int index, Callbacks callbacks)
+                                     int index, Callbacks callbacks,
+                                     BatchingOptions batching)
     : sim_(simulation), latency_(latency), config_(config), index_(index),
-      callbacks_(std::move(callbacks))
+      callbacks_(std::move(callbacks)), batching_(batching)
 {
+    if (batching_.kvBudgetTokens <= 0)
+        throw std::invalid_argument(
+            "InferencePipeline: KV budget must be positive "
+            "(use kUnboundedKvTokens to disable)");
+    if (batching_.prefillChunkTokens < 0)
+        throw std::invalid_argument(
+            "InferencePipeline: negative prefill chunk");
 }
 
 InferencePipeline::~InferencePipeline()
@@ -60,16 +68,72 @@ InferencePipeline::startBatch(std::vector<ActiveRequest> batch)
     batch_ = std::move(batch);
     // Committed tokens imply the KV cache of the prior tokens survived
     // (stateful recovery, §4): such requests resume decoding directly;
+    // partially-prefilled ones resume from their last committed chunk and
     // the rest run their prefill first.
     for (auto &r : batch_)
-        r.prefilled = r.committedTokens > 0;
+        normalizeProgress(r);
+    if (kvTokensReserved() > batching_.kvBudgetTokens)
+        throw std::invalid_argument(
+            "InferencePipeline::startBatch: batch exceeds the KV budget");
+    observeBoundary();
     scheduleStep();
+}
+
+void
+InferencePipeline::normalizeProgress(ActiveRequest &r)
+{
+    // Committed output tokens imply a complete, cached prefill.
+    if (r.committedTokens > 0)
+        r.prefillTokens = r.request.inputLen;
+    r.prefilled = r.prefillTokens >= r.request.inputLen;
 }
 
 int
 InferencePipeline::freeSlots() const
 {
     return config_.batch - static_cast<int>(batch_.size());
+}
+
+long
+InferencePipeline::kvTokensHeld() const
+{
+    long held = 0;
+    for (const auto &r : batch_)
+        held += r.kvTokensHeld();
+    return held;
+}
+
+long
+InferencePipeline::kvTokensReserved() const
+{
+    long reserved = 0;
+    for (const auto &r : batch_)
+        reserved += r.kvPeakTokens();
+    return reserved;
+}
+
+long
+InferencePipeline::freeKvTokens() const
+{
+    if (batching_.kvBudgetTokens == kUnboundedKvTokens)
+        return kUnboundedKvTokens;
+    return std::max(0L, batching_.kvBudgetTokens - kvTokensReserved());
+}
+
+int
+InferencePipeline::prefillChunkFor(const ActiveRequest &r) const
+{
+    const int remaining = r.request.inputLen - r.prefillTokens;
+    if (batching_.prefillChunkTokens <= 0)
+        return remaining;
+    return std::min(batching_.prefillChunkTokens, remaining);
+}
+
+void
+InferencePipeline::observeBoundary()
+{
+    if (callbacks_.onBoundary)
+        callbacks_.onBoundary(*this);
 }
 
 void
@@ -123,25 +187,28 @@ InferencePipeline::scheduleStep()
 {
     int prefillers = 0;
     int decoders = 0;
-    int max_input = 0;
+    int max_chunk = 0;
+    int max_prefix = 0;
     int max_ctx = 0;
     for (const auto &r : batch_) {
         if (r.prefilled) {
             ++decoders;
             max_ctx = std::max(max_ctx, r.nextContextLen());
         } else if (!haltPending_) {
-            // While draining, requests still awaiting prefill are frozen:
-            // their prefill could not commit a token before the halt, so
-            // spending arranged grace time on it would only delay the
-            // drain (they requeue and recompute instead).
+            // While draining, requests still awaiting (the rest of) their
+            // prefill are frozen: a prefill chunk cannot commit an output
+            // token before the halt, so spending arranged grace time on
+            // it would only delay the drain (already-committed chunks
+            // migrate with the cache; the tail resumes or recomputes).
             ++prefillers;
-            max_input = std::max(max_input, r.request.inputLen);
+            max_chunk = std::max(max_chunk, prefillChunkFor(r));
+            max_prefix = std::max(max_prefix, r.prefillTokens);
         }
     }
     stepRanPrefill_ = prefillers > 0;
     phase_ = prefillers > 0 ? PipelinePhase::Prefill : PipelinePhase::Decode;
-    scheduleBoundary(latency_.mixedIterTime(config_, prefillers, max_input,
-                                            decoders, max_ctx));
+    scheduleBoundary(latency_.mixedIterTime(config_, prefillers, max_chunk,
+                                            max_prefix, decoders, max_ctx));
 }
 
 void
@@ -156,15 +223,17 @@ InferencePipeline::onBoundary()
     pendingEvent_ = sim::kInvalidEventId;
 
     // Requests already prefilled when the elapsed step began were
-    // decoding: each commits one token.  The rest finished their prefill
-    // (which commits nothing) and decode from the next step on.
+    // decoding: each commits one token.  The rest committed one prefill
+    // chunk (which yields no output token); a request whose final chunk
+    // just landed decodes from the next step on.
     int decoded = 0;
     for (auto &r : batch_) {
         if (r.prefilled) {
             ++r.committedTokens;
             ++decoded;
         } else if (stepRanPrefill_) {
-            r.prefilled = true;
+            r.prefillTokens += prefillChunkFor(r);
+            r.prefilled = r.prefillTokens >= r.request.inputLen;
         }
     }
     if (decoded > 0) {
@@ -186,6 +255,7 @@ InferencePipeline::onBoundary()
     batch_ = std::move(still_running);
 
     if (haltPending_) {
+        observeBoundary();
         // Draining: no admission; spend the arranged decode budget, then
         // halt with whatever mixed-progress batch remains.
         if (batch_.empty() || allowedIters_ <= 0) {
@@ -209,6 +279,7 @@ InferencePipeline::onBoundary()
 
     // Iteration-level admission into the freed slots.
     admitNewWork();
+    observeBoundary();
 
     if (batch_.empty()) {
         phase_ = PipelinePhase::Idle;
@@ -237,10 +308,13 @@ InferencePipeline::admitNewWork()
         if (r.done())
             throw std::invalid_argument(
                 "InferencePipeline: admitted already-finished request");
-        r.prefilled = r.committedTokens > 0;
+        normalizeProgress(r);
         batch_.push_back(std::move(r));
         ++admittedMidBatch_;
     }
+    if (kvTokensReserved() > batching_.kvBudgetTokens)
+        throw std::logic_error(
+            "InferencePipeline::onAdmit overflowed the KV budget");
 }
 
 void

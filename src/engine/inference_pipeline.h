@@ -7,8 +7,11 @@
  * finished all their output tokens leave the batch individually, and new
  * requests are admitted into the free slots through the onAdmit callback
  * (ORCA-style).  Newly admitted requests run their prefill alongside the
- * incumbents' decode step; durations come from the analytical
- * LatencyModel.  Supports the interruption arranger's just-in-time
+ * incumbents' decode step — in bounded chunks when chunked prefill is
+ * enabled — and the pipeline enforces the per-replica KV-cache token
+ * budget the memory model promised (BatchingOptions); durations come from
+ * the analytical LatencyModel.  Supports the interruption arranger's
+ * just-in-time
  * halting (run at most S_t more iterations, then drain) and immediate
  * suspension, both preserving committed token progress (§4.1) — a drained
  * batch may therefore carry mixed per-request progress.
@@ -40,6 +43,28 @@ enum class PipelinePhase
 const char *toString(PipelinePhase phase);
 
 /**
+ * Engine-level batching knobs, shared by every serving system.
+ */
+struct BatchingOptions
+{
+    /**
+     * Per-replica KV-cache budget in tokens (MemoryModel::kvBudgetTokens).
+     * The pipeline enforces sum of kvPeakTokens() over the live batch <=
+     * budget at startBatch and at every admission.  kUnboundedKvTokens
+     * disables the check (fixed-B ablation mode).
+     */
+    long kvBudgetTokens = kUnboundedKvTokens;
+
+    /**
+     * Chunked prefill: at most this many input tokens of one request are
+     * prefilled per iteration, bounding how long a long-input newcomer
+     * can stall the incumbents' decode (Sarathi-style).  0 = the whole
+     * input prefills in a single iteration.
+     */
+    int prefillChunkTokens = 0;
+};
+
+/**
  * One inference pipeline bound to a (D-index of a) deployment.
  *
  * The pipeline does not know about instances; the serving system owns the
@@ -67,12 +92,19 @@ class InferencePipeline
         std::function<std::vector<ActiveRequest>(InferencePipeline &,
                                                  int free_slots)>
             onAdmit;
+        /**
+         * Observer fired after every iteration boundary (and batch start)
+         * with the post-boundary batch state, before the next step is
+         * scheduled.  KV-accounting invariants (tests) and peak-memory
+         * statistics hang off this.
+         */
+        std::function<void(const InferencePipeline &)> onBoundary;
     };
 
     InferencePipeline(sim::Simulation &simulation,
                       const cost::LatencyModel &latency,
                       const par::ParallelConfig &config, int index,
-                      Callbacks callbacks);
+                      Callbacks callbacks, BatchingOptions batching = {});
 
     ~InferencePipeline();
 
@@ -120,6 +152,19 @@ class InferencePipeline
     int freeSlots() const;
     int index() const { return index_; }
     const par::ParallelConfig &config() const { return config_; }
+    const BatchingOptions &batching() const { return batching_; }
+
+    /** KV tokens the live batch holds right now (committed chunks). */
+    long kvTokensHeld() const;
+    /** Worst-case KV tokens reserved by the live batch (sum of peaks). */
+    long kvTokensReserved() const;
+    /** The enforced per-replica budget (kUnboundedKvTokens = none). */
+    long kvBudgetTokens() const { return batching_.kvBudgetTokens; }
+    /**
+     * Remaining admission headroom: budget minus reserved tokens
+     * (kUnboundedKvTokens when no budget is enforced).
+     */
+    long freeKvTokens() const;
 
     /** Decode iterations executed over this pipeline's lifetime. */
     long iterationsExecuted() const { return itersExecuted_; }
@@ -136,12 +181,19 @@ class InferencePipeline
     /** Pull new work into the free slots through onAdmit. */
     void admitNewWork();
     void enterHalted();
+    /** Input tokens the next prefill iteration processes for @p r. */
+    int prefillChunkFor(const ActiveRequest &r) const;
+    /** Recompute prefilled/prefillTokens consistency on (re)entry. */
+    static void normalizeProgress(ActiveRequest &r);
+    /** Fire the onBoundary observer. */
+    void observeBoundary();
 
     sim::Simulation &sim_;
     const cost::LatencyModel &latency_;
     par::ParallelConfig config_;
     int index_;
     Callbacks callbacks_;
+    BatchingOptions batching_;
 
     PipelinePhase phase_ = PipelinePhase::Idle;
     std::vector<ActiveRequest> batch_;

@@ -16,8 +16,43 @@ BaseServingSystem::BaseServingSystem(sim::Simulation &simulation,
                                      const cost::SeqSpec &seq)
     : sim_(simulation), instances_(instances), requests_(requests),
       spec_(spec), params_(params), seq_(seq), latency_(spec, params),
-      throughput_(latency_)
+      memory_(spec, params), throughput_(latency_)
 {
+}
+
+long
+BaseServingSystem::rejectUnservableHeads(long budget)
+{
+    long rejected = 0;
+    while (budget != engine::kUnboundedKvTokens &&
+           !requests_.pendingEmpty() &&
+           requests_.pending().front().kvPeakTokens() > budget) {
+        // Even an empty replica cannot host this request: reject it
+        // rather than letting it head-block the strict-FIFO queue.
+        const wl::RequestId id = requests_.rejectHead();
+        sim::logWarn(name() + ": rejecting request " + std::to_string(id) +
+                     " (KV peak exceeds the replica budget " +
+                     std::to_string(budget) + " tokens)");
+        ++rejected;
+    }
+    return rejected;
+}
+
+long
+BaseServingSystem::replicaKvBudget(const par::ParallelConfig &config) const
+{
+    if (!kvBudgetAdmission_)
+        return engine::kUnboundedKvTokens;
+    const long budget = memory_.kvBudgetTokens(config, memOptReserve_);
+    // A deployed configuration passed MemoryModel::fits, so the budget is
+    // positive; hand-built deployments that don't fit get a loud 1-token
+    // budget (they can admit nothing) rather than a crash or an overrun.
+    if (budget <= 0) {
+        sim::logWarn("replicaKvBudget: configuration " + config.str() +
+                     " has no KV headroom; admission will starve");
+        return 1;
+    }
+    return budget;
 }
 
 void
@@ -127,8 +162,18 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
             return admitAtBoundary(p, free_slots);
         };
     }
-    return std::make_unique<engine::InferencePipeline>(sim_, latency_, config,
-                                                       index, std::move(cb));
+    cb.onBoundary = [this](const engine::InferencePipeline &p) {
+        peakKvHeldTokens_ = std::max(peakKvHeldTokens_, p.kvTokensHeld());
+        peakKvReservedTokens_ =
+            std::max(peakKvReservedTokens_, p.kvTokensReserved());
+        if (kvObserver_)
+            kvObserver_(p);
+    };
+    engine::BatchingOptions batching;
+    batching.kvBudgetTokens = replicaKvBudget(config);
+    batching.prefillChunkTokens = prefillChunkTokens_;
+    return std::make_unique<engine::InferencePipeline>(
+        sim_, latency_, config, index, std::move(cb), batching);
 }
 
 void
@@ -185,6 +230,7 @@ BaseServingSystem::dispatchAll()
 {
     if (!deployment_)
         return;
+    std::vector<engine::InferencePipeline *> ready;
     for (std::size_t d = 0; d < deployment_->pipelines.size(); ++d) {
         auto &p = deployment_->pipelines[d];
         if (!p || !p->idle() || p->haltPending())
@@ -193,12 +239,54 @@ BaseServingSystem::dispatchAll()
             deployment_->readyAt[d] > sim_.now()) {
             continue; // still finishing its progressive migration
         }
+        ready.push_back(p.get());
+    }
+    if (ready.empty() || requests_.pendingEmpty())
+        return;
+
+    // Deal the FIFO queue onto the least-loaded replica one request at a
+    // time (fewest requests, then least reserved KV): D small batches
+    // decode faster than one full batch and keep KV headroom even.
+    const long budget = replicaKvBudget(deployment_->config);
+    std::vector<std::vector<engine::ActiveRequest>> batches(ready.size());
+    std::vector<long> reserved(ready.size(), 0);
+    while (!requests_.pendingEmpty()) {
+        if (rejectUnservableHeads(budget) > 0)
+            continue;
         if (requests_.pendingEmpty())
             break;
-        auto batch = requests_.nextBatch(deployment_->config.batch);
-        if (batch.empty())
+        // Least-loaded replica with a free slot AND enough KV headroom
+        // for the FIFO head; stop only when the head fits no replica
+        // (strict head-blocking — nothing slips past it).
+        const long head_peak = requests_.pending().front().kvPeakTokens();
+        int best = -1;
+        for (int i = 0; i < static_cast<int>(ready.size()); ++i) {
+            if (static_cast<int>(batches[i].size()) >=
+                deployment_->config.batch)
+                continue;
+            if (budget != engine::kUnboundedKvTokens &&
+                reserved[i] + head_peak > budget)
+                continue;
+            if (best < 0 || batches[i].size() < batches[best].size() ||
+                (batches[i].size() == batches[best].size() &&
+                 reserved[i] < reserved[best])) {
+                best = i;
+            }
+        }
+        if (best < 0)
             break;
-        p->startBatch(std::move(batch));
+        const long headroom = budget == engine::kUnboundedKvTokens
+                                  ? engine::kUnboundedKvTokens
+                                  : budget - reserved[best];
+        auto got = requests_.nextBatch(1, headroom);
+        if (got.empty())
+            break;
+        reserved[best] += got.front().kvPeakTokens();
+        batches[best].push_back(std::move(got.front()));
+    }
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+        if (!batches[i].empty())
+            ready[i]->startBatch(std::move(batches[i]));
     }
 }
 
@@ -266,11 +354,7 @@ BaseServingSystem::snapshotContext() const
             const auto &p = deployment_->pipelines[d];
             if (!p)
                 continue;
-            double tokens = 0.0;
-            for (const auto &r : p->batch()) {
-                if (r.committedTokens > 0)
-                    tokens += r.request.inputLen + r.committedTokens;
-            }
+            const double tokens = static_cast<double>(p->kvTokensHeld());
             if (tokens <= 0.0)
                 continue;
             for (par::GpuId g :
@@ -326,11 +410,9 @@ BaseServingSystem::onPipelineIdle(engine::InferencePipeline &pipeline)
 {
     if (!deployment_ || pipeline.haltPending())
         return;
-    if (requests_.pendingEmpty())
-        return;
-    auto batch = requests_.nextBatch(deployment_->config.batch);
-    if (!batch.empty())
-        pipeline.startBatch(std::move(batch));
+    // Balanced refill: the newly idle replica competes with any other
+    // idle ones for the queue instead of grabbing a full batch alone.
+    dispatchAll();
 }
 
 void
@@ -339,9 +421,40 @@ BaseServingSystem::onPipelineHalted(engine::InferencePipeline &)
 }
 
 std::vector<engine::ActiveRequest>
-BaseServingSystem::admitAtBoundary(engine::InferencePipeline &, int free_slots)
+BaseServingSystem::admitAtBoundary(engine::InferencePipeline &pipeline,
+                                   int free_slots)
 {
-    return requests_.admitAtBoundary(free_slots);
+    // Replica balancing at the boundary: when other idle replicas could
+    // start this work immediately in fresh (faster, lighter) batches, the
+    // boundary admission only claims its even split of the queue and the
+    // remainder is dealt to the idle replicas right after.
+    int idle_others = 0;
+    if (deployment_) {
+        for (std::size_t d = 0; d < deployment_->pipelines.size(); ++d) {
+            auto &p = deployment_->pipelines[d];
+            if (!p || p.get() == &pipeline || !p->idle() ||
+                p->haltPending())
+                continue;
+            if (d < deployment_->readyAt.size() &&
+                deployment_->readyAt[d] > sim_.now())
+                continue;
+            ++idle_others;
+        }
+    }
+    int slots = free_slots;
+    if (idle_others > 0) {
+        const long pending = static_cast<long>(requests_.pendingCount());
+        const long share = (pending + idle_others) / (idle_others + 1);
+        slots = static_cast<int>(
+            std::min<long>(slots, std::max<long>(1, share)));
+    }
+    auto admitted =
+        requests_.admitAtBoundary(slots, pipeline.freeKvTokens());
+    // The asking pipeline is mid-boundary (not idle), so dispatchAll only
+    // touches the others.
+    if (idle_others > 0 && !requests_.pendingEmpty())
+        dispatchAll();
+    return admitted;
 }
 
 } // namespace serving

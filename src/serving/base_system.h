@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "costmodel/latency_model.h"
+#include "costmodel/memory_model.h"
 #include "costmodel/throughput_model.h"
 #include "engine/context_state.h"
 #include "engine/inference_pipeline.h"
@@ -47,6 +48,23 @@ class BaseServingSystem : public ServingSystem
 
     /** Current configuration if a deployment is active. */
     std::optional<par::ParallelConfig> currentConfig() const;
+
+    /**
+     * Observer forwarded to every pipeline's iteration-boundary callback
+     * (tests assert the KV-budget invariant here; benches sample peaks).
+     * Read at fire time, so it takes effect immediately for live
+     * pipelines too.
+     */
+    void setKvObserver(
+        std::function<void(const engine::InferencePipeline &)> observer)
+    {
+        kvObserver_ = std::move(observer);
+    }
+
+    /** Largest KV holding any replica reached at a boundary (tokens). */
+    long peakKvHeldTokens() const { return peakKvHeldTokens_; }
+    /** Largest worst-case KV reservation any replica reached (tokens). */
+    long peakKvReservedTokens() const { return peakKvReservedTokens_; }
 
   protected:
     /** Active deployment: configuration, mesh, one pipeline per replica. */
@@ -99,7 +117,13 @@ class BaseServingSystem : public ServingSystem
     void loadBatch(int pipeline_idx,
                    std::vector<engine::ActiveRequest> batch);
 
-    /** Fill every idle replica from the request queue. */
+    /**
+     * Fill idle replicas from the request queue, spreading the FIFO head
+     * across the least-loaded replicas (fewest live requests, then least
+     * reserved KV): several small batches decode faster than one full
+     * batch and keep per-replica KV headroom even across the
+     * data-parallel pipelines.
+     */
     void dispatchAll();
 
     /**
@@ -143,8 +167,10 @@ class BaseServingSystem : public ServingSystem
     /**
      * Hook: iteration-level admission (continuous batching).  Called by an
      * executing pipeline at every iteration boundary with its free slot
-     * count; the default packs the batch back up to capacity from the
-     * FIFO queue.  Never called once a halt is pending on the pipeline.
+     * count; the default packs the batch back toward capacity from the
+     * FIFO queue, bounded by the replica's remaining KV-token budget and
+     * by an even share of the queue when other idle replicas could take
+     * the work.  Never called once a halt is pending on the pipeline.
      */
     virtual std::vector<engine::ActiveRequest>
     admitAtBoundary(engine::InferencePipeline &pipeline, int free_slots);
@@ -158,6 +184,41 @@ class BaseServingSystem : public ServingSystem
     void setContinuousBatching(bool enabled) { continuousBatching_ = enabled; }
     bool continuousBatching() const { return continuousBatching_; }
 
+    /**
+     * Memory-aware admission: enforce the per-replica KV-cache token
+     * budget MemoryModel::kvBudgetTokens promises for the deployed
+     * configuration (on by default).  Disable to fall back to fixed-B
+     * admission for the ablation benches.  Takes effect for pipelines
+     * built after the call.
+     */
+    void setKvBudgetAdmission(bool enabled) { kvBudgetAdmission_ = enabled; }
+    bool kvBudgetAdmission() const { return kvBudgetAdmission_; }
+
+    /** Chunked-prefill chunk size in tokens (0 = unchunked). */
+    void setPrefillChunkTokens(int tokens) { prefillChunkTokens_ = tokens; }
+    int prefillChunkTokens() const { return prefillChunkTokens_; }
+
+    /**
+     * Whether the migration reserve deducted from the KV budget assumes
+     * the memory-optimised planner (Algorithm 2).  Must match the
+     * feasibility check that picked the deployment
+     * (ConfigSpaceOptions::memOptPlanner), or the enforced budget
+     * overstates the real headroom during migrations.
+     */
+    void setMemOptReserve(bool enabled) { memOptReserve_ = enabled; }
+    bool memOptReserve() const { return memOptReserve_; }
+
+    /** The KV token budget one replica of @p config gets at runtime. */
+    long replicaKvBudget(const par::ParallelConfig &config) const;
+
+    /**
+     * Drop queue heads whose worst-case KV exceeds @p budget (they can
+     * never be served by any replica of the active configuration, so
+     * leaving them would head-block the strict-FIFO queue forever).
+     * Returns how many were rejected.
+     */
+    long rejectUnservableHeads(long budget);
+
     /** Build a pipeline wired to this system's callbacks. */
     std::unique_ptr<engine::InferencePipeline>
     makePipeline(const par::ParallelConfig &config, int index);
@@ -169,12 +230,19 @@ class BaseServingSystem : public ServingSystem
     cost::CostParams params_;
     cost::SeqSpec seq_;
     cost::LatencyModel latency_;
+    cost::MemoryModel memory_;
     cost::ThroughputModel throughput_;
 
   private:
     std::optional<Deployment> deployment_;
     std::vector<ConfigChange> history_;
     bool continuousBatching_ = true;
+    bool kvBudgetAdmission_ = true;
+    int prefillChunkTokens_ = 0;
+    bool memOptReserve_ = true;
+    std::function<void(const engine::InferencePipeline &)> kvObserver_;
+    long peakKvHeldTokens_ = 0;
+    long peakKvReservedTokens_ = 0;
 
     /** What each GPU's context daemon holds (survives clearDeployment). */
     std::unordered_map<par::GpuId, engine::GpuContext> holdings_;

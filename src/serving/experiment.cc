@@ -46,6 +46,7 @@ runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
     result.arrived = requests.arrivedCount();
     result.completed = requests.completedCount();
     result.unfinished = requests.unfinishedCount();
+    result.rejected = requests.rejectedCount();
     result.tokensGenerated = requests.tokensGenerated();
     // Bill the fleet over the trace window only (comparable across
     // systems; the drain window exists to flush the queue).
@@ -53,6 +54,11 @@ runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
     result.spotInstanceHours = instances.spotInstanceHours(trace.duration());
     result.ondemandInstanceHours =
         instances.ondemandInstanceHours(trace.duration());
+    if (const auto *base =
+            dynamic_cast<const BaseServingSystem *>(system.get())) {
+        result.peakKvReservedTokens = base->peakKvReservedTokens();
+        result.peakKvHeldTokens = base->peakKvHeldTokens();
+    }
     return result;
 }
 

@@ -38,11 +38,22 @@ struct ExperimentResult
     long arrived = 0;
     long completed = 0;
     long unfinished = 0;
+    /** Requests dropped as unservable under the KV budget (should be 0
+     *  for any workload the deployed configurations can host). */
+    long rejected = 0;
 
     double tokensGenerated = 0.0;
     double costUsd = 0.0;
     double spotInstanceHours = 0.0;
     double ondemandInstanceHours = 0.0;
+
+    /**
+     * Largest worst-case KV reservation (and actual holding) any replica
+     * reached at an iteration boundary, in tokens — how close admission
+     * came to the memory model's budget (fig8 admission-ablation row).
+     */
+    long peakKvReservedTokens = 0;
+    long peakKvHeldTokens = 0;
 
     /** USD per generated output token. */
     double costPerToken() const

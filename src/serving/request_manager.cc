@@ -32,7 +32,8 @@ RequestManager::requeue(std::vector<engine::ActiveRequest> requests)
     for (const auto &r : requests) {
         if (r.committedTokens != 0)
             throw std::invalid_argument(
-                "RequestManager::requeue: reset progress before requeueing");
+                "RequestManager::requeue: reset decode progress before "
+                "requeueing");
         pending_.push_back(r);
     }
     // Restarted requests are older than fresh arrivals; restore FIFO order.
@@ -44,22 +45,46 @@ RequestManager::requeue(std::vector<engine::ActiveRequest> requests)
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::nextBatch(int max_size)
+RequestManager::popAdmissible(int max_count, long kv_budget_tokens)
 {
     std::vector<engine::ActiveRequest> batch;
-    while (!pending_.empty() && static_cast<int>(batch.size()) < max_size) {
-        batch.push_back(pending_.front());
+    long remaining = kv_budget_tokens;
+    while (!pending_.empty() && static_cast<int>(batch.size()) < max_count) {
+        const engine::ActiveRequest &head = pending_.front();
+        if (remaining != engine::kUnboundedKvTokens) {
+            if (head.kvPeakTokens() > remaining)
+                break; // strict FIFO: nothing may slip past the head
+            remaining -= head.kvPeakTokens();
+        }
+        batch.push_back(head);
         pending_.pop_front();
     }
     return batch;
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::admitAtBoundary(int free_slots)
+RequestManager::nextBatch(int max_size, long kv_budget_tokens)
 {
-    auto admitted = nextBatch(free_slots);
+    return popAdmissible(max_size, kv_budget_tokens);
+}
+
+std::vector<engine::ActiveRequest>
+RequestManager::admitAtBoundary(int free_slots, long free_kv_tokens)
+{
+    auto admitted = popAdmissible(free_slots, free_kv_tokens);
     midBatchAdmissions_ += static_cast<long>(admitted.size());
     return admitted;
+}
+
+wl::RequestId
+RequestManager::rejectHead()
+{
+    if (pending_.empty())
+        throw std::logic_error("RequestManager::rejectHead: empty queue");
+    const wl::RequestId id = pending_.front().request.id;
+    pending_.pop_front();
+    ++rejected_;
+    return id;
 }
 
 double

@@ -48,32 +48,56 @@ class RequestManager
 
     /**
      * Re-queue interrupted requests (cache lost or batch displaced).
-     * Progress must already be reset by the caller when the cache was
-     * dropped; requests keep their original arrival times and re-enter in
-     * arrival order.
+     * Decode progress must already be reset by the caller when the cache
+     * was dropped.  A mid-prefill request may keep its committed prefill
+     * chunks (prefillTokens > 0) ONLY when the caller guarantees the
+     * chunk KV is available to whichever replica re-admits it (e.g. the
+     * cache context migrated to the deployment this queue feeds) — the
+     * queue itself tracks no cache locality; reset with restart()
+     * otherwise.  Requests keep their original arrival times and
+     * re-enter in arrival order.
      */
     void requeue(std::vector<engine::ActiveRequest> requests);
 
     /**
-     * Pop up to @p max_size pending requests, oldest first.  Only
-     * fresh/restarted work lives in the queue (committed progress == 0);
-     * recovered batches are handed to pipelines directly by the serving
-     * systems.
+     * Pop up to @p max_size pending requests, oldest first, whose
+     * worst-case KV growth (kvPeakTokens) fits @p kv_budget_tokens.
+     * Only fresh/restarted/mid-prefill work lives in the queue (committed
+     * decode progress == 0); recovered batches are handed to pipelines
+     * directly by the serving systems.
      */
-    std::vector<engine::ActiveRequest> nextBatch(int max_size);
+    std::vector<engine::ActiveRequest>
+    nextBatch(int max_size,
+              long kv_budget_tokens = engine::kUnboundedKvTokens);
 
     /**
      * Iteration-level scheduler (continuous batching): pack a live batch
      * back up to capacity at a decode-iteration boundary by popping up to
-     * @p free_slots pending requests.  FIFO fairness holds across
-     * requeues and interruptions because the queue is kept in arrival
-     * order.  Counted separately from idle-pipeline batch formation so
-     * benches and tests can observe mid-batch admission.
+     * @p free_slots pending requests whose worst-case KV growth fits the
+     * replica's remaining budget @p free_kv_tokens.  FIFO fairness holds
+     * across requeues and interruptions because the queue is kept in
+     * arrival order.  Counted separately from idle-pipeline batch
+     * formation so benches and tests can observe mid-batch admission.
      */
-    std::vector<engine::ActiveRequest> admitAtBoundary(int free_slots);
+    std::vector<engine::ActiveRequest>
+    admitAtBoundary(int free_slots,
+                    long free_kv_tokens = engine::kUnboundedKvTokens);
 
     /** Requests admitted into live batches at iteration boundaries. */
     long midBatchAdmissions() const { return midBatchAdmissions_; }
+
+    /**
+     * Drop the queue head because admission found it unservable (its
+     * worst-case KV exceeds a whole replica's budget).  Dropping instead
+     * of waiting keeps the strict-FIFO queue from head-blocking forever;
+     * a production ingress would bounce such requests with an error.
+     * Returns the rejected request's id.
+     * @pre the queue is not empty.
+     */
+    wl::RequestId rejectHead();
+
+    /** Requests dropped as unservable. */
+    long rejectedCount() const { return rejected_; }
 
     bool pendingEmpty() const { return pending_.empty(); }
     std::size_t pendingCount() const { return pending_.size(); }
@@ -105,8 +129,13 @@ class RequestManager
     /** Output tokens of completed requests (per-token cost denominator). */
     double tokensGenerated() const { return tokensGenerated_; }
 
-    /** Requests never completed: queued + in-flight elsewhere. */
-    long unfinishedCount() const { return arrived_ - completedCount(); }
+    /** Requests never completed: queued + in-flight elsewhere (rejected
+     *  ones are counted separately; completed + rejected + unfinished
+     *  partitions arrived). */
+    long unfinishedCount() const
+    {
+        return arrived_ - completedCount() - rejected_;
+    }
 
     /** Pending requests (diagnostic view). */
     const std::deque<engine::ActiveRequest> &pending() const
@@ -115,6 +144,17 @@ class RequestManager
     }
 
   private:
+    /**
+     * The single budget-aware pop both admission paths share: oldest
+     * first, stopping at the first request that does not fit the slots or
+     * the KV budget.  Deliberately strict FIFO head-blocking — a large
+     * request at the queue head is never overtaken by smaller newcomers,
+     * so it cannot be starved under a tight budget (it admits as soon as
+     * enough in-flight reservations drain).
+     */
+    std::vector<engine::ActiveRequest> popAdmissible(int max_count,
+                                                     long kv_budget_tokens);
+
     sim::Simulation &sim_;
     double rateWindow_;
 
@@ -125,6 +165,7 @@ class RequestManager
     std::vector<CompletionRecord> completions_;
     long arrived_ = 0;
     long midBatchAdmissions_ = 0;
+    long rejected_ = 0;
     double tokensGenerated_ = 0.0;
 };
 
