@@ -4,23 +4,67 @@
  *
  * Prints: (a/b) the rescaled arrival-rate trace, (c/d) the availability
  * traces A'_S+O and B'_S+O, (e/f) end-to-end latency statistics per
- * system, and (g/h) the per-request latency timeline (30 s buckets) with
- * each system's (D,P,M) reconfiguration points annotated.
+ * system plus the batching/admission ablation rows (rigid, fixed-B, and
+ * Reserve-vs-Optimistic KV admission on an early-stopping variant of the
+ * workload), and (g/h) the per-request latency timeline (30 s buckets)
+ * with each system's (D,P,M) reconfiguration points annotated.
+ *
+ * Flags: --smoke runs only trace A'_S+O (a CI-sized run, well under a
+ * second); --json PATH additionally writes a machine-readable summary of
+ * every row so CI can archive the numbers and catch perf-trajectory
+ * regressions.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "cluster/trace_library.h"
 #include "serving/presets.h"
 #include "workload/maf_trace.h"
+#include "workload/workload.h"
 
 using namespace spotserve;
 
 namespace {
 
 const char *kSystems[] = {"SpotServe", "Reparallelization", "Rerouting"};
+
+/** One row of the machine-readable summary (--json). */
+struct JsonRow
+{
+    std::string trace;
+    std::string label;
+    const serving::ExperimentResult *result;
+};
+
+void
+writeJson(const std::string &path, const std::vector<JsonRow> &rows)
+{
+    std::ofstream os(path);
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = *rows[i].result;
+        const auto s = r.latencies.summary();
+        os << "  {\"trace\": \"" << rows[i].trace << "\", \"system\": \""
+           << rows[i].label << "\", \"avg\": " << s.avg
+           << ", \"p90\": " << s.p90 << ", \"p99\": " << s.p99
+           << ", \"completed\": " << r.completed
+           << ", \"arrived\": " << r.arrived
+           << ", \"rejected\": " << r.rejected
+           << ", \"peak_kv_reserved\": " << r.peakKvReservedTokens
+           << ", \"peak_kv_held\": " << r.peakKvHeldTokens
+           << ", \"peak_concurrency\": " << r.peakConcurrentRequests
+           << ", \"evictions\": " << r.evictions
+           << ", \"cost_usd\": " << r.costUsd << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
 
 void
 latencyRow(const serving::ExperimentResult &r)
@@ -66,15 +110,35 @@ timeline(const std::vector<serving::ExperimentResult> &results,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
     const auto spec = model::ModelSpec::gpt20b();
     const cost::CostParams params = cost::CostParams::awsG4dn();
     const cost::SeqSpec seq{};
     const auto maf = wl::MafTrace::fig8Segment();
 
+    // Stable storage for every result a JSON row may reference.
+    std::deque<serving::ExperimentResult> store;
+    std::vector<JsonRow> json_rows;
+    auto keep = [&](const std::string &trace_name, const std::string &label,
+                    serving::ExperimentResult result)
+        -> const serving::ExperimentResult & {
+        store.push_back(std::move(result));
+        json_rows.push_back(JsonRow{trace_name, label, &store.back()});
+        return store.back();
+    };
+
     std::printf("=== Figure 8: fluctuating workload (GPT-20B, MAF-style "
-                "trace) ===\n");
+                "trace) ===%s\n", smoke ? " [smoke]" : "");
 
     std::printf("\n(a/b) arrival-rate trace (req/s per minute bucket):\n ");
     for (double r : maf.rates())
@@ -82,8 +146,10 @@ main()
     std::printf("\n  mean %.2f req/s, peak %.2f req/s\n", maf.meanRate(),
                 maf.peakRate());
 
-    for (const auto &trace :
-         {cluster::traceFig8A(), cluster::traceFig8B()}) {
+    std::vector<cluster::AvailabilityTrace> traces{cluster::traceFig8A()};
+    if (!smoke)
+        traces.push_back(cluster::traceFig8B());
+    for (const auto &trace : traces) {
         std::printf("\n(c/d) availability trace %s:\n", trace.name().c_str());
         for (const auto &s : trace.series(60.0, params.gracePeriod)) {
             std::printf("  t=%5.0f  spot %2d  od %2d  total %2d\n", s.time,
@@ -106,8 +172,10 @@ main()
 
         std::printf("\n(e/f) end-to-end latency on %s:\n",
                     trace.name().c_str());
-        for (const auto &r : results)
+        for (const auto &r : results) {
             latencyRow(r);
+            keep(trace.name(), r.systemName, r);
+        }
 
         // Engine ablation: the same SpotServe stack with rigid
         // run-to-completion batching instead of iteration-level admission
@@ -126,6 +194,7 @@ main()
                         r_rigid.latencies.percentile(99),
                         r_rigid.latencies.mean() /
                             results[0].latencies.mean());
+            keep(trace.name(), "SpotServe-rigid", r_rigid);
         }
         // Admission ablation: fixed-B admission (trust the batch cap B)
         // vs the default KV-token-budget admission on the same trace and
@@ -149,6 +218,60 @@ main()
                         r_fixedb.latencies.percentile(99) /
                             results[0].latencies.percentile(99),
                         results[0].peakKvReservedTokens);
+            keep(trace.name(), "SpotServe-fixedB", r_fixedb);
+        }
+        // KV-charging ablation: Reserve (worst-case prompt + cap
+        // reservation, PR 2's mode) vs Optimistic (predicted-output
+        // charging with watermark eviction, the default) on an
+        // early-stopping variant of the same workload: same arrivals,
+        // but every request declares a 8192-token cap (64x the typical
+        // output) and actually stops at 16-128 tokens.  Reserving the
+        // cap makes the KV budget — not the batch slots — the binding
+        // constraint and idles most of it; Optimistic packs the replicas
+        // (higher admitted concurrency) and completes the backlog
+        // sooner, at the price of a few evictions when predictions fall
+        // short.
+        {
+            sim::Rng cap_rng(23);
+            auto capped = workload;
+            wl::capOutputs(capped, /*cap=*/64 * seq.outputLen, /*min=*/16,
+                           /*max=*/seq.outputLen, cap_rng);
+            auto run_mode = [&](engine::KvAdmissionMode mode) {
+                core::SpotServeOptions o;
+                o.designArrivalRate = 0.55;
+                o.kvAdmissionMode = mode;
+                return serving::runExperiment(
+                    spec, params, trace, capped,
+                    presets::spotServeFactory(spec, params, seq, o));
+            };
+            const auto r_res = run_mode(engine::KvAdmissionMode::Reserve);
+            const auto r_opt =
+                run_mode(engine::KvAdmissionMode::Optimistic);
+            std::printf("  early-stopping workload (cap %d, actual "
+                        "16-%d):\n",
+                        64 * seq.outputLen, seq.outputLen);
+            auto mode_row = [](const char *label,
+                               const serving::ExperimentResult &r) {
+                std::printf("  %-18s avg %7.2f  P99 %7.2f  done %ld/%ld  "
+                            "peak KV held %ld tok  peak conc %d  "
+                            "evictions %ld\n",
+                            label, r.latencies.mean(),
+                            r.latencies.percentile(99), r.completed,
+                            r.arrived, r.peakKvHeldTokens,
+                            r.peakConcurrentRequests, r.evictions);
+            };
+            mode_row("SpotServe-reserve", r_res);
+            mode_row("SpotServe-optimistic", r_opt);
+            std::printf("  optimistic admits %.2fx the concurrency and "
+                        "completes %+ld requests vs reserve\n",
+                        r_res.peakConcurrentRequests > 0
+                            ? static_cast<double>(
+                                  r_opt.peakConcurrentRequests) /
+                                  r_res.peakConcurrentRequests
+                            : 0.0,
+                        r_opt.completed - r_res.completed);
+            keep(trace.name(), "SpotServe-reserve", r_res);
+            keep(trace.name(), "SpotServe-optimistic", r_opt);
         }
         const double spot_p99 = results[0].latencies.percentile(99);
         std::printf("  SpotServe improvement: P99 %.2fx vs Repar, "
@@ -166,6 +289,11 @@ main()
                             c.config.shortStr().c_str());
             std::printf("\n");
         }
+    }
+    if (!json_path.empty()) {
+        writeJson(json_path, json_rows);
+        std::printf("\nwrote %zu summary rows to %s\n", json_rows.size(),
+                    json_path.c_str());
     }
     return 0;
 }

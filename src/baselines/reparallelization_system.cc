@@ -20,6 +20,7 @@ ReparallelizationSystem::ReparallelizationSystem(
     setContinuousBatching(options_.continuousBatching);
     setKvBudgetAdmission(options_.kvBudgetAdmission);
     setPrefillChunkTokens(options_.prefillChunkTokens);
+    setKvAdmissionMode(options_.kvAdmissionMode);
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
 }

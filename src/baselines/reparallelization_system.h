@@ -39,6 +39,10 @@ struct ReparallelizationOptions
     /** Chunked-prefill chunk size in tokens (0 = unchunked). */
     int prefillChunkTokens = 0;
 
+    /** KV charging mode (same engine setting as SpotServe). */
+    engine::KvAdmissionMode kvAdmissionMode =
+        engine::KvAdmissionMode::Optimistic;
+
     core::ControllerOptions controller{};
 };
 

@@ -22,6 +22,7 @@ ReroutingSystem::ReroutingSystem(sim::Simulation &simulation,
     setContinuousBatching(options_.continuousBatching);
     setKvBudgetAdmission(options_.kvBudgetAdmission);
     setPrefillChunkTokens(options_.prefillChunkTokens);
+    setKvAdmissionMode(options_.kvAdmissionMode);
 }
 
 std::string
@@ -212,7 +213,9 @@ ReroutingSystem::dispatchSlots()
         if (requests_.pendingEmpty())
             return;
         auto batch = requests_.nextBatch(fixed_->batch,
-                                         s->pipeline->freeKvTokens());
+                                         s->pipeline->freeKvTokens(),
+                                         s->pipeline->kvAdmissionMode(),
+                                         s->pipeline->kvBudgetTokens());
         if (batch.empty())
             return;
         s->pipeline->startBatch(std::move(batch));

@@ -40,6 +40,10 @@ struct ReroutingOptions
     /** Chunked-prefill chunk size in tokens (0 = unchunked). */
     int prefillChunkTokens = 0;
 
+    /** KV charging mode (same engine setting as SpotServe). */
+    engine::KvAdmissionMode kvAdmissionMode =
+        engine::KvAdmissionMode::Optimistic;
+
     core::ControllerOptions controller{};
 };
 
@@ -74,6 +78,7 @@ class ReroutingSystem : public serving::BaseServingSystem
   protected:
     void onPipelineIdle(engine::InferencePipeline &pipeline) override;
     void handleArrival(const wl::Request &request) override;
+    void dispatchPending() override { dispatchSlots(); }
 
   private:
     /** One independent inference pipeline over whole instances. */

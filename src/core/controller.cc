@@ -55,60 +55,70 @@ ParallelizationController::chooseConfig(int available_instances,
     if (candidates.empty())
         return std::nullopt;
 
-    // Deterministic preference among near-equal choices: cheaper first,
-    // then fewer GPUs, then the shallower pipeline, then smaller batch.
-    auto prefer = [this](const par::ParallelConfig &a,
-                         const par::ParallelConfig &b) {
-        const int ia = space_.instancesNeeded(a);
-        const int ib = space_.instancesNeeded(b);
-        if (ia != ib)
-            return ia < ib;
-        if (a.totalGpus() != b.totalGpus())
-            return a.totalGpus() < b.totalGpus();
-        if (a.pp != b.pp)
-            return a.pp < b.pp;
-        if (a.batch != b.batch)
-            return a.batch < b.batch;
-        return a.tp < b.tp;
+    // Evaluate every candidate exactly once (the cost model dominates the
+    // sweep; the scans below re-used to recompute throughput() and
+    // requestLatency() up to three times per candidate) and select from
+    // the memoised vector.
+    struct Evaluated
+    {
+        par::ParallelConfig config;
+        double phi = 0.0;
+        /** Request latency; only computed when phi sustains alpha_t. */
+        double latency = std::numeric_limits<double>::infinity();
+        int instances = 0;
     };
-
+    std::vector<Evaluated> evals;
+    evals.reserve(candidates.size());
     bool any_meets = false;
     double best_latency = std::numeric_limits<double>::infinity();
     for (const auto &c : candidates) {
-        const double phi = throughput_.throughput(c, seq_);
-        if (phi >= arrival_rate) {
+        Evaluated e;
+        e.config = c;
+        e.phi = throughput_.throughput(c, seq_);
+        e.instances = space_.instancesNeeded(c);
+        if (e.phi >= arrival_rate) {
             any_meets = true;
-            const double l = throughput_.requestLatency(c, seq_,
-                                                        arrival_rate,
-                                                        options_.arrivalCv);
-            best_latency = std::min(best_latency, l);
+            e.latency = throughput_.requestLatency(c, seq_, arrival_rate,
+                                                   options_.arrivalCv);
+            best_latency = std::min(best_latency, e.latency);
         }
+        evals.push_back(e);
     }
 
-    ControllerDecision best;
-    bool have = false;
+    // Deterministic preference among near-equal choices: cheaper first,
+    // then fewer GPUs, then the shallower pipeline, then smaller batch.
+    auto prefer = [](const Evaluated &a, const Evaluated &b) {
+        if (a.instances != b.instances)
+            return a.instances < b.instances;
+        if (a.config.totalGpus() != b.config.totalGpus())
+            return a.config.totalGpus() < b.config.totalGpus();
+        if (a.config.pp != b.config.pp)
+            return a.config.pp < b.config.pp;
+        if (a.config.batch != b.config.batch)
+            return a.config.batch < b.config.batch;
+        return a.config.tp < b.config.tp;
+    };
+    const Evaluated *best = nullptr;
+    auto decisionOf = [](const Evaluated &e, bool meets) {
+        ControllerDecision d;
+        d.config = e.config;
+        d.estimatedLatency = e.latency;
+        d.throughput = e.phi;
+        d.meetsDemand = meets;
+        d.instancesNeeded = e.instances;
+        return d;
+    };
+
     if (any_meets && options_.sloLatency > 0.0) {
         // SLO objective: cheapest configuration meeting the latency SLO.
-        for (const auto &c : candidates) {
-            const double phi = throughput_.throughput(c, seq_);
-            if (phi < arrival_rate)
+        for (const auto &e : evals) {
+            if (e.phi < arrival_rate || e.latency > options_.sloLatency)
                 continue;
-            const double l = throughput_.requestLatency(c, seq_,
-                                                        arrival_rate,
-                                                        options_.arrivalCv);
-            if (l > options_.sloLatency)
-                continue;
-            if (!have || prefer(c, best.config)) {
-                best.config = c;
-                best.estimatedLatency = l;
-                best.throughput = phi;
-                best.meetsDemand = true;
-                best.instancesNeeded = space_.instancesNeeded(c);
-                have = true;
-            }
+            if (!best || prefer(e, *best))
+                best = &e;
         }
-        if (have)
-            return best;
+        if (best)
+            return decisionOf(*best, true);
         // No configuration meets the SLO: fall through to latency
         // minimisation so the violation is at least minimised.
     }
@@ -116,48 +126,31 @@ ParallelizationController::chooseConfig(int available_instances,
         // Line 3: among configs sustaining alpha_t, take the latency
         // minimum; within the tolerance band prefer lower monetary cost.
         const double band = best_latency * options_.latencyTolerance;
-        for (const auto &c : candidates) {
-            const double phi = throughput_.throughput(c, seq_);
-            if (phi < arrival_rate)
+        for (const auto &e : evals) {
+            if (e.phi < arrival_rate || e.latency > band)
                 continue;
-            const double l = throughput_.requestLatency(c, seq_,
-                                                        arrival_rate,
-                                                        options_.arrivalCv);
-            if (l > band)
-                continue;
-            if (!have || prefer(c, best.config)) {
-                best.config = c;
-                best.estimatedLatency = l;
-                best.throughput = phi;
-                best.meetsDemand = true;
-                best.instancesNeeded = space_.instancesNeeded(c);
-                have = true;
-            }
+            if (!best || prefer(e, *best))
+                best = &e;
         }
-    } else {
-        // Line 5: nothing keeps up; maximize phi(C).
-        double best_phi = -1.0;
-        for (const auto &c : candidates) {
-            const double phi = throughput_.throughput(c, seq_);
-            const bool better =
-                phi > best_phi * (1.0 + 1e-9) ||
-                (std::abs(phi - best_phi) <= best_phi * 1e-9 && have &&
-                 prefer(c, best.config));
-            if (!have || better) {
-                best.config = c;
-                best.estimatedLatency =
-                    std::numeric_limits<double>::infinity();
-                best.throughput = phi;
-                best.meetsDemand = false;
-                best.instancesNeeded = space_.instancesNeeded(c);
-                best_phi = std::max(best_phi, phi);
-                have = true;
-            }
+        if (!best)
+            return std::nullopt;
+        return decisionOf(*best, true);
+    }
+    // Line 5: nothing keeps up; maximize phi(C).
+    double best_phi = -1.0;
+    for (const auto &e : evals) {
+        const bool better =
+            e.phi > best_phi * (1.0 + 1e-9) ||
+            (std::abs(e.phi - best_phi) <= best_phi * 1e-9 && best &&
+             prefer(e, *best));
+        if (!best || better) {
+            best = &e;
+            best_phi = std::max(best_phi, e.phi);
         }
     }
-    if (!have)
+    if (!best)
         return std::nullopt;
-    return best;
+    return decisionOf(*best, false);
 }
 
 } // namespace core

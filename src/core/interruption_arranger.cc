@@ -75,8 +75,9 @@ InterruptionArranger::recomputeTime(const par::ParallelConfig &config,
 {
     if (committed_tokens <= 0)
         return 0.0;
-    return latency_.prefillTime(config, input_len) +
-           latency_.decodeSpanTime(config, input_len + 1, committed_tokens);
+    // Single-source restart costing shared with the eviction engine.
+    return latency_.recomputeTime(config, input_len, input_len,
+                                  committed_tokens);
 }
 
 } // namespace core

@@ -32,6 +32,7 @@ SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
     setContinuousBatching(options_.continuousBatching);
     setKvBudgetAdmission(options_.kvBudgetAdmission);
     setPrefillChunkTokens(options_.prefillChunkTokens);
+    setKvAdmissionMode(options_.kvAdmissionMode);
     // The KV budget must deduct the same migration reserve the
     // feasibility check assumed (naive double-buffering when the
     // memory-optimised planner is ablated).
@@ -567,22 +568,28 @@ SpotServeSystem::startMigration()
             // The new configuration may hold fewer concurrent requests
             // (batch slots) or less KV cache (token budget): keep the
             // most-progressed cache contexts, displaced ones recompute
-            // (§3.3).
+            // (§3.3).  Requests are charged under the active admission
+            // mode, so an optimistic deployment inherits as many cache
+            // contexts as their charges say fit — predicted footprints
+            // for never-restarted requests (mid-prefill ones included),
+            // full worst-case peaks for previously restarted ones (the
+            // storm guard applies across reconfigurations too).
             std::stable_sort(recovered.begin(), recovered.end(),
                              [](const engine::ActiveRequest &a,
                                 const engine::ActiveRequest &b) {
                                  return a.kvTokensHeld() > b.kvTokensHeld();
                              });
             const long budget = replicaKvBudget(pm.target);
-            long reserved = 0;
+            const engine::KvAdmissionMode mode = kvAdmissionMode();
+            long charged = 0;
             std::size_t keep = 0;
             while (keep < recovered.size() &&
                    static_cast<int>(keep) < pm.target.batch) {
-                const long peak = recovered[keep].kvPeakTokens();
+                const long charge = recovered[keep].kvChargedTokens(mode);
                 if (budget != engine::kUnboundedKvTokens &&
-                    reserved + peak > budget)
+                    charged + charge > budget)
                     break;
-                reserved += peak;
+                charged += charge;
                 ++keep;
             }
             if (keep < recovered.size()) {

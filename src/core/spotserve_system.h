@@ -74,6 +74,16 @@ struct SpotServeOptions
     int prefillChunkTokens = 0;
 
     /**
+     * How requests are charged against the KV budget.  Optimistic
+     * (default) charges held + predicted-output tokens, learns the
+     * output-length distribution from completions, and evicts LIFO
+     * victims at watermark pressure; Reserve keeps the worst-case
+     * (prompt + output cap) reservation for the ablation.
+     */
+    engine::KvAdmissionMode kvAdmissionMode =
+        engine::KvAdmissionMode::Optimistic;
+
+    /**
      * Expected workload rate used to size the very first deployment (the
      * arrival-rate estimator has no history at t=0); subsequent decisions
      * use max(estimate, designArrivalRate) only while no deployment

@@ -81,11 +81,5 @@ ConfigSpace::enumerate(int num_instances) const
     return out;
 }
 
-std::vector<par::ParallelConfig>
-ConfigSpace::enumerateUpTo(int max_instances) const
-{
-    return enumerate(max_instances);
-}
-
 } // namespace cost
 } // namespace spotserve

@@ -48,17 +48,17 @@ class ConfigSpace
     /** Memory-feasible and packable, ignoring the instance budget. */
     bool feasible(const par::ParallelConfig &config) const;
 
-    /** All feasible configurations deployable on @p num_instances. */
-    std::vector<par::ParallelConfig>
-    enumerate(int num_instances) const;
-
     /**
-     * All feasible configurations regardless of the current instance
-     * count (Algorithm 1 line 2-3 considers configs the cloud could
-     * satisfy by allocating more instances, up to @p max_instances).
+     * The single enumeration entry point: all feasible configurations
+     * deployable on @p num_instances — every returned config satisfies
+     * feasible(c) and instancesNeeded(c) <= num_instances (an invariant
+     * costmodel_test.cc asserts).  This also serves Algorithm 1 lines
+     * 2-3, which consider configs the cloud could satisfy by allocating
+     * more instances: call it with that upper bound.  (A former
+     * enumerateUpTo alias was silently identical and has been folded in.)
      */
     std::vector<par::ParallelConfig>
-    enumerateUpTo(int max_instances) const;
+    enumerate(int num_instances) const;
 
     const ConfigSpaceOptions &options() const { return options_; }
     const MemoryModel &memory() const { return memory_; }

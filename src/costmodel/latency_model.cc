@@ -1,5 +1,6 @@
 #include "costmodel/latency_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -184,6 +185,21 @@ LatencyModel::decodeSpanTime(const par::ParallelConfig &config, int start_ctx,
     const double first = decodeIterTime(config, start_ctx);
     const double last = decodeIterTime(config, start_ctx + num_iters - 1);
     return 0.5 * (first + last) * num_iters;
+}
+
+double
+LatencyModel::recomputeTime(const par::ParallelConfig &config, int input_len,
+                            int prefill_tokens, int committed_tokens) const
+{
+    // Committed output tokens imply the whole input was prefilled.
+    if (committed_tokens > 0) {
+        return prefillTime(config, input_len) +
+               decodeSpanTime(config, input_len + 1, committed_tokens);
+    }
+    if (prefill_tokens <= 0)
+        return 0.0;
+    // Mid-prefill state: only the committed chunks are lost.
+    return prefillTime(config, std::min(prefill_tokens, input_len));
 }
 
 double

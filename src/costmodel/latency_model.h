@@ -107,6 +107,18 @@ class LatencyModel
                           int num_iters) const;
 
     /**
+     * Time to recompute a request's committed KV state from scratch after
+     * the cache is lost (eviction, preemption restart, reroute): the
+     * prefill of the @p prefill_tokens committed input tokens plus, when
+     * any output was committed, the remaining prefill and the
+     * @p committed_tokens decode iterations.  The "value" of the cache
+     * context — what an eviction throws away and what the JIT arranger
+     * weighs against migrating the cache.
+     */
+    double recomputeTime(const par::ParallelConfig &config, int input_len,
+                         int prefill_tokens, int committed_tokens) const;
+
+    /**
      * Cold-start time for a deployment: engine relaunch plus loading every
      * instance's weight shards from disk/S3 in parallel.
      */

@@ -6,6 +6,24 @@
 namespace spotserve {
 namespace cost {
 
+KvWatermarks
+deriveKvWatermarks(long budget_tokens, int batch_slots)
+{
+    if (budget_tokens <= 0)
+        return {};
+    if (budget_tokens == std::numeric_limits<long>::max())
+        return {budget_tokens, budget_tokens};
+    const long slots = std::max(1, batch_slots);
+    // One worst-case decode round (every slot commits a token) plus 1/16
+    // slack below the budget, so a boundary that crosses the high
+    // watermark still cannot overshoot the budget within one iteration.
+    const long margin = std::max(slots, budget_tokens / 16);
+    KvWatermarks wm;
+    wm.high = std::max(1L, budget_tokens - margin);
+    wm.low = std::max(1L, wm.high - std::max(slots, budget_tokens / 8));
+    return wm;
+}
+
 MemoryModel::MemoryModel(const model::ModelSpec &spec,
                          const CostParams &params)
     : spec_(spec), params_(params)
@@ -75,6 +93,14 @@ MemoryModel::kvBudgetTokens(const par::ParallelConfig &config,
     // floating-point round-off (the budget must never be stricter than
     // the fixed-B capacity of a feasible config).
     return static_cast<long>(tokens + 1e-6);
+}
+
+KvWatermarks
+MemoryModel::kvWatermarks(const par::ParallelConfig &config,
+                          bool mem_opt_planner) const
+{
+    return deriveKvWatermarks(kvBudgetTokens(config, mem_opt_planner),
+                              config.batch);
 }
 
 int

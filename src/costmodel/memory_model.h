@@ -21,6 +21,29 @@
 namespace spotserve {
 namespace cost {
 
+/**
+ * Eviction watermarks over a replica's *held* KV tokens (optimistic
+ * admission).  When the engine predicts the next iteration would push the
+ * held tokens past @c high it first makes chunked prefills yield their
+ * mixed-iteration slot to the incumbents' decode; past the full budget it
+ * evicts LIFO victims until the held tokens fall back to @c low (the
+ * hysteresis gap keeps one overflow from causing an eviction per
+ * boundary).  Both are 0 when the budget itself is 0.
+ */
+struct KvWatermarks
+{
+    long high = 0;
+    long low = 0;
+};
+
+/**
+ * Watermarks for a given token budget and batch-slot count: the high
+ * watermark leaves one worst-case decode round (every slot commits a
+ * token) plus 1/16 slack below the budget; the low watermark clears a
+ * further 1/8 of the budget so eviction buys real headroom.
+ */
+KvWatermarks deriveKvWatermarks(long budget_tokens, int batch_slots);
+
 /** Memory accounting for one model on one cluster parameterisation. */
 class MemoryModel
 {
@@ -65,6 +88,14 @@ class MemoryModel
      */
     long kvBudgetTokens(const par::ParallelConfig &config,
                         bool mem_opt_planner = true) const;
+
+    /**
+     * Eviction watermarks the optimistic admission mode enforces over a
+     * replica of @p config, derived from kvBudgetTokens with one decode
+     * round of margin per batch slot (deriveKvWatermarks).
+     */
+    KvWatermarks kvWatermarks(const par::ParallelConfig &config,
+                              bool mem_opt_planner = true) const;
 
     /**
      * Smallest number of GPUs on which the model can serve at all

@@ -8,12 +8,14 @@
  * instead of recomputing.  With chunked prefill the input side commits at
  * chunk granularity too: prefillTokens input tokens have their KV cached,
  * and a mid-prefill request resumes from the last committed chunk.
- * Dropping the cache resets both counters to 0.
+ * Dropping the cache resets both counters to 0 (resetForRestart(), the
+ * single reset shared by eviction, preemption-restart and drop paths).
  */
 
 #ifndef SPOTSERVE_ENGINE_ACTIVE_REQUEST_H
 #define SPOTSERVE_ENGINE_ACTIVE_REQUEST_H
 
+#include <algorithm>
 #include <limits>
 
 #include "workload/request.h"
@@ -23,6 +25,25 @@ namespace engine {
 
 /** "No KV budget": token budgets of this value are never binding. */
 constexpr long kUnboundedKvTokens = std::numeric_limits<long>::max();
+
+/**
+ * How admission charges a request against the KV-token budget.
+ *
+ * Reserve charges the worst case (prompt + full output cap) so an admitted
+ * request can always run to completion; on workloads whose outputs finish
+ * far below the cap most of the budget sits idle.  Optimistic charges the
+ * held tokens plus the *predicted* output length and relies on watermark
+ * eviction when predictions fall short (the engine evicts LIFO victims and
+ * requeues them through the restart path, so the OOM-free invariant still
+ * holds at every iteration boundary).
+ */
+enum class KvAdmissionMode
+{
+    Reserve,
+    Optimistic,
+};
+
+const char *toString(KvAdmissionMode mode);
 
 /** One in-flight request with committed decoding progress. */
 struct ActiveRequest
@@ -48,8 +69,18 @@ struct ActiveRequest
      */
     bool prefilled = false;
 
-    /** Times the request was restarted from scratch (diagnostics). */
+    /** Times the request was restarted from scratch (diagnostics, and the
+     *  eviction-storm guard: restarted requests are charged their full
+     *  worst case on re-admission). */
     int restarts = 0;
+
+    /**
+     * Output length the request manager's predictor expects this request
+     * to generate (stamped at admission time).  0 = no prediction: charge
+     * the worst case.  Never derived from request.outputLen — the engine
+     * may not peek at the actual EOS point.
+     */
+    int predictedOutputTokens = 0;
 
     /** All output tokens generated? */
     bool done() const { return committedTokens >= request.outputLen; }
@@ -60,6 +91,14 @@ struct ActiveRequest
         return request.inputLen + committedTokens + 1;
     }
 
+    /** Declared generation cap: the most output tokens the request may
+     *  ever produce (max-tokens; falls back to the actual length on
+     *  workloads that do not model early stopping). */
+    int outputCapTokens() const
+    {
+        return std::max(request.outputLen, request.outputCap);
+    }
+
     /** KV-cache tokens this request currently holds on its replica. */
     long kvTokensHeld() const
     {
@@ -68,17 +107,44 @@ struct ActiveRequest
 
     /**
      * Worst-case KV-cache tokens the request will ever hold (full input
-     * plus full output).  Token-budget admission reserves this peak so a
-     * request admitted once can always run to completion without the
-     * replica exceeding the memory model's KV budget.
+     * plus the declared output cap).  Reserve-mode admission charges this
+     * peak so a request admitted once can always run to completion
+     * without the replica exceeding the memory model's KV budget.
      */
     long kvPeakTokens() const
     {
-        return static_cast<long>(request.inputLen) + request.outputLen;
+        return static_cast<long>(request.inputLen) + outputCapTokens();
     }
 
-    /** Drop cached progress (cache context lost / discarded). */
-    void restart()
+    /**
+     * KV tokens admission charges against the budget under @p mode.
+     * Reserve: the worst case.  Optimistic: input plus the predicted
+     * output (never below the committed progress plus the next token,
+     * never above the cap) — except for restarted requests, which are
+     * charged the worst case again (the eviction-storm guard: a
+     * just-evicted request only re-admits into genuine worst-case
+     * headroom, so its return can never immediately force a second
+     * victim out).
+     */
+    long kvChargedTokens(KvAdmissionMode mode) const
+    {
+        if (mode == KvAdmissionMode::Reserve || restarts > 0 ||
+            predictedOutputTokens <= 0) {
+            return kvPeakTokens();
+        }
+        const int expected =
+            std::clamp(predictedOutputTokens, committedTokens + 1,
+                       outputCapTokens());
+        return static_cast<long>(request.inputLen) + expected;
+    }
+
+    /**
+     * Drop cached progress (cache context lost, discarded, or evicted).
+     * The single source of restart semantics: eviction, preemption
+     * restart and drop paths all reset through here so they cannot
+     * diverge.
+     */
+    void resetForRestart()
     {
         committedTokens = 0;
         prefillTokens = 0;

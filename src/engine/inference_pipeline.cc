@@ -23,6 +23,18 @@ toString(PipelinePhase phase)
     return "?";
 }
 
+const char *
+toString(KvAdmissionMode mode)
+{
+    switch (mode) {
+      case KvAdmissionMode::Reserve:
+        return "reserve";
+      case KvAdmissionMode::Optimistic:
+        return "optimistic";
+    }
+    return "?";
+}
+
 InferencePipeline::InferencePipeline(sim::Simulation &simulation,
                                      const cost::LatencyModel &latency,
                                      const par::ParallelConfig &config,
@@ -38,6 +50,27 @@ InferencePipeline::InferencePipeline(sim::Simulation &simulation,
     if (batching_.prefillChunkTokens < 0)
         throw std::invalid_argument(
             "InferencePipeline: negative prefill chunk");
+    const bool bounded = batching_.kvBudgetTokens != kUnboundedKvTokens;
+    if (bounded &&
+        batching_.kvAdmissionMode == KvAdmissionMode::Optimistic) {
+        if (!callbacks_.onEvict)
+            throw std::invalid_argument(
+                "InferencePipeline: optimistic admission under a bounded "
+                "budget requires the onEvict callback (evicted requests "
+                "must be requeued, not dropped)");
+        if (batching_.kvHighWatermarkTokens <= 0 ||
+            batching_.kvLowWatermarkTokens <= 0) {
+            const auto wm = cost::deriveKvWatermarks(
+                batching_.kvBudgetTokens, config_.batch);
+            batching_.kvHighWatermarkTokens = wm.high;
+            batching_.kvLowWatermarkTokens = wm.low;
+        }
+        if (batching_.kvLowWatermarkTokens >
+                batching_.kvHighWatermarkTokens ||
+            batching_.kvHighWatermarkTokens > batching_.kvBudgetTokens)
+            throw std::invalid_argument(
+                "InferencePipeline: need low <= high <= budget watermarks");
+    }
 }
 
 InferencePipeline::~InferencePipeline()
@@ -72,7 +105,7 @@ InferencePipeline::startBatch(std::vector<ActiveRequest> batch)
     // the rest run their prefill first.
     for (auto &r : batch_)
         normalizeProgress(r);
-    if (kvTokensReserved() > batching_.kvBudgetTokens)
+    if (kvTokensCharged() > batching_.kvBudgetTokens)
         throw std::invalid_argument(
             "InferencePipeline::startBatch: batch exceeds the KV budget");
     observeBoundary();
@@ -113,11 +146,20 @@ InferencePipeline::kvTokensReserved() const
 }
 
 long
+InferencePipeline::kvTokensCharged() const
+{
+    long charged = 0;
+    for (const auto &r : batch_)
+        charged += r.kvChargedTokens(batching_.kvAdmissionMode);
+    return charged;
+}
+
+long
 InferencePipeline::freeKvTokens() const
 {
     if (batching_.kvBudgetTokens == kUnboundedKvTokens)
         return kUnboundedKvTokens;
-    return std::max(0L, batching_.kvBudgetTokens - kvTokensReserved());
+    return std::max(0L, batching_.kvBudgetTokens - kvTokensCharged());
 }
 
 int
@@ -183,8 +225,183 @@ InferencePipeline::executing() const
 }
 
 void
+InferencePipeline::enforceKvPressure()
+{
+    deferPrefill_ = false;
+    if (batching_.kvAdmissionMode != KvAdmissionMode::Optimistic ||
+        batching_.kvBudgetTokens == kUnboundedKvTokens || batch_.empty())
+        return;
+    // A fully-covered batch (every member charged its worst case) cannot
+    // overflow: admission bounded the sum of peaks by the budget.  This
+    // keeps Reserve-equivalent workloads — cold predictor, or outputs
+    // that run to their cap — on the exact Reserve schedule.
+    bool under_covered = false;
+    for (const auto &r : batch_) {
+        if (r.kvChargedTokens(KvAdmissionMode::Optimistic) <
+            r.kvPeakTokens()) {
+            under_covered = true;
+            break;
+        }
+    }
+    if (!under_covered)
+        return;
+
+    const long budget = batching_.kvBudgetTokens;
+    const long high = batching_.kvHighWatermarkTokens;
+    const long low = batching_.kvLowWatermarkTokens;
+
+    std::vector<bool> gone(batch_.size(), false);
+    // Survivor scan with the yield decision applied: decode growth is one
+    // token per prefilled member; prefill growth is one chunk per
+    // non-frozen prefiller.
+    struct Scan
+    {
+        long held = 0;
+        long decodeGrowth = 0;
+        long prefillGrowth = 0;
+        bool anyDecoder = false;
+        bool anyPrefiller = false;
+    };
+    auto scan = [&] {
+        Scan s;
+        for (std::size_t i = 0; i < batch_.size(); ++i) {
+            if (gone[i])
+                continue;
+            const ActiveRequest &r = batch_[i];
+            s.held += r.kvTokensHeld();
+            if (r.prefilled) {
+                s.anyDecoder = true;
+                s.decodeGrowth += 1;
+            } else {
+                s.anyPrefiller = true;
+                s.prefillGrowth += prefillChunkFor(r);
+            }
+        }
+        return s;
+    };
+    // Decode-priority boundary scheduling: when the next step threatens
+    // the eviction watermark, chunked prefills yield their slot and only
+    // the incumbents' decode runs — near-complete deep decodes finish and
+    // release their KV instead of being squeezed out by new prefill work.
+    // Re-decided after every eviction: if the victims were the last
+    // decoders, the yield is moot and prefill growth counts again.
+    auto decideDefer = [&](const Scan &s) {
+        const bool defer =
+            s.anyDecoder && s.anyPrefiller && !haltPending_ &&
+            s.held + s.decodeGrowth + s.prefillGrowth > high;
+        deferPrefill_ = defer;
+        return defer;
+    };
+    auto pressure = [&](const Scan &s) {
+        long p = s.held + s.decodeGrowth;
+        if (!haltPending_ && !decideDefer(s))
+            p += s.prefillGrowth;
+        return p;
+    };
+
+    // Victim order: LIFO — youngest arrival first, least progress first.
+    // Restarted members are spared first (their full worst case is
+    // already charged; evicting them again would forfeit the storm
+    // guard), and the batch's oldest member is never evicted, which
+    // bounds the loop and guarantees forward progress.  (An oldest
+    // member admitted optimistically could in principle outgrow the
+    // budget alone — the serving layer prevents that by rejecting any
+    // request whose worst-case peak exceeds the replica budget on every
+    // admission path.)
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < batch_.size(); ++i) {
+        if (batch_[i].request.arrival < batch_[oldest].request.arrival ||
+            (batch_[i].request.arrival == batch_[oldest].request.arrival &&
+             batch_[i].request.id < batch_[oldest].request.id))
+            oldest = i;
+    }
+    std::vector<std::size_t> order;
+    order.reserve(batch_.size());
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+        if (i != oldest)
+            order.push_back(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         const ActiveRequest &ra = batch_[a];
+                         const ActiveRequest &rb = batch_[b];
+                         const int ca = ra.restarts > 0 ? 1 : 0;
+                         const int cb = rb.restarts > 0 ? 1 : 0;
+                         if (ca != cb)
+                             return ca < cb; // fresh members go first
+                         if (ra.request.arrival != rb.request.arrival)
+                             return ra.request.arrival > rb.request.arrival;
+                         if (ra.kvTokensHeld() != rb.kvTokensHeld())
+                             return ra.kvTokensHeld() < rb.kvTokensHeld();
+                         return ra.request.id > rb.request.id;
+                     });
+
+    std::vector<ActiveRequest> evicted;
+    // Mandatory pass: the OOM-free invariant — evict one victim at a
+    // time, re-deciding the yield after each, until the next step's held
+    // tokens fit the budget.
+    std::size_t next = 0;
+    while (true) {
+        const Scan s = scan();
+        if (pressure(s) <= budget)
+            break;
+        if (next >= order.size())
+            break; // only the protected oldest remains
+        gone[order[next]] = true;
+        evicted.push_back(batch_[order[next]]);
+        ++next;
+    }
+    if (!evicted.empty()) {
+        // Hysteresis pass: clear on down to the low watermark, but only
+        // by shedding un-started decodes (no committed output tokens —
+        // losing them costs at most their prefill).  Deep decodes are
+        // never cut beyond what the budget strictly requires.
+        for (std::size_t idx : order) {
+            if (gone[idx] || batch_[idx].committedTokens > 0)
+                continue;
+            if (pressure(scan()) <= low)
+                break;
+            gone[idx] = true;
+            evicted.push_back(batch_[idx]);
+        }
+        std::vector<ActiveRequest> survivors;
+        survivors.reserve(batch_.size() - evicted.size());
+        for (std::size_t i = 0; i < batch_.size(); ++i) {
+            if (!gone[i])
+                survivors.push_back(std::move(batch_[i]));
+        }
+        batch_ = std::move(survivors);
+        evictions_ += static_cast<long>(evicted.size());
+    }
+    // Final yield decision over the surviving batch: this is the flag the
+    // upcoming scheduleStep honours.
+    gone.assign(batch_.size(), false);
+    decideDefer(scan());
+    if (deferPrefill_)
+        ++prefillYields_;
+    if (!evicted.empty() && callbacks_.onEvict)
+        callbacks_.onEvict(*this, std::move(evicted));
+}
+
+void
 InferencePipeline::scheduleStep()
 {
+    // Optimistic admission: decide yields and evict before sizing the
+    // step, so the iteration that runs can never overflow the budget.
+    enforceKvPressure();
+    if (batch_.empty()) {
+        // Defensive: eviction spares the oldest member, so this only
+        // triggers on hand-built batches; fall through consistently.
+        if (haltPending_) {
+            enterHalted();
+        } else {
+            phase_ = PipelinePhase::Idle;
+            if (callbacks_.onIdle)
+                callbacks_.onIdle(*this);
+        }
+        return;
+    }
+
     int prefillers = 0;
     int decoders = 0;
     int max_chunk = 0;
@@ -194,16 +411,27 @@ InferencePipeline::scheduleStep()
         if (r.prefilled) {
             ++decoders;
             max_ctx = std::max(max_ctx, r.nextContextLen());
-        } else if (!haltPending_) {
+        } else if (!prefillFrozen()) {
             // While draining, requests still awaiting (the rest of) their
             // prefill are frozen: a prefill chunk cannot commit an output
             // token before the halt, so spending arranged grace time on
             // it would only delay the drain (already-committed chunks
             // migrate with the cache; the tail resumes or recomputes).
+            // Under watermark pressure (deferPrefill_) prefills likewise
+            // yield the step to the incumbents' decode.
             ++prefillers;
             max_chunk = std::max(max_chunk, prefillChunkFor(r));
             max_prefix = std::max(max_prefix, r.prefillTokens);
         }
+    }
+    if (prefillers == 0 && decoders == 0) {
+        // Every survivor is a frozen prefiller.  During a drain nothing
+        // left can commit a token before the halt, so drain now (eviction
+        // may have removed the last decoder after onBoundary's check).
+        // Outside a drain the yield requires a surviving decoder, so this
+        // is unreachable — but never schedule an empty iteration.
+        enterHalted();
+        return;
     }
     stepRanPrefill_ = prefillers > 0;
     phase_ = prefillers > 0 ? PipelinePhase::Prefill : PipelinePhase::Decode;
@@ -312,7 +540,7 @@ InferencePipeline::admitNewWork()
         batch_.push_back(std::move(r));
         ++admittedMidBatch_;
     }
-    if (kvTokensReserved() > batching_.kvBudgetTokens)
+    if (kvTokensCharged() > batching_.kvBudgetTokens)
         throw std::logic_error(
             "InferencePipeline::onAdmit overflowed the KV budget");
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "costmodel/latency_model.h"
+#include "costmodel/memory_model.h"
 #include "engine/active_request.h"
 #include "simcore/simulation.h"
 
@@ -49,9 +50,11 @@ struct BatchingOptions
 {
     /**
      * Per-replica KV-cache budget in tokens (MemoryModel::kvBudgetTokens).
-     * The pipeline enforces sum of kvPeakTokens() over the live batch <=
-     * budget at startBatch and at every admission.  kUnboundedKvTokens
-     * disables the check (fixed-B ablation mode).
+     * The pipeline enforces sum of kvChargedTokens() over the live batch
+     * <= budget at startBatch and at every admission, and (optimistic
+     * mode) keeps the *held* tokens under the budget at every iteration
+     * boundary by evicting victims.  kUnboundedKvTokens disables the
+     * check (fixed-B ablation mode).
      */
     long kvBudgetTokens = kUnboundedKvTokens;
 
@@ -62,6 +65,22 @@ struct BatchingOptions
      * input prefills in a single iteration.
      */
     int prefillChunkTokens = 0;
+
+    /**
+     * How requests are charged against the budget (default-on optimistic
+     * admission; Reserve keeps the worst-case reservation for the
+     * ablation).  A bounded-budget Optimistic pipeline requires the
+     * onEvict callback.
+     */
+    KvAdmissionMode kvAdmissionMode = KvAdmissionMode::Optimistic;
+
+    /**
+     * Eviction watermarks over the held KV tokens (optimistic mode; see
+     * cost::KvWatermarks).  Leave 0 to derive both from the budget and
+     * batch size via cost::deriveKvWatermarks.
+     */
+    long kvHighWatermarkTokens = 0;
+    long kvLowWatermarkTokens = 0;
 };
 
 /**
@@ -99,6 +118,18 @@ class InferencePipeline
          * statistics hang off this.
          */
         std::function<void(const InferencePipeline &)> onBoundary;
+        /**
+         * Optimistic admission evicted the given requests to keep the
+         * held KV tokens under the budget.  Their cache context is gone;
+         * committed progress is still intact when the callback fires (so
+         * the receiver can cost the lost work) and the receiver MUST
+         * reset it via ActiveRequest::resetForRestart before requeueing
+         * (RequestManager::requeueRestarted does both).  Required when
+         * kvAdmissionMode is Optimistic and the budget is bounded.
+         */
+        std::function<void(InferencePipeline &,
+                           std::vector<ActiveRequest>)>
+            onEvict;
     };
 
     InferencePipeline(sim::Simulation &simulation,
@@ -158,10 +189,18 @@ class InferencePipeline
     long kvTokensHeld() const;
     /** Worst-case KV tokens reserved by the live batch (sum of peaks). */
     long kvTokensReserved() const;
+    /** KV tokens the live batch is charged under the admission mode
+     *  (== kvTokensReserved in Reserve mode). */
+    long kvTokensCharged() const;
     /** The enforced per-replica budget (kUnboundedKvTokens = none). */
     long kvBudgetTokens() const { return batching_.kvBudgetTokens; }
+    /** The admission mode this pipeline charges requests under. */
+    KvAdmissionMode kvAdmissionMode() const
+    {
+        return batching_.kvAdmissionMode;
+    }
     /**
-     * Remaining admission headroom: budget minus reserved tokens
+     * Remaining admission headroom: budget minus charged tokens
      * (kUnboundedKvTokens when no budget is enforced).
      */
     long freeKvTokens() const;
@@ -172,6 +211,14 @@ class InferencePipeline
     long tokensCommitted() const { return tokensCommitted_; }
     /** Requests admitted at iteration boundaries (continuous batching). */
     long admittedMidBatch() const { return admittedMidBatch_; }
+    /** Requests evicted to keep the held KV under the budget.  The lost
+     *  work is costed by the onEvict receiver (LatencyModel::
+     *  recomputeTime — the victims' progress is intact at callback
+     *  time), keeping eviction costing single-source at the serving
+     *  layer. */
+    long evictionsPerformed() const { return evictions_; }
+    /** Steps in which prefill chunks yielded to decode (watermark). */
+    long prefillYields() const { return prefillYields_; }
 
   private:
     /** Size, cost and schedule the next iteration over the live batch. */
@@ -187,6 +234,18 @@ class InferencePipeline
     static void normalizeProgress(ActiveRequest &r);
     /** Fire the onBoundary observer. */
     void observeBoundary();
+    /**
+     * Optimistic mode, before each step: if the next iteration's KV
+     * growth would cross the high watermark, make prefills yield their
+     * slot to the decoders (decode-priority boundary scheduling); if it
+     * would overflow the budget, evict LIFO victims (youngest arrival,
+     * least progress first; restarted requests and the batch's oldest
+     * member are protected) until the held tokens plus the remaining
+     * growth fall to the low watermark, firing onEvict with the victims.
+     */
+    void enforceKvPressure();
+    /** A prefiller is frozen this step (drain or decode-priority). */
+    bool prefillFrozen() const { return haltPending_ || deferPrefill_; }
 
     sim::Simulation &sim_;
     const cost::LatencyModel &latency_;
@@ -203,10 +262,14 @@ class InferencePipeline
     long allowedIters_ = 0;
     /** The in-flight step includes prefill work (drain steps never do). */
     bool stepRanPrefill_ = false;
+    /** Prefills yield the current step to decode (watermark pressure). */
+    bool deferPrefill_ = false;
 
     long itersExecuted_ = 0;
     long tokensCommitted_ = 0;
     long admittedMidBatch_ = 0;
+    long evictions_ = 0;
+    long prefillYields_ = 0;
 };
 
 } // namespace engine

@@ -166,12 +166,38 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
         peakKvHeldTokens_ = std::max(peakKvHeldTokens_, p.kvTokensHeld());
         peakKvReservedTokens_ =
             std::max(peakKvReservedTokens_, p.kvTokensReserved());
+        peakConcurrentRequests_ = std::max(
+            peakConcurrentRequests_, static_cast<int>(p.batch().size()));
         if (kvObserver_)
             kvObserver_(p);
+    };
+    cb.onEvict = [this](engine::InferencePipeline &p,
+                        std::vector<engine::ActiveRequest> evicted) {
+        evictionsTotal_ += static_cast<long>(evicted.size());
+        for (const auto &r : evicted) {
+            evictedWorkSeconds_ += latency_.recomputeTime(
+                p.config(), r.request.inputLen, r.prefillTokens,
+                r.committedTokens);
+        }
+        // The victims' cache is gone: reset and requeue through the one
+        // shared restart path (they re-enter in arrival order, charged
+        // their full worst case — the eviction-storm guard).
+        requests_.requeueRestarted(std::move(evicted));
+        // The evicting pipeline is mid-boundary; let idle replicas with
+        // real headroom pick the work up once this event settles.
+        sim_.schedule(sim_.now(), [this] { dispatchPending(); });
     };
     engine::BatchingOptions batching;
     batching.kvBudgetTokens = replicaKvBudget(config);
     batching.prefillChunkTokens = prefillChunkTokens_;
+    batching.kvAdmissionMode = kvAdmissionMode_;
+    if (kvBudgetAdmission_ &&
+        kvAdmissionMode_ == engine::KvAdmissionMode::Optimistic) {
+        const cost::KvWatermarks wm =
+            memory_.kvWatermarks(config, memOptReserve_);
+        batching.kvHighWatermarkTokens = wm.high;
+        batching.kvLowWatermarkTokens = wm.low;
+    }
     return std::make_unique<engine::InferencePipeline>(
         sim_, latency_, config, index, std::move(cb), batching);
 }
@@ -245,11 +271,12 @@ BaseServingSystem::dispatchAll()
         return;
 
     // Deal the FIFO queue onto the least-loaded replica one request at a
-    // time (fewest requests, then least reserved KV): D small batches
+    // time (fewest requests, then least charged KV): D small batches
     // decode faster than one full batch and keep KV headroom even.
     const long budget = replicaKvBudget(deployment_->config);
+    const engine::KvAdmissionMode mode = kvAdmissionMode_;
     std::vector<std::vector<engine::ActiveRequest>> batches(ready.size());
-    std::vector<long> reserved(ready.size(), 0);
+    std::vector<long> charged(ready.size(), 0);
     while (!requests_.pendingEmpty()) {
         if (rejectUnservableHeads(budget) > 0)
             continue;
@@ -258,18 +285,18 @@ BaseServingSystem::dispatchAll()
         // Least-loaded replica with a free slot AND enough KV headroom
         // for the FIFO head; stop only when the head fits no replica
         // (strict head-blocking — nothing slips past it).
-        const long head_peak = requests_.pending().front().kvPeakTokens();
+        const long head_charge = requests_.headKvCharge(mode);
         int best = -1;
         for (int i = 0; i < static_cast<int>(ready.size()); ++i) {
             if (static_cast<int>(batches[i].size()) >=
                 deployment_->config.batch)
                 continue;
             if (budget != engine::kUnboundedKvTokens &&
-                reserved[i] + head_peak > budget)
+                charged[i] + head_charge > budget)
                 continue;
             if (best < 0 || batches[i].size() < batches[best].size() ||
                 (batches[i].size() == batches[best].size() &&
-                 reserved[i] < reserved[best])) {
+                 charged[i] < charged[best])) {
                 best = i;
             }
         }
@@ -277,11 +304,11 @@ BaseServingSystem::dispatchAll()
             break;
         const long headroom = budget == engine::kUnboundedKvTokens
                                   ? engine::kUnboundedKvTokens
-                                  : budget - reserved[best];
-        auto got = requests_.nextBatch(1, headroom);
+                                  : budget - charged[best];
+        auto got = requests_.nextBatch(1, headroom, mode, budget);
         if (got.empty())
             break;
-        reserved[best] += got.front().kvPeakTokens();
+        charged[best] += got.front().kvChargedTokens(mode);
         batches[best].push_back(std::move(got.front()));
     }
     for (std::size_t i = 0; i < ready.size(); ++i) {
@@ -324,9 +351,9 @@ BaseServingSystem::removePipeline(int idx)
 void
 BaseServingSystem::restartAndRequeue(std::vector<engine::ActiveRequest> batch)
 {
-    for (auto &r : batch)
-        r.restart();
-    requests_.requeue(std::move(batch));
+    // Single-source restart semantics (resetForRestart) shared with the
+    // eviction and drop paths, applied inside the request manager.
+    requests_.requeueRestarted(std::move(batch));
 }
 
 void
@@ -424,6 +451,14 @@ std::vector<engine::ActiveRequest>
 BaseServingSystem::admitAtBoundary(engine::InferencePipeline &pipeline,
                                    int free_slots)
 {
+    // A head whose worst-case peak exceeds the whole replica budget is
+    // unservable on every admission path.  Optimistic charging could
+    // admit it (its *predicted* footprint fits), but if the output then
+    // ran toward its cap no eviction could restore the budget once it
+    // became the protected oldest member — so it is rejected here exactly
+    // as idle-batch formation rejects it, keeping a request's fate
+    // independent of which admission path reaches it first.
+    rejectUnservableHeads(pipeline.kvBudgetTokens());
     // Replica balancing at the boundary: when other idle replicas could
     // start this work immediately in fresh (faster, lighter) batches, the
     // boundary admission only claims its even split of the queue and the
@@ -448,8 +483,9 @@ BaseServingSystem::admitAtBoundary(engine::InferencePipeline &pipeline,
         slots = static_cast<int>(
             std::min<long>(slots, std::max<long>(1, share)));
     }
-    auto admitted =
-        requests_.admitAtBoundary(slots, pipeline.freeKvTokens());
+    auto admitted = requests_.admitAtBoundary(slots, pipeline.freeKvTokens(),
+                                              pipeline.kvAdmissionMode(),
+                                              pipeline.kvBudgetTokens());
     // The asking pipeline is mid-boundary (not idle), so dispatchAll only
     // touches the others.
     if (idle_others > 0 && !requests_.pendingEmpty())

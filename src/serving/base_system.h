@@ -65,6 +65,12 @@ class BaseServingSystem : public ServingSystem
     long peakKvHeldTokens() const { return peakKvHeldTokens_; }
     /** Largest worst-case KV reservation any replica reached (tokens). */
     long peakKvReservedTokens() const { return peakKvReservedTokens_; }
+    /** Largest live batch any replica reached at a boundary (requests). */
+    int peakConcurrentRequests() const { return peakConcurrentRequests_; }
+    /** Requests evicted by optimistic admission across all pipelines. */
+    long evictionsTotal() const { return evictionsTotal_; }
+    /** Committed work (seconds to recompute) those evictions discarded. */
+    double evictedWorkSeconds() const { return evictedWorkSeconds_; }
 
   protected:
     /** Active deployment: configuration, mesh, one pipeline per replica. */
@@ -158,6 +164,14 @@ class BaseServingSystem : public ServingSystem
     /** Hook: a replica finished its batch (default: refill from queue). */
     virtual void onPipelineIdle(engine::InferencePipeline &pipeline);
 
+    /**
+     * Hook: hand queued work to idle replicas (used by the eviction
+     * path's deferred redispatch).  Default: dispatchAll over the
+     * deployment; systems with their own pipeline pools (rerouting
+     * slots) override with their dispatcher.
+     */
+    virtual void dispatchPending() { dispatchAll(); }
+
     /** Hook: a replica drained after haltAfter(). */
     virtual void onPipelineHalted(engine::InferencePipeline &pipeline);
 
@@ -197,6 +211,21 @@ class BaseServingSystem : public ServingSystem
     /** Chunked-prefill chunk size in tokens (0 = unchunked). */
     void setPrefillChunkTokens(int tokens) { prefillChunkTokens_ = tokens; }
     int prefillChunkTokens() const { return prefillChunkTokens_; }
+
+    /**
+     * How admission charges requests against the KV budget (takes effect
+     * for pipelines built after the call).  Optimistic (default) charges
+     * held + predicted tokens and relies on watermark eviction; Reserve
+     * keeps PR 2's worst-case reservation for the ablation.
+     */
+    void setKvAdmissionMode(engine::KvAdmissionMode mode)
+    {
+        kvAdmissionMode_ = mode;
+    }
+    engine::KvAdmissionMode kvAdmissionMode() const
+    {
+        return kvAdmissionMode_;
+    }
 
     /**
      * Whether the migration reserve deducted from the KV budget assumes
@@ -240,9 +269,14 @@ class BaseServingSystem : public ServingSystem
     bool kvBudgetAdmission_ = true;
     int prefillChunkTokens_ = 0;
     bool memOptReserve_ = true;
+    engine::KvAdmissionMode kvAdmissionMode_ =
+        engine::KvAdmissionMode::Optimistic;
     std::function<void(const engine::InferencePipeline &)> kvObserver_;
     long peakKvHeldTokens_ = 0;
     long peakKvReservedTokens_ = 0;
+    int peakConcurrentRequests_ = 0;
+    long evictionsTotal_ = 0;
+    double evictedWorkSeconds_ = 0.0;
 
     /** What each GPU's context daemon holds (survives clearDeployment). */
     std::unordered_map<par::GpuId, engine::GpuContext> holdings_;

@@ -58,6 +58,9 @@ runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
             dynamic_cast<const BaseServingSystem *>(system.get())) {
         result.peakKvReservedTokens = base->peakKvReservedTokens();
         result.peakKvHeldTokens = base->peakKvHeldTokens();
+        result.peakConcurrentRequests = base->peakConcurrentRequests();
+        result.evictions = base->evictionsTotal();
+        result.evictedWorkSeconds = base->evictedWorkSeconds();
     }
     return result;
 }

@@ -55,6 +55,15 @@ struct ExperimentResult
     long peakKvReservedTokens = 0;
     long peakKvHeldTokens = 0;
 
+    /** Largest live batch any replica reached at a boundary (requests) —
+     *  the admitted concurrency the Reserve/Optimistic ablation compares. */
+    int peakConcurrentRequests = 0;
+
+    /** Requests evicted by optimistic admission, and the committed work
+     *  (seconds to recompute) those evictions discarded. */
+    long evictions = 0;
+    double evictedWorkSeconds = 0.0;
+
     /** USD per generated output token. */
     double costPerToken() const
     {

@@ -1,0 +1,61 @@
+#include "serving/output_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spotserve {
+namespace serving {
+
+OutputLengthPredictor::OutputLengthPredictor(double quantile, int warmup)
+    : quantile_(quantile), warmup_(warmup)
+{
+    if (quantile <= 0.0 || quantile >= 1.0)
+        throw std::invalid_argument(
+            "OutputLengthPredictor: quantile must be in (0, 1)");
+    if (warmup < 1)
+        throw std::invalid_argument(
+            "OutputLengthPredictor: warmup must be >= 1");
+}
+
+void
+OutputLengthPredictor::observe(int output_len)
+{
+    if (output_len < 1)
+        return;
+    const double x = static_cast<double>(output_len);
+    if (observed_ == 0) {
+        quantile_estimate_ = x;
+        ++observed_;
+        return;
+    }
+    // Stochastic quantile tracking: step towards the sample with
+    // asymmetric rates (up with weight tau, down with 1 - tau), the step
+    // scaled by an EWMA of the absolute deviation so the estimate adapts
+    // to the distribution's spread.  A constant-length workload keeps the
+    // estimate exactly on the (only) observed value.
+    constexpr double kDevEwma = 0.1;
+    deviation_ =
+        (1.0 - kDevEwma) * deviation_ + kDevEwma * std::abs(x - quantile_estimate_);
+    const double step = std::max(1.0, 0.5 * deviation_);
+    if (x > quantile_estimate_)
+        quantile_estimate_ += step * quantile_;
+    else if (x < quantile_estimate_)
+        quantile_estimate_ -= step * (1.0 - quantile_);
+    quantile_estimate_ = std::max(1.0, quantile_estimate_);
+    ++observed_;
+}
+
+int
+OutputLengthPredictor::predict(int output_cap) const
+{
+    const int cap = std::max(1, output_cap);
+    if (!warm())
+        return cap;
+    const int expected =
+        static_cast<int>(std::ceil(quantile_estimate_ + deviation_));
+    return std::clamp(expected, 1, cap);
+}
+
+} // namespace serving
+} // namespace spotserve

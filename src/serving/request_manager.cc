@@ -44,17 +44,44 @@ RequestManager::requeue(std::vector<engine::ActiveRequest> requests)
                      });
 }
 
+void
+RequestManager::requeueRestarted(std::vector<engine::ActiveRequest> requests)
+{
+    for (auto &r : requests)
+        r.resetForRestart();
+    requeue(std::move(requests));
+}
+
+void
+RequestManager::stampPrediction(engine::ActiveRequest &request,
+                                engine::KvAdmissionMode mode)
+{
+    if (mode != engine::KvAdmissionMode::Optimistic)
+        return;
+    request.predictedOutputTokens =
+        predictor_.predict(request.outputCapTokens());
+}
+
 std::vector<engine::ActiveRequest>
-RequestManager::popAdmissible(int max_count, long kv_budget_tokens)
+RequestManager::popAdmissible(int max_count, long kv_budget_tokens,
+                              engine::KvAdmissionMode mode,
+                              long replica_budget_tokens)
 {
     std::vector<engine::ActiveRequest> batch;
     long remaining = kv_budget_tokens;
     while (!pending_.empty() && static_cast<int>(batch.size()) < max_count) {
-        const engine::ActiveRequest &head = pending_.front();
+        engine::ActiveRequest &head = pending_.front();
+        stampPrediction(head, mode);
+        // Unservable whatever its optimistic charge: head-block until a
+        // rejection site drops it.
+        if (replica_budget_tokens != engine::kUnboundedKvTokens &&
+            head.kvPeakTokens() > replica_budget_tokens)
+            break;
         if (remaining != engine::kUnboundedKvTokens) {
-            if (head.kvPeakTokens() > remaining)
+            const long charge = head.kvChargedTokens(mode);
+            if (charge > remaining)
                 break; // strict FIFO: nothing may slip past the head
-            remaining -= head.kvPeakTokens();
+            remaining -= charge;
         }
         batch.push_back(head);
         pending_.pop_front();
@@ -63,17 +90,33 @@ RequestManager::popAdmissible(int max_count, long kv_budget_tokens)
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::nextBatch(int max_size, long kv_budget_tokens)
+RequestManager::nextBatch(int max_size, long kv_budget_tokens,
+                          engine::KvAdmissionMode mode,
+                          long replica_budget_tokens)
 {
-    return popAdmissible(max_size, kv_budget_tokens);
+    return popAdmissible(max_size, kv_budget_tokens, mode,
+                         replica_budget_tokens);
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::admitAtBoundary(int free_slots, long free_kv_tokens)
+RequestManager::admitAtBoundary(int free_slots, long free_kv_tokens,
+                                engine::KvAdmissionMode mode,
+                                long replica_budget_tokens)
 {
-    auto admitted = popAdmissible(free_slots, free_kv_tokens);
+    auto admitted = popAdmissible(free_slots, free_kv_tokens, mode,
+                                  replica_budget_tokens);
     midBatchAdmissions_ += static_cast<long>(admitted.size());
     return admitted;
+}
+
+long
+RequestManager::headKvCharge(engine::KvAdmissionMode mode)
+{
+    if (pending_.empty())
+        throw std::logic_error("RequestManager::headKvCharge: empty queue");
+    engine::ActiveRequest &head = pending_.front();
+    stampPrediction(head, mode);
+    return head.kvChargedTokens(mode);
 }
 
 wl::RequestId
@@ -123,6 +166,9 @@ RequestManager::complete(const engine::ActiveRequest &request)
                                             request.request.arrival, latency,
                                             request.restarts});
     tokensGenerated_ += request.request.outputLen;
+    // The completed length is the ground truth optimistic admission
+    // learns from (the only place the actual EOS point becomes known).
+    predictor_.observe(request.request.outputLen);
 }
 
 } // namespace serving

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "engine/active_request.h"
+#include "serving/output_predictor.h"
 #include "simcore/simulation.h"
 #include "simcore/stats.h"
 #include "workload/request.h"
@@ -60,28 +61,51 @@ class RequestManager
     void requeue(std::vector<engine::ActiveRequest> requests);
 
     /**
-     * Pop up to @p max_size pending requests, oldest first, whose
-     * worst-case KV growth (kvPeakTokens) fits @p kv_budget_tokens.
-     * Only fresh/restarted/mid-prefill work lives in the queue (committed
+     * Reset @p requests through ActiveRequest::resetForRestart (the
+     * single source of restart semantics) and requeue them.  The one path
+     * every cache-losing interruption shares: eviction, preemption
+     * restart, displaced-batch drops.
+     */
+    void requeueRestarted(std::vector<engine::ActiveRequest> requests);
+
+    /**
+     * Pop up to @p max_size pending requests, oldest first, whose KV
+     * charge under @p mode (worst-case peak in Reserve, predicted output
+     * in Optimistic — the predictor estimate is stamped on the request as
+     * it is popped) fits @p kv_budget_tokens.  Only
+     * fresh/restarted/mid-prefill work lives in the queue (committed
      * decode progress == 0); recovered batches are handed to pipelines
      * directly by the serving systems.
      */
     std::vector<engine::ActiveRequest>
     nextBatch(int max_size,
-              long kv_budget_tokens = engine::kUnboundedKvTokens);
+              long kv_budget_tokens = engine::kUnboundedKvTokens,
+              engine::KvAdmissionMode mode = engine::KvAdmissionMode::Reserve,
+              long replica_budget_tokens = engine::kUnboundedKvTokens);
 
     /**
      * Iteration-level scheduler (continuous batching): pack a live batch
      * back up to capacity at a decode-iteration boundary by popping up to
-     * @p free_slots pending requests whose worst-case KV growth fits the
-     * replica's remaining budget @p free_kv_tokens.  FIFO fairness holds
-     * across requeues and interruptions because the queue is kept in
-     * arrival order.  Counted separately from idle-pipeline batch
+     * @p free_slots pending requests whose KV charge under @p mode fits
+     * the replica's remaining budget @p free_kv_tokens.  FIFO fairness
+     * holds across requeues and interruptions because the queue is kept
+     * in arrival order.  Counted separately from idle-pipeline batch
      * formation so benches and tests can observe mid-batch admission.
      */
     std::vector<engine::ActiveRequest>
     admitAtBoundary(int free_slots,
-                    long free_kv_tokens = engine::kUnboundedKvTokens);
+                    long free_kv_tokens = engine::kUnboundedKvTokens,
+                    engine::KvAdmissionMode mode =
+                        engine::KvAdmissionMode::Reserve,
+                    long replica_budget_tokens = engine::kUnboundedKvTokens);
+
+    /**
+     * KV tokens the queue head would be charged under @p mode (stamping a
+     * fresh prediction on it first).  Used by idle-batch formation to
+     * pick a replica with enough headroom before popping.
+     * @pre the queue is not empty.
+     */
+    long headKvCharge(engine::KvAdmissionMode mode);
 
     /** Requests admitted into live batches at iteration boundaries. */
     long midBatchAdmissions() const { return midBatchAdmissions_; }
@@ -111,8 +135,19 @@ class RequestManager
     double estimatedArrivalRate() const;
     double estimatedArrivalRate(double window_seconds) const;
 
-    /** Record a finished request. */
+    /** Record a finished request (feeds the output-length predictor). */
     void complete(const engine::ActiveRequest &request);
+
+    /**
+     * The output-length predictor optimistic admission charges against
+     * (mutable access so tests and warm-started deployments can prime
+     * it with historical completions).
+     */
+    OutputLengthPredictor &outputPredictor() { return predictor_; }
+    const OutputLengthPredictor &outputPredictor() const
+    {
+        return predictor_;
+    }
 
     /** Latency distribution over completed requests. */
     const sim::LatencyRecorder &latencies() const { return latencies_; }
@@ -150,13 +185,31 @@ class RequestManager
      * the KV budget.  Deliberately strict FIFO head-blocking — a large
      * request at the queue head is never overtaken by smaller newcomers,
      * so it cannot be starved under a tight budget (it admits as soon as
-     * enough in-flight reservations drain).
+     * enough in-flight reservations drain).  Under Optimistic mode a
+     * request is charged its predicted output (stamped here) unless it
+     * was restarted before, in which case it is charged its full peak —
+     * the eviction-storm guard: a just-evicted request only re-admits
+     * into genuine worst-case headroom, so it can never immediately push
+     * a second victim out.  A head whose worst-case peak exceeds
+     * @p replica_budget_tokens never pops, whatever its optimistic
+     * charge: such a request is unservable (if its output ran to the cap
+     * no eviction could save the replica once it became the protected
+     * oldest member) and head-blocks until a rejection site
+     * (rejectUnservableHeads) drops it — the check must live in this
+     * shared pop, not only at the heads the call sites inspect, because
+     * a multi-request pop exposes new heads mid-call.
      */
-    std::vector<engine::ActiveRequest> popAdmissible(int max_count,
-                                                     long kv_budget_tokens);
+    std::vector<engine::ActiveRequest>
+    popAdmissible(int max_count, long kv_budget_tokens,
+                  engine::KvAdmissionMode mode, long replica_budget_tokens);
+
+    /** Stamp a fresh predictor estimate on @p request (Optimistic). */
+    void stampPrediction(engine::ActiveRequest &request,
+                         engine::KvAdmissionMode mode);
 
     sim::Simulation &sim_;
     double rateWindow_;
+    OutputLengthPredictor predictor_;
 
     std::deque<engine::ActiveRequest> pending_;
     mutable std::deque<sim::SimTime> recentArrivals_;

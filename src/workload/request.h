@@ -27,7 +27,23 @@ struct Request
     RequestId id = kInvalidRequest;
     sim::SimTime arrival = 0.0;
     int inputLen = 512;
+
+    /**
+     * Actual generated output length: decoding stops (EOS) after this many
+     * tokens.  The serving system does not know this value up front — it
+     * only learns it when the request completes (admission may consult the
+     * output-length predictor, never this field).
+     */
     int outputLen = 128;
+
+    /**
+     * Declared generation cap (the API caller's max-tokens), known at
+     * admission time.  0 means "no cap beyond outputLen" (the worst case
+     * equals the actual length, as in the paper's fixed S_out workloads).
+     * When a workload models early stopping, outputCap > outputLen and
+     * worst-case KV reservations are pessimistic by the difference.
+     */
+    int outputCap = 0;
 };
 
 } // namespace wl

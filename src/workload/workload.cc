@@ -65,6 +65,21 @@ fluctuating(const std::function<double(sim::SimTime)> &rate_at, double cv,
     return out;
 }
 
+void
+capOutputs(Workload &workload, int output_cap, int min_actual,
+           int max_actual, sim::Rng &rng)
+{
+    if (output_cap < 1)
+        throw std::invalid_argument("capOutputs: cap must be >= 1");
+    if (min_actual < 1 || max_actual < min_actual || max_actual > output_cap)
+        throw std::invalid_argument(
+            "capOutputs: need 1 <= min_actual <= max_actual <= cap");
+    for (auto &r : workload) {
+        r.outputCap = output_cap;
+        r.outputLen = static_cast<int>(rng.uniformInt(min_actual, max_actual));
+    }
+}
+
 double
 meanRate(const Workload &workload, sim::SimTime duration)
 {

@@ -44,6 +44,17 @@ Workload fluctuating(const std::function<double(sim::SimTime)> &rate_at,
                      double cv, sim::SimTime duration,
                      const cost::SeqSpec &seq, sim::Rng &rng);
 
+/**
+ * Turn a fixed-length workload into an early-stopping one: every request
+ * declares @p output_cap as its generation cap (max-tokens) while its
+ * actual (EOS) output length is drawn uniformly from
+ * [@p min_actual, @p max_actual].  This is the workload shape on which
+ * worst-case (Reserve) KV admission is pessimistic by cap/actual and
+ * optimistic admission recovers the difference.
+ */
+void capOutputs(Workload &workload, int output_cap, int min_actual,
+                int max_actual, sim::Rng &rng);
+
 /** Empirical mean arrival rate of a workload over its span. */
 double meanRate(const Workload &workload, sim::SimTime duration);
 

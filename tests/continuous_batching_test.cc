@@ -171,7 +171,7 @@ TEST(ContinuousBatchingTest, FifoFairnessAcrossRequeueAndInterruption)
     auto batch = mgr.nextBatch(2);
     ASSERT_EQ(batch.size(), 2u);
     for (auto &r : batch)
-        r.restart();
+        r.resetForRestart();
     mgr.requeue(std::move(batch));
 
     // Boundary admission hands them back in arrival order, ahead of the

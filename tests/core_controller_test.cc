@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <optional>
+
 #include "core/controller.h"
 
 namespace spotserve::core {
@@ -161,6 +165,140 @@ TEST(WorthReconfiguringTest, GatesMarginalChanges)
     big.estimatedLatency = d.estimatedLatency;
     EXPECT_TRUE(
         worthReconfiguring(thr, kSeq, current, 8, big, 0.35, 0.35, 500, 6.0));
+}
+
+/**
+ * Reference (pre-memoisation) chooseConfig: the literal any-meets / SLO /
+ * band / max-phi scans, re-evaluating throughput() and requestLatency()
+ * at every use exactly like the old implementation did.  The memoised
+ * production path must make byte-identical decisions.
+ */
+std::optional<ControllerDecision>
+referenceChoose(const cost::ConfigSpace &space,
+                const cost::ThroughputModel &thr,
+                const ControllerOptions &options, int instances, double rate)
+{
+    const auto candidates = space.enumerate(instances);
+    if (candidates.empty())
+        return std::nullopt;
+    auto prefer = [&space](const par::ParallelConfig &a,
+                           const par::ParallelConfig &b) {
+        const int ia = space.instancesNeeded(a);
+        const int ib = space.instancesNeeded(b);
+        if (ia != ib)
+            return ia < ib;
+        if (a.totalGpus() != b.totalGpus())
+            return a.totalGpus() < b.totalGpus();
+        if (a.pp != b.pp)
+            return a.pp < b.pp;
+        if (a.batch != b.batch)
+            return a.batch < b.batch;
+        return a.tp < b.tp;
+    };
+    bool any_meets = false;
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (const auto &c : candidates) {
+        const double phi = thr.throughput(c, kSeq);
+        if (phi >= rate) {
+            any_meets = true;
+            best_latency = std::min(
+                best_latency,
+                thr.requestLatency(c, kSeq, rate, options.arrivalCv));
+        }
+    }
+    ControllerDecision best;
+    bool have = false;
+    if (any_meets && options.sloLatency > 0.0) {
+        for (const auto &c : candidates) {
+            const double phi = thr.throughput(c, kSeq);
+            if (phi < rate)
+                continue;
+            const double l =
+                thr.requestLatency(c, kSeq, rate, options.arrivalCv);
+            if (l > options.sloLatency)
+                continue;
+            if (!have || prefer(c, best.config)) {
+                best = ControllerDecision{c, l, phi, true,
+                                          space.instancesNeeded(c)};
+                have = true;
+            }
+        }
+        if (have)
+            return best;
+    }
+    if (any_meets) {
+        const double band = best_latency * options.latencyTolerance;
+        for (const auto &c : candidates) {
+            const double phi = thr.throughput(c, kSeq);
+            if (phi < rate)
+                continue;
+            const double l =
+                thr.requestLatency(c, kSeq, rate, options.arrivalCv);
+            if (l > band)
+                continue;
+            if (!have || prefer(c, best.config)) {
+                best = ControllerDecision{c, l, phi, true,
+                                          space.instancesNeeded(c)};
+                have = true;
+            }
+        }
+    } else {
+        double best_phi = -1.0;
+        for (const auto &c : candidates) {
+            const double phi = thr.throughput(c, kSeq);
+            const bool better =
+                phi > best_phi * (1.0 + 1e-9) ||
+                (std::abs(phi - best_phi) <= best_phi * 1e-9 && have &&
+                 prefer(c, best.config));
+            if (!have || better) {
+                best = ControllerDecision{
+                    c, std::numeric_limits<double>::infinity(), phi, false,
+                    space.instancesNeeded(c)};
+                best_phi = std::max(best_phi, phi);
+                have = true;
+            }
+        }
+    }
+    if (!have)
+        return std::nullopt;
+    return best;
+}
+
+TEST(ControllerTest, MemoisedSweepMatchesReferenceByteForByte)
+{
+    // Regression for the memoised candidate evaluation: across models,
+    // fleet sizes, arrival rates and both objectives (latency and SLO),
+    // the decision must be byte-identical to the reference scans.
+    for (const auto &spec :
+         {model::ModelSpec::opt6_7b(), model::ModelSpec::gpt20b()}) {
+        for (double slo : {0.0, 20.0}) {
+            ControllerOptions options;
+            options.sloLatency = slo;
+            ParallelizationController ctrl(spec, kParams, kSeq, {}, options);
+            for (int n = 0; n <= 8; ++n) {
+                for (double rate :
+                     {0.0, 0.05, 0.2, 0.35, 0.7, 1.5, 3.0, 10.0}) {
+                    const auto got = ctrl.chooseConfig(n, rate);
+                    const auto want =
+                        referenceChoose(ctrl.space(),
+                                        ctrl.throughputModel(), options, n,
+                                        rate);
+                    ASSERT_EQ(got.has_value(), want.has_value())
+                        << spec.name() << " n=" << n << " rate=" << rate
+                        << " slo=" << slo;
+                    if (!got)
+                        continue;
+                    EXPECT_EQ(got->config, want->config)
+                        << spec.name() << " n=" << n << " rate=" << rate
+                        << " slo=" << slo;
+                    EXPECT_EQ(got->estimatedLatency, want->estimatedLatency);
+                    EXPECT_EQ(got->throughput, want->throughput);
+                    EXPECT_EQ(got->meetsDemand, want->meetsDemand);
+                    EXPECT_EQ(got->instancesNeeded, want->instancesNeeded);
+                }
+            }
+        }
+    }
 }
 
 TEST(ControllerTest, FeasibleSetHonoursMemOptPlannerFlag)

@@ -284,6 +284,31 @@ TEST(ConfigSpaceTest, EnumerationRespectsBudget)
     }
 }
 
+TEST(ConfigSpaceTest, EnumerateIsTheSingleEntryPoint)
+{
+    // enumerate(n) is the one documented enumeration path (the former
+    // enumerateUpTo alias was only correct because enumerate filters by
+    // instancesNeeded(c) <= n).  Pin the contract both ways: nothing over
+    // budget leaks out, and enumerate(m) for a smaller budget m is
+    // exactly enumerate(n) filtered to instancesNeeded <= m — so callers
+    // that pass an upper bound (Algorithm 1 lines 2-3) see every config a
+    // larger fleet could host, no more and no less.
+    ConfigSpace space(ModelSpec::opt6_7b(), kParams, kSeq);
+    const auto all = space.enumerate(12);
+    ASSERT_FALSE(all.empty());
+    for (int m : {1, 2, 3, 6, 12}) {
+        std::vector<ParallelConfig> filtered;
+        for (const auto &c : all) {
+            if (space.instancesNeeded(c) <= m)
+                filtered.push_back(c);
+        }
+        const auto direct = space.enumerate(m);
+        ASSERT_EQ(direct.size(), filtered.size()) << "m=" << m;
+        for (std::size_t i = 0; i < direct.size(); ++i)
+            EXPECT_EQ(direct[i], filtered[i]) << "m=" << m << " i=" << i;
+    }
+}
+
 TEST(ConfigSpaceTest, GptNeedsThreeInstances)
 {
     ConfigSpace space(ModelSpec::gpt20b(), kParams, kSeq);

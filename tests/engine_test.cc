@@ -189,7 +189,7 @@ TEST(ActiveRequestTest, RestartResetsProgress)
     ActiveRequest r = makeRequest(1, 40);
     EXPECT_EQ(r.nextContextLen(), 512 + 40 + 1);
     EXPECT_FALSE(r.done());
-    r.restart();
+    r.resetForRestart();
     EXPECT_EQ(r.committedTokens, 0);
     EXPECT_EQ(r.restarts, 1);
     r.committedTokens = 128;

@@ -48,7 +48,7 @@ TEST(RequestManagerTest, RequeueRestoresArrivalOrder)
     auto batch = mgr.nextBatch(2); // ids 0, 1 leave the queue
     // They get interrupted and restarted.
     for (auto &r : batch)
-        r.restart();
+        r.resetForRestart();
     mgr.requeue(batch);
     const auto next = mgr.nextBatch(3);
     ASSERT_EQ(next.size(), 3u);

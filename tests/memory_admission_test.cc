@@ -46,6 +46,16 @@ makeRequest(wl::RequestId id, sim::SimTime arrival = 0.0, int input_len = 512,
     return r;
 }
 
+/** A request that declares a generation cap above its actual length. */
+wl::Request
+makeCapped(wl::RequestId id, sim::SimTime arrival, int input_len,
+           int actual_output, int output_cap)
+{
+    wl::Request r = makeRequest(id, arrival, input_len, actual_output);
+    r.outputCap = output_cap;
+    return r;
+}
+
 /**
  * Engine-level harness: one pipeline fed from a RequestManager through
  * the budget-aware admission paths, with the KV invariant checked at
@@ -99,6 +109,9 @@ struct BudgetedServer
         batching.kvBudgetTokens =
             enforce_budget ? budget : engine::kUnboundedKvTokens;
         batching.prefillChunkTokens = chunk_tokens;
+        // This harness exercises the reservation-based (PR 2) admission
+        // semantics; the optimistic mode has its own harness below.
+        batching.kvAdmissionMode = engine::KvAdmissionMode::Reserve;
         pipeline = std::make_unique<engine::InferencePipeline>(
             sim, latency, config, 0, std::move(cb), batching);
     }
@@ -710,6 +723,7 @@ struct TestSystem : serving::BaseServingSystem
     void onInstancePreempted(const cluster::Instance &) override {}
     void onInstanceReleased(const cluster::Instance &) override {}
 
+    using BaseServingSystem::admitAtBoundary;
     using BaseServingSystem::deployment;
     using BaseServingSystem::dispatchAll;
     using BaseServingSystem::installDeployment;
@@ -777,6 +791,529 @@ TEST(ReplicaBalancingTest, OversizedRequestIsRejectedNotHeadBlocking)
     sim.run();
     EXPECT_EQ(requests.completedCount(), 1);
     EXPECT_EQ(requests.completions().front().id, 1);
+}
+
+// ---------------------------------------------------------------------
+// Optimistic admission: predictor, eviction, watermarks
+// ---------------------------------------------------------------------
+
+/**
+ * Engine-level harness for the optimistic mode: one pipeline fed from a
+ * RequestManager with predictor-charged admission, eviction wired back
+ * into the queue through the shared restart path, and the *held*-KV
+ * invariant (the one optimistic mode guarantees) checked at every
+ * boundary.
+ */
+struct OptimisticServer
+{
+    sim::Simulation sim;
+    model::ModelSpec spec;
+    cost::LatencyModel latency;
+    par::ParallelConfig config;
+    serving::RequestManager requests{sim};
+    std::unique_ptr<engine::InferencePipeline> pipeline;
+
+    engine::KvAdmissionMode mode;
+    long budget;
+    long boundaries = 0;
+    long violations = 0;
+    int peakConcurrency = 0;
+    std::map<wl::RequestId, sim::SimTime> completedAt;
+
+    OptimisticServer(const model::ModelSpec &model_spec,
+                     const par::ParallelConfig &cfg, long kv_budget,
+                     int chunk_tokens, engine::KvAdmissionMode admission_mode)
+        : spec(model_spec), latency(spec, kParams), config(cfg),
+          mode(admission_mode), budget(kv_budget)
+    {
+        engine::InferencePipeline::Callbacks cb;
+        cb.onRequestComplete = [this](const engine::ActiveRequest &r) {
+            completedAt[r.request.id] = sim.now();
+            requests.complete(r);
+        };
+        cb.onIdle = [this](engine::InferencePipeline &) { dispatch(); };
+        cb.onAdmit = [this](engine::InferencePipeline &p, int free_slots) {
+            return requests.admitAtBoundary(free_slots, p.freeKvTokens(),
+                                            mode);
+        };
+        cb.onBoundary = [this](const engine::InferencePipeline &p) {
+            ++boundaries;
+            // Optimistic mode promises the *held* tokens never exceed the
+            // budget at a boundary (worst-case reservations may).
+            if (p.kvTokensHeld() > budget)
+                ++violations;
+            peakConcurrency = std::max(peakConcurrency,
+                                       static_cast<int>(p.batch().size()));
+        };
+        cb.onEvict = [this](engine::InferencePipeline &,
+                            std::vector<engine::ActiveRequest> evicted) {
+            requests.requeueRestarted(std::move(evicted));
+        };
+        engine::BatchingOptions batching;
+        batching.kvBudgetTokens = budget;
+        batching.prefillChunkTokens = chunk_tokens;
+        batching.kvAdmissionMode = mode;
+        pipeline = std::make_unique<engine::InferencePipeline>(
+            sim, latency, config, 0, std::move(cb), batching);
+    }
+
+    void dispatch()
+    {
+        if (!pipeline->idle() || pipeline->haltPending() ||
+            requests.pendingEmpty()) {
+            return;
+        }
+        auto batch =
+            requests.nextBatch(config.batch, pipeline->freeKvTokens(), mode);
+        if (!batch.empty())
+            pipeline->startBatch(std::move(batch));
+    }
+
+    void submit(const wl::Request &r)
+    {
+        requests.submit(r);
+        dispatch();
+    }
+
+    void drive(const wl::Workload &workload)
+    {
+        for (const auto &req : workload)
+            sim.schedule(req.arrival, [this, req] { submit(req); });
+    }
+};
+
+TEST(OutputPredictorTest, ColdStartFallsBackToCap)
+{
+    serving::OutputLengthPredictor p;
+    EXPECT_FALSE(p.warm());
+    EXPECT_EQ(p.predict(512), 512); // cold: the cap, i.e. Reserve behavior
+    for (int i = 0; i < 15; ++i) {
+        p.observe(16);
+        EXPECT_EQ(p.predict(512), 512) << "still cold after " << i + 1;
+    }
+    p.observe(16);
+    EXPECT_TRUE(p.warm());
+    // Warm on a short-output workload: far below the cap, above the data.
+    EXPECT_LE(p.predict(512), 64);
+    EXPECT_GE(p.predict(512), 16);
+    // The prediction is clamped to the per-request cap.
+    EXPECT_EQ(p.predict(8), 8);
+}
+
+TEST(OutputPredictorTest, ConstantLengthsPredictExactly)
+{
+    // A fixed-S_out workload (the paper's default) must predict exactly
+    // its length: optimistic charges then equal the worst case and the
+    // engine stays on the Reserve schedule.
+    serving::OutputLengthPredictor p;
+    for (int i = 0; i < 32; ++i)
+        p.observe(128);
+    EXPECT_EQ(p.predict(128), 128);
+    EXPECT_EQ(p.predict(512), 128);
+}
+
+TEST(OutputPredictorTest, TracksAHighQuantileOfMixedLengths)
+{
+    serving::OutputLengthPredictor p;
+    for (int i = 0; i < 200; ++i)
+        p.observe(i % 2 == 0 ? 10 : 100);
+    // The estimate settles near (slightly above) the upper mode: a high
+    // quantile plus deviation headroom, still far below the 512 cap.
+    EXPECT_GE(p.predict(512), 60);
+    EXPECT_LE(p.predict(512), 200);
+}
+
+TEST(OptimisticAdmissionTest, ShortOutputsUnderLargeCapBeatReserve)
+{
+    // The acceptance scenario: a short-output/large-cap trace on a tight
+    // budget.  Reserve charges every request input 512 + cap 512 = 1024
+    // tokens and caps concurrency at 3; optimistic learns outputs finish
+    // near 32 tokens and packs the replica, admitting strictly higher
+    // peak concurrency and completing strictly more requests per unit
+    // time — while the held-KV <= budget invariant holds at every
+    // boundary and every request still completes (no starvation).
+    const long budget = 3 * 1024;
+    auto workload = [] {
+        sim::Rng rng(42);
+        auto w = wl::stationaryPoisson(2.0, 240.0, cost::SeqSpec{512, 128},
+                                       rng);
+        wl::capOutputs(w, /*cap=*/512, /*min=*/16, /*max=*/48, rng);
+        return w;
+    }();
+    struct Outcome
+    {
+        long completedAtTraceEnd = 0;
+        long completedFinal = 0;
+        double makespan = 0.0;
+        int peakConcurrency = 0;
+        long violations = 0;
+    };
+    auto run = [&](engine::KvAdmissionMode mode) {
+        OptimisticServer s(model::ModelSpec::opt6_7b(),
+                           par::ParallelConfig{1, 1, 4, 8}, budget,
+                           /*chunk=*/0, mode);
+        s.drive(workload);
+        s.sim.run(240.0);
+        Outcome o;
+        o.completedAtTraceEnd = s.requests.completedCount();
+        s.sim.run();
+        o.completedFinal = s.requests.completedCount();
+        for (const auto &[id, t] : s.completedAt)
+            o.makespan = std::max(o.makespan, t);
+        o.peakConcurrency = s.peakConcurrency;
+        o.violations = s.violations;
+        return o;
+    };
+    const auto reserve = run(engine::KvAdmissionMode::Reserve);
+    const auto optimistic = run(engine::KvAdmissionMode::Optimistic);
+
+    const long n = static_cast<long>(workload.size());
+    ASSERT_GT(n, 60);
+    // No starvation in either mode; the invariant holds in both.
+    EXPECT_EQ(reserve.completedFinal, n);
+    EXPECT_EQ(optimistic.completedFinal, n);
+    EXPECT_EQ(reserve.violations, 0);
+    EXPECT_EQ(optimistic.violations, 0);
+    // Reserve's concurrency collapses to budget/peak = 3; optimistic
+    // admits strictly more...
+    EXPECT_EQ(reserve.peakConcurrency, 3);
+    EXPECT_GT(optimistic.peakConcurrency, reserve.peakConcurrency);
+    // ...and turns that into strictly higher goodput: more completions
+    // within the trace window and an earlier finish overall.
+    EXPECT_GT(optimistic.completedAtTraceEnd, reserve.completedAtTraceEnd);
+    EXPECT_LT(optimistic.makespan, reserve.makespan);
+}
+
+TEST(OptimisticAdmissionTest, HeldInvariantAcrossWorkloadShapes)
+{
+    // Poisson, spike, and long-input early-stopping workloads, chunked
+    // and unchunked: held KV stays under the budget at every boundary
+    // and every request completes, evictions or not.
+    const cost::SeqSpec seq{256, 64};
+    auto poisson = [&] {
+        sim::Rng rng(15);
+        auto w = wl::stationaryPoisson(0.8, 180.0, seq, rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        return w;
+    };
+    auto spike = [&] {
+        sim::Rng rng(16);
+        auto w = wl::fluctuating(
+            [](sim::SimTime t) {
+                return (t >= 60.0 && t < 100.0) ? 3.0 : 0.4;
+            },
+            1.0, 180.0, seq, rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        return w;
+    };
+    auto longInput = [&] {
+        sim::Rng rng(17);
+        auto w = wl::stationaryPoisson(0.5, 180.0, seq, rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        const int lens[] = {128, 512, 1024};
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i].inputLen = lens[i % 3];
+        return w;
+    };
+
+    int variant = 0;
+    for (const auto &make : {std::function<wl::Workload()>(poisson),
+                             std::function<wl::Workload()>(spike),
+                             std::function<wl::Workload()>(longInput)}) {
+        const auto workload = make();
+        for (int chunk : {0, 128}) {
+            OptimisticServer s(model::ModelSpec::opt6_7b(),
+                               par::ParallelConfig{1, 1, 4, 8},
+                               /*budget=*/2600, chunk,
+                               engine::KvAdmissionMode::Optimistic);
+            s.drive(workload);
+            s.sim.run();
+            EXPECT_EQ(s.violations, 0)
+                << "workload " << variant << " chunk " << chunk;
+            EXPECT_GT(s.boundaries, 0);
+            EXPECT_EQ(s.requests.completedCount(),
+                      static_cast<long>(workload.size()))
+                << "workload " << variant << " chunk " << chunk;
+        }
+        ++variant;
+    }
+}
+
+TEST(OptimisticAdmissionTest, NoLivelockUnderSustainedOverload)
+{
+    // Sustained overload with a deceptive length mix: most outputs are
+    // tiny, a quarter run to the full cap, so the warm predictor
+    // under-charges the long ones and evictions are inevitable.  The
+    // storm guard (evicted requests re-admit at their full worst case)
+    // plus the protected oldest member must keep every admitted request
+    // completing — no livelock, no starvation — with held KV under the
+    // budget throughout.
+    const long budget = 1200; // two full-cap peaks (512) plus slack
+    OptimisticServer s(model::ModelSpec::opt6_7b(),
+                       par::ParallelConfig{1, 1, 4, 8}, budget, /*chunk=*/0,
+                       engine::KvAdmissionMode::Optimistic);
+    wl::Workload workload;
+    for (int i = 0; i < 80; ++i) {
+        const int actual = (i % 4 == 3) ? 256 : 12;
+        workload.push_back(
+            makeCapped(i, 0.8 * i, /*input=*/256, actual, /*cap=*/256));
+    }
+    s.drive(workload);
+    s.sim.run();
+
+    EXPECT_EQ(s.violations, 0);
+    EXPECT_EQ(s.requests.completedCount(), 80);
+    EXPECT_GT(s.pipeline->evictionsPerformed(), 0);
+    // Eviction converts a request to worst-case charging, so each one is
+    // evicted at most a handful of times — far below the eviction-storm
+    // regime where victims cycle forever.
+    for (const auto &c : s.requests.completions())
+        EXPECT_LE(c.restarts, 3) << "request " << c.id;
+}
+
+TEST(OptimisticAdmissionTest, MispredictionBurstEvictsAndRecovers)
+{
+    // Prime the predictor on short outputs, then hit the replica with a
+    // burst whose outputs all run to the cap.  The optimistic charges
+    // admit too much; watermark eviction must shed the youngest victims,
+    // keep held KV under the budget at every boundary, and still finish
+    // the whole burst.
+    const long budget = 1400;
+    OptimisticServer s(model::ModelSpec::opt6_7b(),
+                       par::ParallelConfig{1, 1, 4, 8}, budget, /*chunk=*/0,
+                       engine::KvAdmissionMode::Optimistic);
+    for (int i = 0; i < 32; ++i)
+        s.requests.outputPredictor().observe(16);
+    ASSERT_TRUE(s.requests.outputPredictor().warm());
+
+    wl::Workload burst;
+    for (int i = 0; i < 10; ++i)
+        burst.push_back(
+            makeCapped(i, 0.05 * i, /*input=*/256, /*actual=*/240,
+                       /*cap=*/256));
+    s.drive(burst);
+    s.sim.run();
+
+    EXPECT_EQ(s.violations, 0);
+    EXPECT_EQ(s.requests.completedCount(), 10);
+    EXPECT_GT(s.pipeline->evictionsPerformed(), 0);
+    // The evicted requests really were requeued and finished (restart
+    // counts surface in the completion records).
+    long restarted = 0;
+    for (const auto &c : s.requests.completions())
+        restarted += c.restarts > 0 ? 1 : 0;
+    EXPECT_GT(restarted, 0);
+}
+
+TEST(OptimisticAdmissionTest, DecodePriorityYieldsPrefillUnderPressure)
+{
+    // Deterministic watermark-pressure scenario (hand-built batch): two
+    // deep decodes approaching the high watermark share the replica with
+    // a newcomer still in chunked prefill.  The moment the next step's
+    // growth would cross the high watermark, the prefill must yield its
+    // mixed-iteration slot (decode-priority) so the incumbents keep
+    // committing; the held tokens never exceed the budget.
+    //   budget 1500 -> high 1407, low 1220 (deriveKvWatermarks, B=8).
+    const long budget = 1500;
+    OptimisticServer s(model::ModelSpec::opt6_7b(),
+                       par::ParallelConfig{1, 1, 4, 8}, budget,
+                       /*chunk=*/16, engine::KvAdmissionMode::Optimistic);
+    std::vector<engine::ActiveRequest> batch(3);
+    // Two incumbents: 512 input, 90 of 200 output tokens committed,
+    // predicted to stop at 95 (held 602, charged 607 each).
+    for (int i = 0; i < 2; ++i) {
+        batch[i].request = makeCapped(i, 0.0, 512, 200, 512);
+        batch[i].committedTokens = 90;
+        batch[i].predictedOutputTokens = 95;
+    }
+    // The newcomer: 256 input in 16-token chunks, predicted 24 output
+    // (charged 280; total charge 1494 <= budget).
+    batch[2].request = makeCapped(2, 1.0, 256, 24, 256);
+    batch[2].predictedOutputTokens = 24;
+    s.pipeline->startBatch(std::move(batch));
+    s.sim.run();
+
+    EXPECT_EQ(s.violations, 0);
+    EXPECT_EQ(s.requests.completedCount(), 3);
+    // The prefill yielded at least once while the incumbents pushed the
+    // held tokens toward the watermark.
+    EXPECT_GT(s.pipeline->prefillYields(), 0);
+}
+
+TEST(OptimisticAdmissionTest, EvictionClearsYieldWhenLastDecoderLeaves)
+{
+    // Regression: watermark pressure defers a mid-prefill oldest member
+    // while deep decodes push the held tokens to the budget; the eviction
+    // that sheds a decoder must re-decide the yield so the surviving
+    // prefiller is not left frozen (the old single-decision code could
+    // strand a batch with nothing runnable and schedule an empty
+    // iteration).
+    //   budget 1900 -> high 1782 (deriveKvWatermarks, B=8).
+    const long budget = 1900;
+    OptimisticServer s(model::ModelSpec::opt6_7b(),
+                       par::ParallelConfig{1, 1, 4, 8}, budget,
+                       /*chunk=*/128, engine::KvAdmissionMode::Optimistic);
+    std::vector<engine::ActiveRequest> batch(3);
+    // Oldest member: mid-prefill (256 of 512 committed), short output.
+    batch[0].request = makeCapped(0, 0.0, 512, 24, 256);
+    batch[0].prefillTokens = 256;
+    batch[0].predictedOutputTokens = 24;
+    // Two deep decodes predicted to stop at 160 but running to 400.
+    for (int i = 1; i < 3; ++i) {
+        batch[i].request = makeCapped(i, static_cast<double>(i), 500, 400,
+                                      600);
+        batch[i].committedTokens = 150;
+        batch[i].predictedOutputTokens = 160;
+    }
+    s.pipeline->startBatch(std::move(batch));
+    s.sim.run();
+
+    EXPECT_EQ(s.violations, 0);
+    EXPECT_EQ(s.requests.completedCount(), 3);
+    EXPECT_GT(s.pipeline->prefillYields(), 0);
+    EXPECT_GE(s.pipeline->evictionsPerformed(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Optimistic admission at the system level (migrations, mid-prefill)
+// ---------------------------------------------------------------------
+
+/**
+ * Run SpotServe (optimistic admission, default-on) over the churn trace
+ * with an early-stopping workload, asserting the held-KV invariant at
+ * every boundary of every replica and full completion across
+ * preemption-driven migrations.
+ */
+SystemInvariantResult
+runOptimisticSystemInvariant(const wl::Workload &workload, int chunk_tokens)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const auto trace = churnTrace();
+    const cost::SeqSpec seq{};
+    const cost::MemoryModel mem(spec, kParams);
+
+    sim::Simulation sim;
+    cluster::InstanceManager instances(sim, kParams);
+    serving::RequestManager requests(sim);
+    core::SpotServeOptions options;
+    options.designArrivalRate = 0.35;
+    options.prefillChunkTokens = chunk_tokens;
+    EXPECT_EQ(options.kvAdmissionMode, engine::KvAdmissionMode::Optimistic)
+        << "optimistic admission should be the default";
+    core::SpotServeSystem system(sim, instances, requests, spec, kParams,
+                                 seq, options);
+
+    SystemInvariantResult out;
+    system.setKvObserver([&](const engine::InferencePipeline &p) {
+        ++out.checks;
+        const long budget = mem.kvBudgetTokens(p.config());
+        if (p.kvTokensHeld() > budget)
+            ++out.violations;
+        const double kv_bytes = static_cast<double>(p.kvTokensHeld()) *
+                                spec.kvBytesPerToken() /
+                                p.config().gpusPerPipeline();
+        if (mem.weightShardBytes(p.config()) + kv_bytes +
+                kParams.workspaceBytes +
+                mem.migrationReserveBytes(p.config(), true) >
+            kParams.gpu.memBytes)
+            ++out.violations;
+    });
+
+    instances.setListener(&system);
+    instances.loadTrace(trace);
+    for (const auto &req : workload) {
+        sim.schedule(req.arrival,
+                     [&system, req] { system.onRequestArrival(req); });
+    }
+    sim.run(trace.duration() + 900.0);
+
+    out.migrations = system.migrationsCompleted();
+    out.completed = requests.completedCount();
+    out.arrived = requests.arrivedCount();
+    return out;
+}
+
+TEST(OptimisticSystemTest, InvariantHoldsAcrossMigrationsWithEarlyStopping)
+{
+    // Early-stopping workload (cap 4x the planning output) across the
+    // churn trace, unchunked and chunked — the chunked variant drives
+    // evicted-and-requeued work and mid-prefill requests through the
+    // migration inheritance path (committed chunks ride the inherited
+    // batch; optimistic trimming charges them under the active mode).
+    auto make = [] {
+        sim::Rng rng(21);
+        auto w = wl::stationaryPoisson(0.3, 900.0, cost::SeqSpec{}, rng);
+        wl::capOutputs(w, /*cap=*/512, /*min=*/16, /*max=*/128, rng);
+        return w;
+    };
+    const auto workload = make();
+    for (int chunk : {0, 256}) {
+        const auto r = runOptimisticSystemInvariant(workload, chunk);
+        EXPECT_EQ(r.violations, 0) << "chunk " << chunk;
+        EXPECT_GT(r.checks, 0);
+        EXPECT_GE(r.migrations, 2); // initial + preemption-driven
+        EXPECT_EQ(r.completed, r.arrived) << "chunk " << chunk;
+    }
+}
+
+TEST(ReplicaBalancingTest, BoundaryAdmissionRejectsUnservablePeaks)
+{
+    // Regression: a request whose worst-case peak exceeds the whole
+    // replica budget must be rejected on the *boundary* admission path
+    // too, even when its optimistic charge would fit — otherwise its
+    // fate depends on which admission path reaches it first, and once
+    // admitted it could outgrow the budget as the protected oldest
+    // member with no eviction able to help.
+    const auto spec = model::ModelSpec::opt6_7b();
+    sim::Simulation sim;
+    cluster::InstanceManager instances(sim, kParams);
+    serving::RequestManager requests(sim);
+    TestSystem system(sim, instances, requests, spec);
+
+    instances.loadTrace(AvailabilityTrace(
+        "steady", 100.0,
+        {TraceEvent{0.0, TraceEventKind::Join, InstanceType::Spot, 2}}));
+    sim.run(1.0);
+    // Single replica: no idle peer to balance onto, so the boundary
+    // admission path is exercised in isolation.
+    const par::ParallelConfig config{1, 2, 2, 8};
+    system.installDeployment(config,
+                             system.packedMesh(config,
+                                               instances.usableInstances()));
+    const long budget = system.replicaKvBudget(config);
+
+    // Warm predictor expecting ~16-token outputs, so the optimistic
+    // charge of the oversized request would comfortably fit the budget.
+    for (int i = 0; i < 32; ++i)
+        requests.outputPredictor().observe(16);
+    requests.submit(makeCapped(0, sim.now(), 512, 16,
+                               static_cast<int>(budget)));
+    ASSERT_GT(engine::ActiveRequest{requests.pending().front()}
+                  .kvPeakTokens(),
+              budget);
+
+    auto &pipeline = *system.deployment().pipelines[0];
+    const auto admitted = system.admitAtBoundary(pipeline, 4);
+    EXPECT_TRUE(admitted.empty());
+    EXPECT_EQ(requests.rejectedCount(), 1);
+    EXPECT_TRUE(requests.pendingEmpty());
+
+    // The multi-pop gap: an oversized request *behind* a normal head
+    // must not slip through when the pop exposes it mid-call — the
+    // shared pop head-blocks on it, and the next admission pass rejects
+    // it once it is the head.
+    requests.submit(makeCapped(1, sim.now(), 512, 16, 128)); // normal
+    requests.submit(makeCapped(2, sim.now(), 512, 16,
+                               static_cast<int>(budget))); // oversized
+    requests.submit(makeCapped(3, sim.now(), 512, 16, 128)); // normal
+    const auto second = system.admitAtBoundary(pipeline, 4);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].request.id, 1);
+    EXPECT_EQ(requests.rejectedCount(), 1); // not yet at the head check
+    const auto third = system.admitAtBoundary(pipeline, 4);
+    ASSERT_EQ(third.size(), 1u);
+    EXPECT_EQ(third[0].request.id, 3);
+    EXPECT_EQ(requests.rejectedCount(), 2); // oversized dropped, not admitted
 }
 
 TEST(ReplicaBalancingTest, BudgetTracksTheMigrationReserveMode)
