@@ -5,11 +5,23 @@
  * planner, and the discrete-event core.  The paper claims the online
  * optimizer overhead is negligible (<1 s); these benches verify our
  * implementation is comfortably inside that budget.
+ *
+ * `--json PATH` switches to the planning-path wall-clock harness: it
+ * times the chooseConfig sweep (cold vs memoised), the device mapper
+ * (full Hungarian solve vs identity fast path) and the migration planner
+ * at 32/64/128 instances and writes a machine-readable summary, which CI
+ * archives to seed the perf trajectory.  The memoised sweep must stay
+ * >= 2x faster than the cold sweep at 128 instances.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "core/controller.h"
 #include "core/device_mapper.h"
@@ -133,6 +145,196 @@ BM_EventQueueThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
 
+// ---------------------------------------------------------------------
+// Planning-path wall-clock harness (--json PATH).
+// ---------------------------------------------------------------------
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/** Fleet-filling configs: old (P=2, M=8), target (P=3, M=4). */
+par::ParallelConfig
+fillingConfig(int instances, int pp, int tp)
+{
+    const int gpus = instances * 4;
+    return par::ParallelConfig{std::max(1, gpus / (pp * tp)), pp, tp, 8};
+}
+
+struct PlanningRow
+{
+    int instances = 0;
+    std::size_t candidates = 0;
+    double chooseColdSec = 0.0;
+    double chooseWarmSec = 0.0;
+    double mapperFullSec = 0.0;
+    double mapperIdentitySec = 0.0;
+    double plannerSec = 0.0;
+};
+
+PlanningRow
+timePlanningPath(int instances)
+{
+    PlanningRow row;
+    row.instances = instances;
+    const auto spec = model::ModelSpec::gpt20b();
+    const double rate = 0.35;
+
+    // chooseConfig: cold = fresh controller's first sweep (averaged over
+    // a few controllers); warm = repeated sweeps on the same controller,
+    // same fleet and alpha bucket — the memoised path.
+    {
+        const int cold_reps = 3;
+        double cold = 0.0;
+        for (int k = 0; k < cold_reps; ++k) {
+            core::ParallelizationController ctrl(spec, kParams, kSeq);
+            const auto t0 = std::chrono::steady_clock::now();
+            auto d = ctrl.chooseConfig(instances, rate);
+            cold += secondsSince(t0);
+            benchmark::DoNotOptimize(d);
+            row.candidates = ctrl.lastSweepStats().candidates;
+        }
+        row.chooseColdSec = cold / cold_reps;
+
+        core::ParallelizationController ctrl(spec, kParams, kSeq);
+        auto warmup = ctrl.chooseConfig(instances, rate);
+        benchmark::DoNotOptimize(warmup);
+        const int warm_reps = 50;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int k = 0; k < warm_reps; ++k) {
+            auto d = ctrl.chooseConfig(instances, rate);
+            benchmark::DoNotOptimize(d);
+        }
+        row.chooseWarmSec = secondsSince(t0) / warm_reps;
+    }
+
+    // Device mapper: an old (P=2, M=8) deployment filling the fleet is
+    // remapped to (P=3, M=4) (full two-step Hungarian solve), and to
+    // itself (identity fast path).
+    MapperSetup setup(instances);
+    const par::ParallelConfig old_cfg = fillingConfig(instances, 2, 8);
+    {
+        // Rebuild the snapshot at fleet scale (MapperSetup's default old
+        // deployment is testbed-sized).
+        setup.snapshot.gpus.clear();
+        par::Topology topo(old_cfg, setup.spec.numLayers());
+        for (int i = 0; i < topo.size() && i < instances * 4; ++i) {
+            engine::GpuContext ctx;
+            ctx.gpu = i;
+            ctx.instance = i / 4;
+            ctx.hasModelContext = true;
+            ctx.config = old_cfg;
+            ctx.position = topo.position(i);
+            ctx.cacheTokens = 5000.0;
+            setup.snapshot.gpus.push_back(ctx);
+        }
+    }
+    const std::vector<double> tokens(old_cfg.dp, 5000.0);
+    const par::ParallelConfig target = fillingConfig(instances, 3, 4);
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto m = setup.mapper.map(setup.snapshot, target, setup.instances,
+                                  tokens);
+        row.mapperFullSec = secondsSince(t0);
+        benchmark::DoNotOptimize(m.reusedModelBytes);
+    }
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto m = setup.mapper.map(setup.snapshot, old_cfg, setup.instances,
+                                  tokens);
+        row.mapperIdentitySec = secondsSince(t0);
+        benchmark::DoNotOptimize(m.reusedModelBytes);
+    }
+
+    // Migration planner over the full-solve mapping.
+    {
+        const auto mapping =
+            setup.mapper.map(setup.snapshot, target, setup.instances, tokens);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto plan =
+            setup.planner.plan(setup.snapshot, mapping, target, tokens);
+        row.plannerSec = secondsSince(t0);
+        benchmark::DoNotOptimize(plan.totalDuration);
+    }
+    return row;
+}
+
+int
+runPlanningHarness(const std::string &json_path)
+{
+    std::printf("=== planning-path wall clock (chooseConfig / mapper / "
+                "planner) ===\n");
+    std::vector<PlanningRow> rows;
+    for (int n : {32, 64, 128})
+        rows.push_back(timePlanningPath(n));
+
+    for (const auto &r : rows) {
+        std::printf("  n=%3d  candidates=%5zu  chooseConfig cold %8.3f ms  "
+                    "memoised %8.3f ms (%.1fx)  mapper full %8.3f ms  "
+                    "identity %8.3f ms  planner %8.3f ms\n",
+                    r.instances, r.candidates, r.chooseColdSec * 1e3,
+                    r.chooseWarmSec * 1e3,
+                    r.chooseWarmSec > 0.0 ? r.chooseColdSec / r.chooseWarmSec
+                                          : 0.0,
+                    r.mapperFullSec * 1e3, r.mapperIdentitySec * 1e3,
+                    r.plannerSec * 1e3);
+    }
+
+    std::ofstream os(json_path);
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        const double speedup =
+            r.chooseWarmSec > 0.0 ? r.chooseColdSec / r.chooseWarmSec : 0.0;
+        os << "  {\"instances\": " << r.instances
+           << ", \"candidates\": " << r.candidates
+           << ", \"choose_config_cold_s\": " << r.chooseColdSec
+           << ", \"choose_config_memoised_s\": " << r.chooseWarmSec
+           << ", \"choose_config_speedup\": " << speedup
+           << ", \"mapper_full_s\": " << r.mapperFullSec
+           << ", \"mapper_identity_s\": " << r.mapperIdentitySec
+           << ", \"planner_s\": " << r.plannerSec << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    std::printf("wrote %zu planning rows to %s\n", rows.size(),
+                json_path.c_str());
+
+    // The acceptance bar CI watches: memoisation must pay off at scale.
+    const auto &big = rows.back();
+    if (big.chooseWarmSec * 2.0 > big.chooseColdSec) {
+        std::fprintf(stderr,
+                     "FAIL: memoised sweep at %d instances is only %.2fx "
+                     "faster than cold (need >= 2x)\n",
+                     big.instances,
+                     big.chooseWarmSec > 0.0
+                         ? big.chooseColdSec / big.chooseWarmSec
+                         : 0.0);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[i + 1];
+    }
+    if (!json_path.empty())
+        return runPlanningHarness(json_path);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -87,15 +87,19 @@ main()
                 plan.totalDuration, plan.resumeOffset,
                 plan.peakBufferBytes / 1e9,
                 params.migrationBufferBytes / 1e9);
-    std::printf("  first five steps:");
+    std::printf("  first five steps of the event schedule "
+                "(start -> finish offsets):\n");
     for (std::size_t i = 0; i < plan.steps.size() && i < 5; ++i) {
         const auto &s = plan.steps[i];
-        std::printf(" [%s %.0fms]", s.isCache()
-                                        ? "cache"
-                                        : ("layer " +
-                                           std::to_string(s.layer)).c_str(),
-                    s.duration * 1e3);
+        std::printf("    %-8s %7.3fs -> %7.3fs  (%.0fms)\n",
+                    s.isCache() ? "cache"
+                                : ("layer " +
+                                   std::to_string(s.layer)).c_str(),
+                    s.startOffset, s.finishOffset, s.duration * 1e3);
     }
+    std::printf("  per-replica progressive resume:");
+    for (std::size_t d = 0; d < plan.pipelineResume.size(); ++d)
+        std::printf("  d%zu %.2fs", d, plan.pipelineResume[d]);
     std::printf("\n\n");
 
     cost::LatencyModel latency(spec, params);

@@ -3,11 +3,16 @@
  * Reparallelization baseline (§6.1).
  *
  * Changes the parallel configuration like SpotServe — it shares the same
- * Algorithm-1 optimizer, so "the configuration of Reparallelization is
- * always consistent with SpotServe" (Figure 8) — but handles preemption
+ * Algorithm-1 optimizer (and therefore its memoised, dominance-pruned
+ * sweep), so "the configuration of Reparallelization is always
+ * consistent with SpotServe" (Figure 8) — but handles preemption
  * reactively and without context migration: every reconfiguration
  * restarts all instances, reloads the model from storage, and recomputes
  * every interrupted request from scratch (the Varuna-style approach).
+ * Reconfiguration is deliberately synchronous — no planning phase, no
+ * partial drain: the whole deployment stops for the full restart — which
+ * is the §6.1 baseline SpotServe's overlapped pipeline is measured
+ * against.
  */
 
 #ifndef SPOTSERVE_BASELINES_REPARALLELIZATION_SYSTEM_H

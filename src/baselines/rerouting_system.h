@@ -9,6 +9,11 @@
  * it dies; its interrupted requests are rerouted to the surviving
  * pipelines and recomputed from scratch.  Newly acquired instances
  * rebuild pipelines after a full engine launch and weight load.
+ *
+ * Pipeline add/drop is synchronous by construction (there is no
+ * reconfiguration to plan or migrate — surviving pipelines are simply
+ * never touched), so the baseline needs no overlappedReconfig analogue;
+ * it is the §6.1 comparison point for SpotServe's overlapped pipeline.
  */
 
 #ifndef SPOTSERVE_BASELINES_REROUTING_SYSTEM_H

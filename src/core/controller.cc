@@ -43,22 +43,45 @@ ParallelizationController::ParallelizationController(
     const cost::SeqSpec &seq, cost::ConfigSpaceOptions space_options,
     ControllerOptions options)
     : seq_(seq), options_(options), latency_(spec, params),
-      throughput_(latency_), space_(spec, params, seq, space_options)
+      throughput_(latency_), space_(spec, params, seq,
+                                    [&space_options] {
+                                        auto so = space_options;
+                                        so.dominancePrune = true;
+                                        return so;
+                                    }())
 {
+}
+
+double
+ParallelizationController::bucketAlpha(double arrival_rate)
+{
+    if (arrival_rate <= 0.0)
+        return 0.0;
+    return std::nearbyint(arrival_rate * 4096.0) / 4096.0;
 }
 
 std::optional<ControllerDecision>
 ParallelizationController::chooseConfig(int available_instances,
                                         double arrival_rate) const
 {
+    lastSweep_ = SweepStats{};
     const auto candidates = space_.enumerate(available_instances);
     if (candidates.empty())
         return std::nullopt;
+    lastSweep_.candidates = candidates.size();
+    if (latencyCache_.size() > kLatencyCacheCap)
+        latencyCache_.clear();
 
-    // Evaluate every candidate exactly once (the cost model dominates the
-    // sweep; the scans below re-used to recompute throughput() and
-    // requestLatency() up to three times per candidate) and select from
-    // the memoised vector.
+    // All comparisons below use the bucketed rate so cached latencies are
+    // re-usable across the near-identical alpha_t estimates consecutive
+    // sweeps observe.
+    arrival_rate = bucketAlpha(arrival_rate);
+    const long long alpha_key =
+        static_cast<long long>(std::nearbyint(arrival_rate * 4096.0));
+
+    // Evaluate every candidate exactly once through the cross-invocation
+    // caches (the cost model dominates the sweep) and select from the
+    // memoised vector.
     struct Evaluated
     {
         par::ParallelConfig config;
@@ -72,16 +95,37 @@ ParallelizationController::chooseConfig(int available_instances,
     bool any_meets = false;
     double best_latency = std::numeric_limits<double>::infinity();
     for (const auto &c : candidates) {
+        const ConfigKey ckey{c.dp, c.pp, c.tp, c.batch};
         Evaluated e;
         e.config = c;
-        e.phi = throughput_.throughput(c, seq_);
-        e.instances = space_.instancesNeeded(c);
+        bool cold = false;
+        auto sit = staticCache_.find(ckey);
+        if (sit == staticCache_.end()) {
+            StaticEval se;
+            se.phi = throughput_.throughput(c, seq_);
+            se.instances = space_.instancesNeeded(c);
+            sit = staticCache_.emplace(ckey, se).first;
+            cold = true;
+        }
+        e.phi = sit->second.phi;
+        e.instances = sit->second.instances;
         if (e.phi >= arrival_rate) {
             any_meets = true;
-            e.latency = throughput_.requestLatency(c, seq_, arrival_rate,
-                                                   options_.arrivalCv);
+            const LatencyKey lkey{c.dp, c.pp, c.tp, c.batch, alpha_key};
+            auto lit = latencyCache_.find(lkey);
+            if (lit == latencyCache_.end()) {
+                lit = latencyCache_
+                          .emplace(lkey, throughput_.requestLatency(
+                                             c, seq_, arrival_rate,
+                                             options_.arrivalCv))
+                          .first;
+                cold = true;
+            }
+            e.latency = lit->second;
             best_latency = std::min(best_latency, e.latency);
         }
+        if (cold)
+            ++lastSweep_.coldEvals;
         evals.push_back(e);
     }
 

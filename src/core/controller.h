@@ -15,7 +15,10 @@
 #ifndef SPOTSERVE_CORE_CONTROLLER_H
 #define SPOTSERVE_CORE_CONTROLLER_H
 
+#include <cstddef>
+#include <map>
 #include <optional>
+#include <tuple>
 
 #include "costmodel/config_space.h"
 #include "costmodel/throughput_model.h"
@@ -86,7 +89,34 @@ bool worthReconfiguring(const cost::ThroughputModel &model,
                         std::size_t queue_length, double arrival_cv,
                         double slo_latency = 0.0);
 
-/** Algorithm 1's ConfigOptimizer. */
+/**
+ * How much model-evaluation work the most recent chooseConfig sweep did —
+ * the PlanningLatencyModel charges simulated planning time from this, so
+ * memoised (incremental) sweeps are cheap and cold sweeps are not.
+ */
+struct SweepStats
+{
+    /** Candidates the sweep considered (after dominance pruning). */
+    std::size_t candidates = 0;
+    /** Candidates whose cost-model evaluation was not already cached. */
+    std::size_t coldEvals = 0;
+};
+
+/**
+ * Algorithm 1's ConfigOptimizer.
+ *
+ * Candidate evaluations are memoised across invocations: phi(C) and the
+ * instance count are cached per configuration, and l_req(C, alpha) per
+ * (configuration, alpha bucket) — arrival rates are quantised through
+ * bucketAlpha() before any evaluation, so repeated sweeps over an
+ * unchanged fleet re-use every entry and cost O(changed) model
+ * evaluations instead of O(space).  The controller also enables
+ * ConfigSpaceOptions::dominancePrune on its search space.  A regression
+ * test pins the decisions byte-for-byte against the unpruned, uncached
+ * reference sweep *at the bucketed rate* — the 2^-12 alpha quantisation
+ * is this change's one intentional behavioral delta (≤ 0.025% rate
+ * perturbation), shared by production and reference alike.
+ */
 class ParallelizationController
 {
   public:
@@ -104,6 +134,17 @@ class ParallelizationController
     std::optional<ControllerDecision>
     chooseConfig(int available_instances, double arrival_rate) const;
 
+    /**
+     * The arrival-rate quantisation the memoised sweep evaluates at: the
+     * nearest 2^-12 step (~0.02% of the rate scale the paper sweeps).
+     * Exposed so tests and ablation references can reproduce decisions
+     * bit-for-bit.
+     */
+    static double bucketAlpha(double arrival_rate);
+
+    /** Evaluation work done by the most recent chooseConfig call. */
+    const SweepStats &lastSweepStats() const { return lastSweep_; }
+
     const cost::ConfigSpace &space() const { return space_; }
     const cost::ThroughputModel &throughputModel() const
     {
@@ -111,11 +152,34 @@ class ParallelizationController
     }
 
   private:
+    /** Cache keys: a config tuple, optionally with the alpha bucket. */
+    using ConfigKey = std::tuple<int, int, int, int>;
+    using LatencyKey = std::tuple<int, int, int, int, long long>;
+
+    struct StaticEval
+    {
+        double phi = 0.0;
+        int instances = 0;
+    };
+
     cost::SeqSpec seq_;
     ControllerOptions options_;
     cost::LatencyModel latency_;
     cost::ThroughputModel throughput_;
     cost::ConfigSpace space_;
+
+    /** Alpha-independent evaluations (phi, instance count) per config. */
+    mutable std::map<ConfigKey, StaticEval> staticCache_;
+    /**
+     * l_req(C, alpha-bucket) for configs whose phi sustains the bucket.
+     * Bounded: a drifting CV-6 arrival estimate visits ever-new alpha
+     * buckets, so once the map passes kLatencyCacheCap entries it is
+     * cleared wholesale (cold re-evaluation; decisions are
+     * cache-state-independent, so this affects only wall-clock).
+     */
+    mutable std::map<LatencyKey, double> latencyCache_;
+    static constexpr std::size_t kLatencyCacheCap = 1 << 18;
+    mutable SweepStats lastSweep_{};
 };
 
 } // namespace core

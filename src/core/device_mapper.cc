@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "matching/hungarian.h"
 
@@ -45,21 +46,40 @@ DeviceMapper::DeviceMapper(const model::ModelSpec &spec,
 
 std::vector<int>
 DeviceMapper::planInheritance(
-    int new_dp, const std::vector<double> &old_pipeline_tokens) const
+    int new_dp, const std::vector<double> &old_pipeline_tokens,
+    const std::vector<std::pair<int, int>> &pinned) const
 {
     std::vector<int> inherited(new_dp, -1);
-    // Rank old replicas by committed progress, descending; keep the most
-    // progressed ones when the replica count shrinks (§3.3: "keeps the
-    // batches of requests with more decoding progresses").
-    std::vector<int> order(old_pipeline_tokens.size());
-    std::iota(order.begin(), order.end(), 0);
+    std::vector<bool> pinned_new(new_dp, false);
+    std::vector<bool> old_taken(old_pipeline_tokens.size(), false);
+    for (const auto &[d, od] : pinned) {
+        if (d < 0 || d >= new_dp)
+            continue;
+        pinned_new[d] = true;
+        if (od >= 0 &&
+            od < static_cast<int>(old_pipeline_tokens.size())) {
+            old_taken[od] = true;
+            if (old_pipeline_tokens[od] > 0.0)
+                inherited[d] = od;
+        }
+    }
+    // Rank the remaining old replicas by committed progress, descending;
+    // keep the most progressed ones when the replica count shrinks
+    // (§3.3: "keeps the batches of requests with more decoding
+    // progresses").
+    std::vector<int> order;
+    order.reserve(old_pipeline_tokens.size());
+    for (std::size_t od = 0; od < old_pipeline_tokens.size(); ++od) {
+        if (!old_taken[od] && old_pipeline_tokens[od] > 0.0)
+            order.push_back(static_cast<int>(od));
+    }
     std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
         return old_pipeline_tokens[a] > old_pipeline_tokens[b];
     });
-    for (std::size_t k = 0; k < order.size() &&
-                            k < static_cast<std::size_t>(new_dp); ++k) {
-        if (old_pipeline_tokens[order[k]] > 0.0)
-            inherited[k] = order[k];
+    std::size_t k = 0;
+    for (int d = 0; d < new_dp && k < order.size(); ++d) {
+        if (!pinned_new[d])
+            inherited[d] = order[k++];
     }
     return inherited;
 }
@@ -80,11 +100,68 @@ DeviceMapper::edgeWeight(const engine::GpuContext *held,
     return w;
 }
 
+bool
+DeviceMapper::tryIdentityMapping(
+    const engine::ContextSnapshot &snapshot,
+    const par::ParallelConfig &target,
+    const std::vector<const cluster::Instance *> &instance_list,
+    const std::vector<double> &old_pipeline_tokens,
+    MappingResult &result) const
+{
+    const par::Topology &topo = result.mesh.topology();
+    std::unordered_set<cluster::InstanceId> usable;
+    for (const auto *inst : instance_list)
+        usable.insert(inst->id());
+
+    // Every target position must be held in place by exactly one
+    // surviving GPU of the same (D, P, M) shape.
+    std::vector<const engine::GpuContext *> holder(topo.size(), nullptr);
+    for (const auto &g : snapshot.gpus) {
+        if (!g.hasModelContext || !g.config.sameParallelism(target))
+            continue;
+        if (usable.find(g.instance) == usable.end())
+            continue;
+        const int idx = topo.flatIndex(g.position);
+        if (holder[idx] != nullptr)
+            return false; // stale duplicate holdings: run the full solve
+        holder[idx] = &g;
+    }
+    for (int i = 0; i < topo.size(); ++i) {
+        if (holder[i] == nullptr)
+            return false;
+    }
+
+    // Identity placement.  Inheritance is pinned to the identity
+    // permutation: every replica keeps its own batch exactly where its
+    // cache already lives, so the plan moves zero bytes — any other
+    // inheritance permutation of the same replica set could only equal
+    // that, never beat it.
+    std::vector<std::pair<int, int>> identity_pins;
+    identity_pins.reserve(target.dp);
+    for (int d = 0; d < target.dp; ++d)
+        identity_pins.emplace_back(d, d);
+    result.inheritedOldPipeline =
+        planInheritance(target.dp, old_pipeline_tokens, identity_pins);
+    for (int i = 0; i < topo.size(); ++i) {
+        const par::Position pos = topo.position(i);
+        const engine::GpuContext *held = holder[i];
+        result.mesh.assign(pos, held->gpu);
+        result.reusedModelBytes +=
+            engine::modelOverlapBytes(spec_, *held, topo, pos);
+        if (result.inheritedOldPipeline[pos.d] == held->position.d) {
+            result.reusedCacheBytes +=
+                engine::cacheOverlapBytes(spec_, *held, topo, pos);
+        }
+    }
+    return true;
+}
+
 MappingResult
 DeviceMapper::map(const engine::ContextSnapshot &snapshot,
                   const par::ParallelConfig &target,
                   const std::vector<const cluster::Instance *> &instance_list,
-                  const std::vector<double> &old_pipeline_tokens) const
+                  const std::vector<double> &old_pipeline_tokens,
+                  const std::vector<ReplicaPin> &pins) const
 {
     const int gpi = params_.gpusPerInstance;
     par::DeviceMesh mesh(target, spec_.numLayers());
@@ -103,15 +180,102 @@ DeviceMapper::map(const engine::ContextSnapshot &snapshot,
             engine::neededModelBytes(spec_, topo, topo.position(i));
     }
 
-    const auto slots = buildSlots(topo, gpi);
-    const std::size_t num_instances = instance_list.size();
+    if (pins.empty() && options_.useKuhnMunkres &&
+        options_.identityFastPath &&
+        tryIdentityMapping(snapshot, target, instance_list,
+                           old_pipeline_tokens, result)) {
+        return result;
+    }
+
+    // ------------------------------------------------------------------
+    // Caller-pinned replicas: bind them verbatim, pin their inheritance
+    // to their own batch, and carve their GPUs/instances/slots out of the
+    // matching problem below.
+    // ------------------------------------------------------------------
+    std::unordered_set<par::GpuId> pinned_gpus;
+    std::vector<bool> pinned_new(target.dp, false);
+    if (!pins.empty()) {
+        const int per_replica = target.pp * target.tp;
+        if (per_replica % gpi != 0) {
+            throw std::invalid_argument(
+                "DeviceMapper::map: pinned replicas must tile instances");
+        }
+        for (const auto &pin : pins) {
+            if (pin.newReplica < 0 || pin.newReplica >= target.dp ||
+                static_cast<int>(pin.gpus.size()) != per_replica ||
+                pinned_new[pin.newReplica]) {
+                throw std::invalid_argument(
+                    "DeviceMapper::map: malformed replica pin");
+            }
+            pinned_new[pin.newReplica] = true;
+            for (int k = 0; k < per_replica; ++k) {
+                if (!pinned_gpus.insert(pin.gpus[k]).second) {
+                    throw std::invalid_argument(
+                        "DeviceMapper::map: GPU pinned twice");
+                }
+                result.mesh.assign(
+                    topo.position(pin.newReplica * per_replica + k),
+                    pin.gpus[k]);
+            }
+        }
+        // Pinned replicas keep their own batch in place; the remaining
+        // new replicas re-rank the remaining old replicas by progress —
+        // one policy, one implementation (planInheritance).
+        std::vector<std::pair<int, int>> pinned_pairs;
+        pinned_pairs.reserve(pins.size());
+        for (const auto &pin : pins)
+            pinned_pairs.emplace_back(pin.newReplica, pin.oldReplica);
+        result.inheritedOldPipeline =
+            planInheritance(target.dp, old_pipeline_tokens, pinned_pairs);
+        // Reuse accounting for the pinned positions.
+        for (const auto &pin : pins) {
+            for (int k = 0; k < per_replica; ++k) {
+                const par::Position pos =
+                    topo.position(pin.newReplica * per_replica + k);
+                const auto *held = snapshot.find(pin.gpus[k]);
+                if (!held)
+                    continue;
+                result.reusedModelBytes +=
+                    engine::modelOverlapBytes(spec_, *held, topo, pos);
+                if (result.inheritedOldPipeline[pos.d] ==
+                        held->position.d &&
+                    held->hasModelContext) {
+                    result.reusedCacheBytes += engine::cacheOverlapBytes(
+                        spec_, *held, topo, pos);
+                }
+            }
+        }
+    }
+
+    // Matching problem over the unpinned remainder.
+    std::vector<const cluster::Instance *> free_instances;
+    for (const auto *inst : instance_list) {
+        bool owns_pinned = false;
+        for (par::GpuId g : inst->gpuIds()) {
+            if (pinned_gpus.find(g) != pinned_gpus.end())
+                owns_pinned = true;
+        }
+        if (!owns_pinned)
+            free_instances.push_back(inst);
+    }
+    std::vector<Slot> slots;
+    for (auto &slot : buildSlots(topo, gpi)) {
+        bool pinned = false;
+        for (const auto &pos : slot.positions) {
+            if (pinned_new[pos.d])
+                pinned = true;
+        }
+        if (!pinned)
+            slots.push_back(std::move(slot));
+    }
+    const std::size_t num_instances = free_instances.size();
     const std::size_t num_slots = slots.size();
 
     if (!options_.useKuhnMunkres) {
         // Ablated mapper: instances in id order, GPUs in id order.
         std::size_t s = 0;
         for (std::size_t i = 0; i < num_instances && s < num_slots; ++i, ++s) {
-            const auto gpus = instance_list[i]->gpuIds();
+            const auto gpus = free_instances[i]->gpuIds();
             for (std::size_t k = 0; k < slots[s].positions.size(); ++k) {
                 const par::Position &pos = slots[s].positions[k];
                 result.mesh.assign(pos, gpus[k]);
@@ -137,7 +301,7 @@ DeviceMapper::map(const engine::ContextSnapshot &snapshot,
                               std::vector<double>(num_slots, 0.0));
 
     for (std::size_t i = 0; i < num_instances; ++i) {
-        const auto gpus = instance_list[i]->gpuIds();
+        const auto gpus = free_instances[i]->gpuIds();
         for (std::size_t s = 0; s < num_slots; ++s) {
             const auto &positions = slots[s].positions;
             match::Matrix w(gpus.size(),
@@ -164,7 +328,7 @@ DeviceMapper::map(const engine::ContextSnapshot &snapshot,
         const int i = slot_to_instance[s];
         if (i < 0)
             throw std::logic_error("DeviceMapper::map: unmatched slot");
-        const auto gpus = instance_list[i]->gpuIds();
+        const auto gpus = free_instances[i]->gpuIds();
         const auto &positions = slots[s].positions;
         const auto &assignment = intra[i][s].gpuToSlotPos;
 

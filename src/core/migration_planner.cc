@@ -57,32 +57,60 @@ coveredFraction(const engine::GpuContext &held, int layer,
 
 } // namespace
 
+/**
+ * Everything the expensive snapshot pass produces, shared by both cache
+ * variants: per-layer transfer lists and buffer deltas, the cache step's
+ * transfers, byte accounting, per-(d,p) dependency sets and the
+ * Algorithm-2 layer order.
+ */
+struct MigrationPlanner::Analysis
+{
+    int layers = 0;
+    std::vector<std::vector<cost::Transfer>> layerTransfers;
+    /** Cold (disk/S3) bytes per layer, split by loading instance. */
+    std::vector<std::map<int, double>> layerCold;
+    std::vector<cost::Transfer> cacheTransfers;
+
+    double reusedBytes = 0.0;
+    double movedModelBytes = 0.0;
+    double movedCacheBytes = 0.0;
+    double coldLoadBytes = 0.0;
+    double peakBufferBytes = 0.0;
+
+    /** Which layers each (d, p) still needs; drives per-replica resume. */
+    std::vector<std::vector<std::vector<int>>> missingByDp;
+    /** Whether replica d takes part in the cache step. */
+    std::vector<bool> cacheInvolves;
+
+    /** Algorithm 2's layer order (cache-independent: the buffer model
+     *  only tracks model-context bytes). */
+    std::vector<int> order;
+};
+
 MigrationPlanner::MigrationPlanner(const model::ModelSpec &spec,
                                    const cost::CostParams &params)
     : spec_(spec), params_(params), costModel_(params)
 {
 }
 
-MigrationPlan
-MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
-                       const MappingResult &mapping,
-                       const par::ParallelConfig &target,
-                       const std::vector<double> &old_pipeline_tokens,
-                       PlannerOptions options) const
+MigrationPlanner::Analysis
+MigrationPlanner::analyze(const engine::ContextSnapshot &snapshot,
+                          const MappingResult &mapping,
+                          const par::ParallelConfig &target,
+                          const std::vector<double> &old_pipeline_tokens,
+                          const PlannerOptions &options) const
 {
-    MigrationPlan plan;
+    Analysis out;
     const par::Topology &topo = mapping.mesh.topology();
     const int layers = spec_.numLayers();
     const int gpi = params_.gpusPerInstance;
+    out.layers = layers;
 
     // ------------------------------------------------------------------
     // 1. Compute per-layer model-context transfers and the cache step.
     // ------------------------------------------------------------------
     std::vector<TransferAccumulator> layer_acc(layers);
-    // Cold (disk/S3) bytes per layer, split by loading instance: every
-    // instance streams from storage independently, so a step's disk time
-    // is the per-instance maximum, not the sum.
-    std::vector<std::map<int, double>> layer_cold(layers);
+    out.layerCold.assign(layers, {});
     TransferAccumulator cache_acc;
     double cache_cold = 0.0;
 
@@ -96,11 +124,9 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
     std::vector<std::map<int, double>> layer_in(layers);
     std::vector<std::map<int, double>> layer_freed(layers);
 
-    // Which layers each (d, p) still needs, and whether replica d takes
-    // part in the cache step — drives per-replica resume offsets.
-    std::vector<std::vector<std::vector<int>>> missing_by_dp(
-        target.dp, std::vector<std::vector<int>>(target.pp));
-    std::vector<bool> cache_involves(target.dp, false);
+    out.missingByDp.assign(target.dp,
+                           std::vector<std::vector<int>>(target.pp));
+    out.cacheInvolves.assign(target.dp, false);
 
     for (int i = 0; i < topo.size(); ++i) {
         const par::Position pos = topo.position(i);
@@ -122,7 +148,7 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
             const double own_frac =
                 own ? coveredFraction(*own, l, spec_, lo, hi) : 0.0;
             double missing_frac = needed_frac - own_frac;
-            plan.reusedBytes += own_frac * spec_.layerWeightBytes();
+            out.reusedBytes += own_frac * spec_.layerWeightBytes();
             if (missing_frac <= 1e-12)
                 missing_frac = 0.0;
 
@@ -173,21 +199,21 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
 
             if (missing_frac > 0.0) {
                 const double bytes = missing_frac * spec_.layerWeightBytes();
-                plan.movedModelBytes += bytes;
+                out.movedModelBytes += bytes;
                 if (best) {
                     layer_acc[l].add(best->instance, dst_inst, bytes);
                 } else {
                     // No live replica: cold load from disk/S3 (§4.2).
-                    layer_cold[l][dst_inst] += bytes;
-                    plan.coldLoadBytes += bytes;
+                    out.layerCold[l][dst_inst] += bytes;
+                    out.coldLoadBytes += bytes;
                 }
                 layer_in[l][dst_inst] += bytes;
-                missing_by_dp[pos.d][pos.p].push_back(l);
+                out.missingByDp[pos.d][pos.p].push_back(l);
             }
             if (cache_missing_frac > 0.0) {
                 const double bytes = cache_missing_frac * cache_layer_bytes;
-                plan.movedCacheBytes += bytes;
-                cache_involves[pos.d] = true;
+                out.movedCacheBytes += bytes;
+                out.cacheInvolves[pos.d] = true;
                 if (best_cache)
                     cache_acc.add(best_cache->instance, dst_inst, bytes);
                 else
@@ -195,6 +221,7 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
             }
         }
     }
+    (void)cache_cold;
 
     // ------------------------------------------------------------------
     // 2. Per-layer memory deltas: stale copies freed on each instance.
@@ -257,15 +284,14 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
         return mx;
     };
 
-    std::vector<int> order;
-    order.reserve(layers);
+    out.order.reserve(layers);
     if (options.memoryOpt) {
         // First pass: front-to-back layers whose migration stays under
         // U_max; overflowing layers are deferred (Alg. 2 lines 12-17).
         std::vector<int> deferred;
         for (int l = 0; l < layers; ++l) {
             if (max_after(l) <= params_.migrationBufferBytes) {
-                order.push_back(l);
+                out.order.push_back(l);
                 apply_layer(l);
             } else {
                 deferred.push_back(l);
@@ -282,36 +308,56 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
                     best_l = l;
                 }
             }
-            order.push_back(best_l);
+            out.order.push_back(best_l);
             apply_layer(best_l);
             deferred.erase(
                 std::find(deferred.begin(), deferred.end(), best_l));
         }
     } else {
         for (int l = 0; l < layers; ++l) {
-            order.push_back(l);
+            out.order.push_back(l);
             apply_layer(l);
         }
     }
-    plan.peakBufferBytes = peak;
+    out.peakBufferBytes = peak;
+
+    out.layerTransfers.resize(layers);
+    for (int l = 0; l < layers; ++l)
+        out.layerTransfers[l] = layer_acc[l].release();
+    out.cacheTransfers = cache_acc.release();
+    return out;
+}
+
+MigrationPlan
+MigrationPlanner::assemble(const Analysis &analysis,
+                           const par::ParallelConfig &target,
+                           const PlannerOptions &options,
+                           bool include_cache) const
+{
+    MigrationPlan plan;
+    const int layers = analysis.layers;
+    plan.reusedBytes = analysis.reusedBytes;
+    plan.movedModelBytes = analysis.movedModelBytes;
+    plan.coldLoadBytes = analysis.coldLoadBytes;
+    plan.peakBufferBytes = analysis.peakBufferBytes;
 
     // ------------------------------------------------------------------
     // 4. Assemble the step list: cache first, then the ordered layers.
     // ------------------------------------------------------------------
-    plan.cacheMigrated = options.migrateCache && plan.movedCacheBytes > 0.0;
+    plan.cacheMigrated = include_cache && analysis.movedCacheBytes > 0.0;
+    plan.movedCacheBytes = include_cache ? analysis.movedCacheBytes : 0.0;
     if (plan.cacheMigrated) {
         MigrationStep step;
         step.layer = -1;
-        step.transfers = cache_acc.release();
+        step.transfers = analysis.cacheTransfers;
         step.coldBytes = 0.0; // lost cache is dropped, not reloaded
         plan.steps.push_back(std::move(step));
     }
-    (void)cache_cold;
-    for (int l : order) {
+    for (int l : analysis.order) {
         MigrationStep step;
         step.layer = l;
-        step.transfers = layer_acc[l].release();
-        for (const auto &[inst, bytes] : layer_cold[l])
+        step.transfers = analysis.layerTransfers[l];
+        for (const auto &[inst, bytes] : analysis.layerCold[l])
             step.coldBytes = std::max(step.coldBytes, bytes);
         plan.steps.push_back(std::move(step));
     }
@@ -321,12 +367,19 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
     //    send/recv share the links); disk/S3 cold loads proceed
     //    concurrently on every instance, overlapped with the wire
     //    schedule.  A step completes when both its wire part and the
-    //    per-instance disk parts it depends on have finished.
+    //    per-instance disk parts it depends on have finished.  Each
+    //    step's start/finish lands in its event schedule
+    //    (MigrationStep::startOffset/finishOffset) — the raw timeline the
+    //    per-replica progressive resume below is derived from (layer_end
+    //    records the same finishes), exposed for tooling, tests and the
+    //    plan inspector.  The serving system consumes the derived
+    //    pipelineResume offsets for its per-replica activation events.
     // ------------------------------------------------------------------
     double wire_cursor = params_.migrationSetupTime;
     std::map<int, double> disk_cursor; // per-instance disk completion time
     plan.stageReady.assign(target.pp, params_.migrationSetupTime);
     std::vector<double> layer_end(layers, params_.migrationSetupTime);
+    const par::Topology topo(target, spec_.numLayers());
     double cache_end = params_.migrationSetupTime;
     double last_end = params_.migrationSetupTime;
     for (auto &step : plan.steps) {
@@ -335,10 +388,12 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
             wire = costModel_.transferTime(step.transfers) -
                    params_.migrationSetupTime;
         }
+        step.startOffset = wire_cursor;
         wire_cursor += wire;
         double step_end = wire_cursor;
         if (!step.isCache() && step.layer >= 0) {
-            for (const auto &[inst, bytes] : layer_cold[step.layer]) {
+            for (const auto &[inst, bytes] :
+                 analysis.layerCold[step.layer]) {
                 double &cursor = disk_cursor[inst];
                 cursor = std::max(cursor, params_.migrationSetupTime) +
                          bytes / params_.diskBandwidth;
@@ -346,6 +401,7 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
             }
         }
         step.duration = std::max(step_end - last_end, 0.0);
+        step.finishOffset = step_end;
         last_end = std::max(last_end, step_end);
         if (!step.isCache()) {
             const int p = topo.stageOfLayer(step.layer);
@@ -374,9 +430,9 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
     for (int d = 0; d < target.dp; ++d) {
         std::vector<double> ready(target.pp, params_.migrationSetupTime);
         for (int p = 0; p < target.pp; ++p) {
-            for (int l : missing_by_dp[d][p])
+            for (int l : analysis.missingByDp[d][p])
                 ready[p] = std::max(ready[p], layer_end[l]);
-            if (plan.cacheMigrated && cache_involves[d])
+            if (plan.cacheMigrated && analysis.cacheInvolves[d])
                 ready[p] = std::max(ready[p], cache_end);
         }
         double resume;
@@ -394,6 +450,34 @@ MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
     }
 
     return plan;
+}
+
+MigrationPlan
+MigrationPlanner::plan(const engine::ContextSnapshot &snapshot,
+                       const MappingResult &mapping,
+                       const par::ParallelConfig &target,
+                       const std::vector<double> &old_pipeline_tokens,
+                       PlannerOptions options) const
+{
+    const Analysis analysis =
+        analyze(snapshot, mapping, target, old_pipeline_tokens, options);
+    return assemble(analysis, target, options, options.migrateCache);
+}
+
+MigrationPlanPair
+MigrationPlanner::planBoth(const engine::ContextSnapshot &snapshot,
+                           const MappingResult &mapping,
+                           const par::ParallelConfig &target,
+                           const std::vector<double> &old_pipeline_tokens,
+                           PlannerOptions options) const
+{
+    const Analysis analysis =
+        analyze(snapshot, mapping, target, old_pipeline_tokens, options);
+    MigrationPlanPair pair;
+    pair.withCache =
+        assemble(analysis, target, options, options.migrateCache);
+    pair.withoutCache = assemble(analysis, target, options, false);
+    return pair;
 }
 
 } // namespace core

@@ -38,6 +38,23 @@ struct MigrationStep
 
     /** Wire time of this step (computed by the planner). */
     double duration = 0.0;
+
+    /**
+     * Event schedule, as offsets from migration start: when this step's
+     * wire transfers begin (after the shared setup and every earlier
+     * step's wire time — batched NCCL send/recv serialise on the links)
+     * and when the step's context has fully landed (wire plus any
+     * overlapped per-instance disk loads).  Destination stages may start
+     * serving as soon as every step they depend on has finished — the
+     * plan's per-replica pipelineResume offsets (what the serving system
+     * schedules activation by) are derived from exactly these finishes,
+     * and the schedule itself is exposed for tests and tooling (the plan
+     * inspector prints it).  The buffer bound U_max is already honoured
+     * by the step *order* (Algorithm 2), so consumers need no extra
+     * memory checks.
+     */
+    double startOffset = 0.0;
+    double finishOffset = 0.0;
 };
 
 /** The full migration plan. */
@@ -94,6 +111,20 @@ struct PlannerOptions
     bool migrateCache = true;
 };
 
+/**
+ * A with-cache plan and its no-cache sibling, produced from ONE analysis
+ * pass over the snapshot.  The interruption arranger compares
+ * withCache.totalDuration against the recompute cost and may flip to the
+ * no-cache variant (§4.1), and the fault-tolerance path (§4.2) falls back
+ * to it when the grace deadline cannot be met — both used to trigger a
+ * second full planning pass; now they read the memoised sibling.
+ */
+struct MigrationPlanPair
+{
+    MigrationPlan withCache;
+    MigrationPlan withoutCache;
+};
+
 /** The migration planner. */
 class MigrationPlanner
 {
@@ -114,7 +145,36 @@ class MigrationPlanner
                        const std::vector<double> &old_pipeline_tokens,
                        PlannerOptions options = {}) const;
 
+    /**
+     * Both cache variants from a single snapshot analysis (the per-layer
+     * transfer/ordering computation dominates planning and is shared;
+     * only the cheap assembly differs).  withCache honours
+     * @p options.migrateCache — when the caller already disabled the
+     * cache, the two plans are identical.  Byte-identical to calling
+     * plan() twice with migrateCache toggled.
+     */
+    MigrationPlanPair
+    planBoth(const engine::ContextSnapshot &snapshot,
+             const MappingResult &mapping, const par::ParallelConfig &target,
+             const std::vector<double> &old_pipeline_tokens,
+             PlannerOptions options = {}) const;
+
   private:
+    struct Analysis;
+
+    /** The expensive shared pass: transfers, buffer deltas, layer order. */
+    Analysis analyze(const engine::ContextSnapshot &snapshot,
+                     const MappingResult &mapping,
+                     const par::ParallelConfig &target,
+                     const std::vector<double> &old_pipeline_tokens,
+                     const PlannerOptions &options) const;
+
+    /** Cheap per-variant assembly: steps, timing, progressive resume. */
+    MigrationPlan assemble(const Analysis &analysis,
+                           const par::ParallelConfig &target,
+                           const PlannerOptions &options,
+                           bool include_cache) const;
+
     model::ModelSpec spec_;
     cost::CostParams params_;
     cost::MigrationCostModel costModel_;

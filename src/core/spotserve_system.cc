@@ -26,7 +26,8 @@ SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
                   options.controller),
       mapper_(spec, params,
               DeviceMapperOptions{options.enableDeviceMapper,
-                                  options.enableArranger}),
+                                  options.enableArranger,
+                                  /*identityFastPath=*/true}),
       planner_(spec, params), arranger_(latency_)
 {
     setContinuousBatching(options_.continuousBatching);
@@ -50,7 +51,9 @@ SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
 std::string
 SpotServeSystem::name() const
 {
-    return "SpotServe";
+    // The synchronous-reconfiguration ablation names itself so bench
+    // tables and logs stay unambiguous.
+    return options_.overlappedReconfig ? "SpotServe" : "SpotServe-sync";
 }
 
 void
@@ -75,10 +78,11 @@ SpotServeSystem::onInstancePreempted(const cluster::Instance &instance)
 
     // Normal path: the grace-period migration already moved everything
     // off the victim.  The checks below handle the fault-tolerance cases
-    // (§4.2): the victim was still serving, or it was a planned member of
-    // the in-flight migration target.
-    if (phase_ == Phase::Serving && hasDeployment() &&
-        meshUsesInstance(instance.id())) {
+    // (§4.2): the victim was still serving (including through an
+    // overlapped planning pass), or it was a planned member of the
+    // in-flight migration target.
+    if ((phase_ == Phase::Serving || phase_ == Phase::Planning) &&
+        hasDeployment() && meshUsesInstance(instance.id())) {
         for (int d : pipelinesUsingInstance(instance.id())) {
             // The victim's pipelines lose their cache context.
             restartAndRequeue(removePipeline(d));
@@ -88,8 +92,24 @@ SpotServeSystem::onInstancePreempted(const cluster::Instance &instance)
     }
     if ((phase_ == Phase::Draining || phase_ == Phase::Migrating) &&
         pending_) {
-        // activate() revalidates every replica's instances; nothing to do
-        // here beyond remembering the loss (holdings already dropped).
+        // Overlapped mode keeps unaffected replicas serving on the OLD
+        // mesh through the transition; any of them standing on the victim
+        // must stop now — their cache context is gone with the instance.
+        // activate() revalidates the *target* side (§4.2).  A victim that
+        // was still draining fires onPipelineHalted from inside
+        // removePipeline, so the all-drained transition is deferred past
+        // the loop exactly like the arrangement loop defers it.
+        if (options_.overlappedReconfig && hasDeployment() &&
+            meshUsesInstance(instance.id())) {
+            arrangingHalts_ = true;
+            for (int d : pipelinesUsingInstance(instance.id()))
+                restartAndRequeue(removePipeline(d));
+            arrangingHalts_ = false;
+            if (phase_ == Phase::Draining && pending_ &&
+                pending_->waitingHalts <= 0) {
+                startMigration();
+            }
+        }
         pendingReconfig_ = true;
     }
 }
@@ -98,8 +118,8 @@ void
 SpotServeSystem::onInstanceReleased(const cluster::Instance &instance)
 {
     forgetInstance(instance.id());
-    if (phase_ == Phase::Serving && hasDeployment() &&
-        meshUsesInstance(instance.id())) {
+    if ((phase_ == Phase::Serving || phase_ == Phase::Planning) &&
+        hasDeployment() && meshUsesInstance(instance.id())) {
         for (int d : pipelinesUsingInstance(instance.id()))
             restartAndRequeue(removePipeline(d));
         scheduleEval();
@@ -157,6 +177,11 @@ void
 SpotServeSystem::evaluate()
 {
     evalScheduled_ = false;
+    if (phase_ == Phase::Planning) {
+        // A planning pass is in flight; it re-reads the fleet state when
+        // it commits, so this trigger is already covered.
+        return;
+    }
     if (phase_ == Phase::Draining || phase_ == Phase::Migrating) {
         pendingReconfig_ = true;
         return;
@@ -185,40 +210,117 @@ SpotServeSystem::evaluate()
             suspendServing();
         return;
     }
+    if (!shouldReconfigure(*decision, alpha))
+        return;
+    requestReconfig(decision->config, hasDeployment()
+                                          ? "availability change"
+                                          : "initial deployment");
+}
 
+bool
+SpotServeSystem::shouldReconfigure(const ControllerDecision &decision,
+                                   double alpha) const
+{
     // Forced remap: no deployment yet, a mesh member is dying or gone, or
     // a replica is broken ("this step is still necessary ... since
     // memberships update", §3.2).
-    bool forced = !hasDeployment();
-    if (hasDeployment()) {
+    if (!hasDeployment())
+        return true;
+    for (cluster::InstanceId id : meshInstances()) {
+        const auto *inst = instances_.get(id);
+        if (!inst || inst->state() != cluster::InstanceState::Running)
+            return true;
+    }
+    for (const auto &p : deployment().pipelines) {
+        if (!p)
+            return true;
+    }
+    // Voluntary change (e.g. new capacity joined): only worth a
+    // reconfiguration when the deployment is struggling or the win is
+    // substantial; otherwise the newcomers wait in the candidate pool.
+    const double sustained = std::max(requests_.estimatedArrivalRate(60.0),
+                                      options_.designArrivalRate);
+    return worthReconfiguring(
+        controller_.throughputModel(), seq_, deployment().config,
+        controller_.space().instancesNeeded(deployment().config), decision,
+        alpha, sustained, requests_.pendingCount(),
+        options_.controller.arrivalCv, options_.controller.sloLatency);
+}
+
+double
+SpotServeSystem::planningDuration(const par::ParallelConfig &target,
+                                  int survivors) const
+{
+    const auto &stats = controller_.lastSweepStats();
+    const int gpi = params_.gpusPerInstance;
+    const int slots = (target.totalGpus() + gpi - 1) / gpi;
+    // Only a membership-only remap hits the mapper's identity fast path:
+    // the target must equal the deployed config AND every mesh member
+    // must still be a survivor — a forced remap after a loss runs the
+    // full two-step Hungarian solve even when the config is unchanged,
+    // and must be charged for it.
+    bool identity = hasDeployment() && deployment().config == target;
+    if (identity) {
         for (cluster::InstanceId id : meshInstances()) {
             const auto *inst = instances_.get(id);
-            if (!inst || inst->state() != cluster::InstanceState::Running)
-                forced = true;
-        }
-        for (const auto &p : deployment().pipelines) {
-            if (!p)
-                forced = true;
+            if (!inst || inst->state() != cluster::InstanceState::Running ||
+                notices_.find(id) != notices_.end()) {
+                identity = false;
+            }
         }
     }
-    if (!forced) {
-        // Voluntary change (e.g. new capacity joined): only worth a
-        // reconfiguration when the deployment is struggling or the win is
-        // substantial; otherwise the newcomers wait in the candidate pool.
-        const double sustained =
-            std::max(requests_.estimatedArrivalRate(60.0),
-                     options_.designArrivalRate);
-        if (!worthReconfiguring(
-                controller_.throughputModel(), seq_, deployment().config,
-                controller_.space().instancesNeeded(deployment().config),
-                *decision, alpha, sustained, requests_.pendingCount(),
-                options_.controller.arrivalCv,
-                options_.controller.sloLatency)) {
-            return;
-        }
+    return options_.planning.totalTime(stats.candidates, stats.coldEvals,
+                                       survivors, slots, identity,
+                                       spec_.numLayers(), survivors * gpi);
+}
+
+void
+SpotServeSystem::requestReconfig(const par::ParallelConfig &target,
+                                 const std::string &reason)
+{
+    if (!options_.overlappedReconfig || !hasDeployment()) {
+        // Synchronous ablation — or nothing is serving, so there is
+        // nothing to overlap the planning pass with.
+        beginReconfig(target, reason);
+        return;
     }
-    beginReconfig(decision->config, hasDeployment() ? "availability change"
-                                                    : "initial deployment");
+    if (phase_ != Phase::Serving)
+        return;
+    // Overlapped mode: the evaluation that just ran costs real wall-clock
+    // on a real controller; charge it as a scheduled planning event while
+    // every pipeline keeps admitting and decoding.  The commit re-reads
+    // the fleet, so changes that land during the pass are honoured.
+    phase_ = Phase::Planning;
+    planReason_ = reason;
+    const double duration = planningDuration(
+        target, static_cast<int>(instances_.survivingInstances().size()));
+    ++planningEvents_;
+    totalPlanningTime_ += duration;
+    sim_.scheduleAfter(duration, [this] { finishPlanning(); });
+}
+
+void
+SpotServeSystem::finishPlanning()
+{
+    if (phase_ != Phase::Planning)
+        return;
+    phase_ = Phase::Serving;
+    const std::string reason = std::move(planReason_);
+    planReason_.clear();
+
+    // Re-validate the decision against the fleet as it stands now: joins,
+    // notices or preemptions may have landed while the pass ran.
+    const double alpha = std::max(requests_.estimatedArrivalRate(120.0),
+                                  options_.designArrivalRate);
+    const auto survivors = instances_.survivingInstances();
+    const auto decision = decide(static_cast<int>(survivors.size()), alpha);
+    if (!decision) {
+        suspendServing();
+        return;
+    }
+    if (!shouldReconfigure(*decision, alpha))
+        return; // the trigger evaporated while we planned
+    beginReconfig(decision->config, reason);
 }
 
 void
@@ -312,8 +414,8 @@ SpotServeSystem::workloadTick()
     if (overloaded || suggestionStreak_ >= 2) {
         lastSuggestion_.reset();
         suggestionStreak_ = 0;
-        beginReconfig(decision->config,
-                      overloaded ? "overload detected" : "workload change");
+        requestReconfig(decision->config,
+                        overloaded ? "overload detected" : "workload change");
     }
 }
 
@@ -341,38 +443,155 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
 
     const auto snapshot = snapshotContext();
     auto old_tokens = pipelineCacheTokens();
-    auto mapping = mapper_.map(snapshot, target, survivors, old_tokens);
+
+    // A live pipeline can only be kept in place when the replica shape is
+    // unchanged (its object serves the exact same (P, M, B) geometry).
+    const bool same_shape = hasDeployment() &&
+                            deployment().config.pp == target.pp &&
+                            deployment().config.tp == target.tp &&
+                            deployment().config.batch == target.batch;
+
+    // Pin every live replica whose members all survive under an unchanged
+    // (P, M, B) shape: model-context weights tie across same-shape
+    // replicas, so without pins the Hungarian solve may mix stages from
+    // different old replicas into one new replica — zero reuse gain, but
+    // every live pipeline broken.  Pinned replicas are the partial-drain
+    // keep set.
+    std::vector<ReplicaPin> pins;
+    if (options_.overlappedReconfig && hasDeployment()) {
+        const auto &dep = deployment();
+        const int per_replica = target.pp * target.tp;
+        if (same_shape && per_replica % params_.gpusPerInstance == 0) {
+            std::unordered_set<cluster::InstanceId> surv;
+            for (const auto *inst : survivors)
+                surv.insert(inst->id());
+            std::vector<int> keepable;
+            for (std::size_t od = 0; od < dep.pipelines.size(); ++od) {
+                if (!dep.pipelines[od])
+                    continue;
+                bool alive = true;
+                for (par::GpuId g :
+                     dep.mesh.pipelineGpus(static_cast<int>(od))) {
+                    if (surv.find(cluster::Instance::instanceOfGpu(
+                            g, params_.gpusPerInstance)) == surv.end())
+                        alive = false;
+                }
+                if (alive)
+                    keepable.push_back(static_cast<int>(od));
+            }
+            if (static_cast<int>(keepable.size()) > target.dp) {
+                // More survivors than target slots: keep the most
+                // progressed batches serving (§3.3).
+                std::stable_sort(
+                    keepable.begin(), keepable.end(), [&](int a, int b) {
+                        return old_tokens[a] > old_tokens[b];
+                    });
+                keepable.resize(target.dp);
+            }
+            std::sort(keepable.begin(), keepable.end());
+            int next_new = 0;
+            for (int od : keepable) {
+                ReplicaPin pin;
+                pin.newReplica = next_new++;
+                pin.oldReplica = od;
+                pin.gpus = dep.mesh.pipelineGpus(od);
+                pins.push_back(std::move(pin));
+            }
+        }
+    }
+    auto mapping =
+        mapper_.map(snapshot, target, survivors, old_tokens, pins);
 
     // Earliest active preemption deadline bounds the whole reconfig.
     sim::SimTime deadline = sim::kTimeInfinity;
     for (const auto &[id, at] : notices_)
         deadline = std::min(deadline, at);
 
+    // ------------------------------------------------------------------
+    // Partial drain (overlapped mode): a new replica whose GPUs the
+    // mapping keeps exactly in place, under an unchanged (P, M, B)
+    // shape, never needs to stop — its model context, cache context and
+    // live batch are already where the target wants them.
+    // ------------------------------------------------------------------
+    const int old_dp =
+        hasDeployment() ? static_cast<int>(deployment().pipelines.size())
+                        : 0;
+    std::vector<int> kept(target.dp, -1);
+    std::vector<bool> touched(old_dp, true);
+    if (options_.overlappedReconfig && hasDeployment()) {
+        const auto &dep = deployment();
+        if (!pins.empty()) {
+            // The mapper bound the pins verbatim and set their
+            // inheritance; the kept set IS the pin set.
+            for (const auto &pin : pins) {
+                kept[pin.newReplica] = pin.oldReplica;
+                touched[pin.oldReplica] = false;
+            }
+        } else if (same_shape) {
+            // No pins were eligible (e.g. sub-instance replicas), but the
+            // identity fast path or the free solve may still have kept
+            // placements in place — detect them and pin their
+            // inheritance to themselves so their batch stays put.
+            std::vector<bool> claimed(old_dp, false);
+            for (int d = 0; d < target.dp; ++d) {
+                const auto gpus = mapping.mesh.pipelineGpus(d);
+                for (int od = 0; od < old_dp; ++od) {
+                    if (claimed[od] || !dep.pipelines[od])
+                        continue;
+                    if (dep.mesh.pipelineGpus(od) == gpus) {
+                        kept[d] = od;
+                        claimed[od] = true;
+                        touched[od] = false;
+                        break;
+                    }
+                }
+            }
+            std::vector<std::pair<int, int>> kept_pairs;
+            for (int d = 0; d < target.dp; ++d) {
+                if (kept[d] >= 0)
+                    kept_pairs.emplace_back(d, kept[d]);
+            }
+            if (!kept_pairs.empty()) {
+                mapping.inheritedOldPipeline = mapper_.planInheritance(
+                    target.dp, old_tokens, kept_pairs);
+            }
+        }
+    }
+
     PlannerOptions popts;
     popts.progressive = options_.enableMigrationPlanner;
     popts.memoryOpt = options_.enableMigrationPlanner;
     popts.migrateCache = options_.enableArranger;
-    auto plan = planner_.plan(snapshot, mapping, target, old_tokens, popts);
+    // One analysis pass yields both cache variants; the arranger's
+    // migrate-vs-recompute flip below reads the memoised no-cache
+    // sibling instead of re-running the planner.
+    auto plans =
+        planner_.planBoth(snapshot, mapping, target, old_tokens, popts);
 
     PendingMigration pm{target,
                         std::move(mapping),
-                        std::move(plan),
+                        std::move(plans.withCache),
+                        std::move(plans.withoutCache),
                         std::move(old_tokens),
                         reason,
                         0,
                         deadline,
                         true,
                         hasDeployment(),
+                        std::move(kept),
+                        std::move(touched),
                         {},
                         {}};
 
     // Arranger: decide whether moving the cache beats recomputation and
-    // how long each pipeline may keep decoding (JIT, §4.1).
+    // how long each affected pipeline may keep decoding (JIT, §4.1).
+    // Only drained batches migrate, so only they count here.
     double committed_work = 0.0;
     if (pm.hadDeployment) {
         const auto &dep = deployment();
-        for (const auto &p : dep.pipelines) {
-            if (!p || p->batch().empty())
+        for (std::size_t od = 0; od < dep.pipelines.size(); ++od) {
+            const auto &p = dep.pipelines[od];
+            if (!p || p->batch().empty() || !pm.touchedOld[od])
                 continue;
             par::ParallelConfig c = dep.config;
             c.batch = static_cast<int>(p->batch().size());
@@ -388,11 +607,8 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
     }
     pm.migrateCache = options_.enableArranger &&
                       pm.plan.totalDuration < committed_work;
-    if (!pm.migrateCache && pm.plan.cacheMigrated) {
-        popts.migrateCache = false;
-        pm.plan =
-            planner_.plan(snapshot, pm.mapping, target, pm.oldTokens, popts);
-    }
+    if (!pm.migrateCache && pm.plan.cacheMigrated)
+        pm.plan = pm.noCachePlan;
 
     phase_ = Phase::Draining;
     pending_ = std::move(pm);
@@ -404,11 +620,20 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
 
     auto &dep = deployment();
     int waiting = 0;
-    for (const auto &p : dep.pipelines) {
-        if (p)
+    int kept_live = 0;
+    for (std::size_t od = 0; od < dep.pipelines.size(); ++od) {
+        if (!dep.pipelines[od])
+            continue;
+        if (pending_->touchedOld[od])
             ++waiting;
+        else
+            ++kept_live;
     }
     pending_->waitingHalts = waiting;
+    pipelinesDrained_ += waiting;
+    pipelinesKeptServing_ += kept_live;
+    if (kept_live > 0)
+        ++partialReconfigs_;
     if (waiting == 0) {
         startMigration();
         return;
@@ -424,9 +649,10 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
     // are still iterating its pipelines.
     arrangingHalts_ = true;
 
-    for (auto &p : dep.pipelines) {
-        if (!p)
-            continue;
+    for (std::size_t od = 0; od < dep.pipelines.size(); ++od) {
+        auto &p = dep.pipelines[od];
+        if (!p || !pending_->touchedOld[od])
+            continue; // kept replicas serve straight through
         if (!options_.enableArranger) {
             // Ablated: suspend immediately; in-flight work is lost.
             p->haltNow();
@@ -465,10 +691,24 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
 }
 
 void
-SpotServeSystem::onPipelineHalted(engine::InferencePipeline &)
+SpotServeSystem::onPipelineHalted(engine::InferencePipeline &pipeline)
 {
     if (phase_ != Phase::Draining || !pending_)
         return;
+    if (hasDeployment()) {
+        // Partial drain: only affected replicas count toward the
+        // all-drained barrier.  (An unaffected replica can only halt here
+        // through the §4.2 victim cleanup, which requeues its work.)
+        const auto &dep = deployment();
+        for (std::size_t od = 0; od < dep.pipelines.size(); ++od) {
+            if (dep.pipelines[od].get() != &pipeline)
+                continue;
+            if (od < pending_->touchedOld.size() &&
+                !pending_->touchedOld[od])
+                return;
+            break;
+        }
+    }
     if (--pending_->waitingHalts <= 0 && !arrangingHalts_)
         startMigration();
 }
@@ -481,11 +721,27 @@ SpotServeSystem::startMigration()
     phase_ = Phase::Migrating;
     auto &pm = *pending_;
 
-    // Collect the halted batches.
+    bool any_kept = false;
+    for (int od : pm.keptOldPipeline) {
+        if (od >= 0)
+            any_kept = true;
+    }
+
+    // Collect the halted batches of the affected replicas.  Kept replicas
+    // stay live inside the old deployment and keep serving (the request
+    // manager rebalances the queue onto them via dispatchAll) until
+    // activation adopts their pipeline objects.
     std::vector<std::vector<engine::ActiveRequest>> batches;
     if (hasDeployment()) {
-        batches = haltAndCollectAll();
-        clearDeployment();
+        auto &dep = deployment();
+        batches.resize(dep.pipelines.size());
+        for (std::size_t od = 0; od < dep.pipelines.size(); ++od) {
+            if (od < pm.touchedOld.size() && !pm.touchedOld[od])
+                continue;
+            batches[od] = removePipeline(static_cast<int>(od));
+        }
+        if (!any_kept)
+            clearDeployment();
     }
 
     double duration = pm.plan.totalDuration;
@@ -498,7 +754,11 @@ SpotServeSystem::startMigration()
     // Fault tolerance (§4.2): if the plan cannot finish inside the
     // earliest grace deadline, first give up the cache context; weights
     // that still cannot move in time reload from cloud storage at disk
-    // bandwidth.
+    // bandwidth.  Unlike the arranger's flip (which happens at planning
+    // time and reads the memoised no-cache sibling), this fallback fires
+    // after the drain consumed most of the grace period, so it re-plans
+    // against the *current* holdings — a migration source may have died
+    // since beginReconfig and the schedule must not pretend otherwise.
     if (pm.deadline != sim::kTimeInfinity) {
         double remaining = pm.deadline - sim_.now();
         if (duration > remaining && cache_ok) {
@@ -513,6 +773,8 @@ SpotServeSystem::startMigration()
             duration = pm.plan.totalDuration;
             resume = pm.plan.resumeOffset;
             resumes = pm.plan.pipelineResume;
+            if (resumes.empty())
+                resumes.assign(pm.target.dp, resume);
         }
         if (duration > remaining && remaining >= 0.0) {
             const double overflow = duration - remaining;
@@ -534,16 +796,34 @@ SpotServeSystem::startMigration()
 
     pm.resumeAbs.resize(pm.target.dp);
     double first_resume = duration;
+    double affected_resume = 0.0;
+    bool any_affected = false;
     for (int d = 0; d < pm.target.dp; ++d) {
+        if (pm.keptOldPipeline[d] >= 0) {
+            // Kept replicas never stop; they are "resumed" already.
+            pm.resumeAbs[d] = sim_.now();
+            continue;
+        }
         pm.resumeAbs[d] = sim_.now() + resumes[d];
         first_resume = std::min(first_resume, resumes[d]);
+        affected_resume = std::max(affected_resume, resumes[d]);
+        any_affected = true;
     }
+    if (!any_affected)
+        first_resume = 0.0; // membership-only relabel: activate now
 
     // Assign inherited batches to the new replicas.
     pm.inherited.assign(pm.target.dp, {});
     std::vector<bool> consumed(batches.size(), false);
+    for (int d = 0; d < pm.target.dp; ++d) {
+        const int od = pm.keptOldPipeline[d];
+        if (od >= 0 && od < static_cast<int>(consumed.size()))
+            consumed[od] = true; // batch stayed inside the live pipeline
+    }
     if (cache_ok) {
         for (int d = 0; d < pm.target.dp; ++d) {
+            if (pm.keptOldPipeline[d] >= 0)
+                continue; // serving through; nothing to hand over
             const int od = pm.mapping.inheritedOldPipeline[d];
             if (od < 0 || od >= static_cast<int>(batches.size()))
                 continue;
@@ -609,11 +889,14 @@ SpotServeSystem::startMigration()
 
     totalBytesMigrated_ += pm.plan.movedModelBytes + pm.plan.movedCacheBytes;
     totalBytesReused_ += pm.plan.reusedBytes;
-    totalMigrationStall_ += resume;
+    // Only the affected replicas ever stalled: the serving stall of this
+    // reconfiguration is their critical path, not the full plan span.
+    totalMigrationStall_ += affected_resume;
     migrationTailUntil_ = sim_.now() + duration;
 
-    // Activate as soon as the first replica's context is ready; the rest
-    // come online at their own progressive-resume times.
+    // Activate as soon as the first affected replica's context is ready;
+    // the rest come online at their own progressive-resume times and the
+    // kept replicas never left.
     sim_.scheduleAfter(first_resume, [this] { activate(); });
 }
 
@@ -625,7 +908,35 @@ SpotServeSystem::activate()
     auto pm = std::move(*pending_);
     pending_.reset();
 
-    installDeployment(pm.target, std::move(pm.mapping.mesh));
+    // Adopt the kept replicas' live pipeline objects — batches, in-flight
+    // iterations and KV accounting move across untouched.
+    std::vector<std::unique_ptr<engine::InferencePipeline>> carried(
+        pm.target.dp);
+    std::vector<bool> was_kept(pm.target.dp, false);
+    if (hasDeployment()) {
+        auto &old = deployment();
+        for (int d = 0; d < pm.target.dp; ++d) {
+            const int od = pm.keptOldPipeline[d];
+            if (od >= 0 && od < static_cast<int>(old.pipelines.size()) &&
+                old.pipelines[od]) {
+                carried[d] = std::move(old.pipelines[od]);
+                was_kept[d] = true;
+            }
+        }
+        // Defensive: nothing else should still be live in the old
+        // deployment (affected replicas were removed at startMigration).
+        for (auto &p : old.pipelines) {
+            if (p) {
+                p->haltNow();
+                restartAndRequeue(p->takeBatch());
+                p.reset();
+            }
+        }
+        clearDeployment();
+    }
+
+    installDeployment(pm.target, std::move(pm.mapping.mesh),
+                      std::move(carried));
     deployment().readyAt = pm.resumeAbs;
     recordConfig(pm.target, pm.reason);
     const long epoch = ++deployEpoch_;
@@ -642,11 +953,14 @@ SpotServeSystem::activate()
                 alive = false;
         }
         if (!alive) {
+            // A kept pipeline's live batch is requeued with the rest.
+            restartAndRequeue(removePipeline(d));
             restartAndRequeue(std::move(pm.inherited[d]));
-            removePipeline(d);
             broken = true;
             continue;
         }
+        if (was_kept[d])
+            continue; // never stopped serving
         if (pm.resumeAbs[d] <= sim_.now() + 1e-9) {
             if (!pm.inherited[d].empty())
                 loadBatch(d, std::move(pm.inherited[d]));

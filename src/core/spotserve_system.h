@@ -8,13 +8,22 @@
  * reconfiguration loop:
  *
  *   availability / workload change
- *     -> controller proposes C_{t+1}
+ *     -> controller proposes C_{t+1}      (Planning: serving continues)
  *     -> device mapper binds surviving GPUs to the new mesh
  *     -> migration planner schedules context movement
- *     -> interruption arranger drains pipelines just in time
- *     -> context migration -> progressive resume with recovered batches.
+ *     -> interruption arranger drains the AFFECTED pipelines just in time
+ *        (partial drain: replicas the mapping keeps in place never stop)
+ *     -> context migration                (untouched replicas keep serving;
+ *        the request queue rebalances onto them)
+ *     -> progressive per-replica resume with recovered batches.
  *
- * Every component can be disabled independently for the Figure 9 ablation.
+ * Reconfiguration overlaps with serving end to end: planning is a costed,
+ * scheduled event (PlanningLatencyModel) rather than an instantaneous
+ * global stall, and only the replicas whose mesh members are lost or
+ * reassigned drain.  The pre-overlap behaviour — instantaneous planning,
+ * whole-deployment drain — stays selectable as overlappedReconfig = false
+ * for the Figure 9-style ablation.  Every paper component can likewise be
+ * disabled independently.
  */
 
 #ifndef SPOTSERVE_CORE_SPOTSERVE_SYSTEM_H
@@ -28,6 +37,7 @@
 #include "core/device_mapper.h"
 #include "core/interruption_arranger.h"
 #include "core/migration_planner.h"
+#include "costmodel/planning_latency_model.h"
 #include "serving/base_system.h"
 
 namespace spotserve {
@@ -115,6 +125,22 @@ struct SpotServeOptions
     /** Allocate on-demand (true) or spot (false) in dynamic mode. */
     bool dynamicUseOnDemand = false;
 
+    /**
+     * Overlap reconfiguration with serving (the default, §4.1-4.2):
+     * controller + mapper + planner evaluation becomes a scheduled
+     * planning event costed by the PlanningLatencyModel while every
+     * pipeline keeps admitting and decoding, and only the pipelines whose
+     * mesh members are lost or reassigned by the mapping drain — replicas
+     * the mapping keeps in place serve straight through Migrating and the
+     * request queue rebalances onto them.  Disable for the synchronous
+     * ablation: instantaneous (free) planning followed by a
+     * whole-deployment drain, the pre-overlap behaviour.
+     */
+    bool overlappedReconfig = true;
+
+    /** Wall-clock model of one planning pass (overlapped mode). */
+    cost::PlanningLatencyModel planning{};
+
     ControllerOptions controller{};
 };
 
@@ -143,6 +169,16 @@ class SpotServeSystem : public serving::BaseServingSystem
     double totalMigrationStall() const { return totalMigrationStall_; }
     double totalBytesMigrated() const { return totalBytesMigrated_; }
     double totalBytesReused() const { return totalBytesReused_; }
+    /** Planning passes charged as scheduled events (overlapped mode). */
+    long planningEvents() const { return planningEvents_; }
+    /** Simulated seconds spent in Phase::Planning (serving continued). */
+    double totalPlanningTime() const { return totalPlanningTime_; }
+    /** Replicas drained for migration, cumulative over reconfigs. */
+    long pipelinesDrained() const { return pipelinesDrained_; }
+    /** Replicas that served straight through a reconfiguration. */
+    long pipelinesKeptServing() const { return pipelinesKeptServing_; }
+    /** Reconfigurations where at least one replica never stopped. */
+    int partialReconfigs() const { return partialReconfigs_; }
     const SpotServeOptions &options() const { return options_; }
     /** @} */
 
@@ -154,13 +190,40 @@ class SpotServeSystem : public serving::BaseServingSystem
     {
         Idle,      ///< No deployment (insufficient instances or startup).
         Serving,   ///< Normal operation.
-        Draining,  ///< Arranged halts pending before migration.
-        Migrating, ///< Context migration in flight.
+        Planning,  ///< Costed planning pass in flight; serving continues.
+        Draining,  ///< Arranged halts pending on the affected replicas.
+        Migrating, ///< Context migration in flight; untouched replicas
+                   ///< keep serving (overlapped mode).
     };
 
     /** Coalesced deferred reconfiguration evaluation. */
     void scheduleEval();
     void evaluate();
+
+    /**
+     * Route a reconfiguration decision: synchronous mode (or no live
+     * deployment) commits immediately; overlapped mode enters
+     * Phase::Planning and commits after the modeled planning latency,
+     * re-validating the decision against the then-current fleet.
+     */
+    void requestReconfig(const par::ParallelConfig &target,
+                         const std::string &reason);
+
+    /** The planning pass completed: re-decide on fresh state and commit. */
+    void finishPlanning();
+
+    /**
+     * The one reconfiguration gate evaluate() and finishPlanning() share:
+     * true when the remap is forced (no deployment, a mesh member dying
+     * or gone, a broken replica) or the voluntary change passes
+     * worthReconfiguring.
+     */
+    bool shouldReconfigure(const ControllerDecision &decision,
+                           double alpha) const;
+
+    /** Modeled wall-clock of the planning pass just performed. */
+    double planningDuration(const par::ParallelConfig &target,
+                            int survivors) const;
 
     /** Periodic workload monitor (overload / scale-down detection). */
     void workloadTick();
@@ -213,12 +276,30 @@ class SpotServeSystem : public serving::BaseServingSystem
         par::ParallelConfig target;
         MappingResult mapping;
         MigrationPlan plan;
+        /**
+         * The no-cache sibling of plan, memoised from the same analysis
+         * pass (planBoth): read by the arranger's migrate-vs-recompute
+         * flip instead of invoking the planner a second time.  (The §4.2
+         * grace-deadline fallback deliberately re-plans fresh instead —
+         * it fires after the drain, when sources may have died.)
+         */
+        MigrationPlan noCachePlan;
         std::vector<double> oldTokens;
         std::string reason;
         int waitingHalts = 0;
         sim::SimTime deadline = sim::kTimeInfinity;
         bool migrateCache = true;
         bool hadDeployment = false;
+        /**
+         * keptOldPipeline[d] = old replica whose live pipeline the new
+         * replica d keeps in place (identical GPUs at identical
+         * positions, same shape), or -1.  Kept replicas never drain:
+         * their pipeline objects move into the new deployment at
+         * activation (overlapped mode only).
+         */
+        std::vector<int> keptOldPipeline;
+        /** Old replicas that must drain (complement of the kept set). */
+        std::vector<bool> touchedOld;
         /** Batches assigned to each new replica at activation. */
         std::vector<std::vector<engine::ActiveRequest>> inherited;
         /** Absolute per-replica progressive-resume times. */
@@ -236,10 +317,18 @@ class SpotServeSystem : public serving::BaseServingSystem
     std::optional<par::ParallelConfig> lastSuggestion_;
     int suggestionStreak_ = 0;
 
+    /** Reason carried from the planning request to the commit. */
+    std::string planReason_;
+
     int migrationsCompleted_ = 0;
     double totalMigrationStall_ = 0.0;
     double totalBytesMigrated_ = 0.0;
     double totalBytesReused_ = 0.0;
+    long planningEvents_ = 0;
+    double totalPlanningTime_ = 0.0;
+    long pipelinesDrained_ = 0;
+    long pipelinesKeptServing_ = 0;
+    int partialReconfigs_ = 0;
 };
 
 } // namespace core

@@ -6,13 +6,24 @@
  * A configuration is deployable on N instances when its tensor groups can
  * be packed onto whole instances (M in {1,2,4,8}; an M=8 group occupies two
  * full 4-GPU instances) and each GPU's memory budget holds.
+ *
+ * Enumeration is memoised: the memory-feasibility of a (P, M, B) shape is
+ * D-independent and cached after the first probe, and the full result for
+ * a given instance budget is cached so repeated controller sweeps on an
+ * unchanged fleet cost O(result) instead of re-running the memory model
+ * over the whole space.  With ConfigSpaceOptions::dominancePrune the
+ * enumeration additionally drops configurations that can never win
+ * Algorithm 1's selection (see enumerate()).
  */
 
 #ifndef SPOTSERVE_COSTMODEL_CONFIG_SPACE_H
 #define SPOTSERVE_COSTMODEL_CONFIG_SPACE_H
 
+#include <map>
+#include <tuple>
 #include <vector>
 
+#include "costmodel/latency_model.h"
 #include "costmodel/memory_model.h"
 #include "model/model_spec.h"
 #include "parallel/parallel_config.h"
@@ -29,6 +40,19 @@ struct ConfigSpaceOptions
     std::vector<int> ppChoices = {1, 2, 3, 4, 6, 8};
     /** Honour the memory-optimised planner's smaller migration reserve. */
     bool memOptPlanner = true;
+
+    /**
+     * Drop configurations that cannot win Algorithm 1's selection under
+     * any arrival rate: c2 is pruned when some c1 needs strictly fewer
+     * instances while phi(c1) >= phi(c2) and l_exe(c1) <= l_exe(c2).
+     * Because l_req(C, alpha) = l_exe + a Kingman term monotone in both
+     * alpha/phi and 1/phi, such a c1 is eligible whenever c2 is, has
+     * latency <= c2's at every alpha, and beats c2 in the monetary-cost
+     * tie-break — so pruning is decision-preserving (a regression test
+     * checks the controller byte-for-byte against the unpruned sweep).
+     * Off by default; the parallelization controller turns it on.
+     */
+    bool dominancePrune = false;
 };
 
 /** Enumerates feasible configurations for a model on this hardware. */
@@ -56,6 +80,11 @@ class ConfigSpace
      * 2-3, which consider configs the cloud could satisfy by allocating
      * more instances: call it with that upper bound.  (A former
      * enumerateUpTo alias was silently identical and has been folded in.)
+     *
+     * With dominancePrune the result omits dominated configurations (see
+     * ConfigSpaceOptions); prunedness is budget-independent, so
+     * enumerate(m) remains exactly enumerate(n >= m) filtered to
+     * instancesNeeded <= m.  Results are cached per budget.
      */
     std::vector<par::ParallelConfig>
     enumerate(int num_instances) const;
@@ -64,11 +93,27 @@ class ConfigSpace
     const MemoryModel &memory() const { return memory_; }
 
   private:
+    /** D-independent memory feasibility of a (P, M, B) shape, cached. */
+    bool shapeFits(int pp, int tp, int batch) const;
+
+    /** Unpruned enumeration loop (shape-feasibility cache still applies). */
+    std::vector<par::ParallelConfig> enumerateAll(int num_instances) const;
+
+    /** Drop dominated configs (see ConfigSpaceOptions::dominancePrune). */
+    std::vector<par::ParallelConfig>
+    prune(std::vector<par::ParallelConfig> candidates) const;
+
     model::ModelSpec spec_;
     CostParams params_;
     SeqSpec seq_;
     ConfigSpaceOptions options_;
     MemoryModel memory_;
+    LatencyModel latency_;
+
+    /** (P, M, B) -> memory_.fits (the expensive part of feasible()). */
+    mutable std::map<std::tuple<int, int, int>, bool> shapeFits_;
+    /** Instance budget -> final enumeration result. */
+    mutable std::map<int, std::vector<par::ParallelConfig>> enumCache_;
 };
 
 } // namespace cost

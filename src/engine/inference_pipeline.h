@@ -182,6 +182,14 @@ class InferencePipeline
     /** Free batch slots (config batch size minus live requests). */
     int freeSlots() const;
     int index() const { return index_; }
+    /**
+     * Rebind the replica index.  Overlapped reconfiguration carries live
+     * pipeline objects into the new deployment (they serve straight
+     * through the transition), where the replica may land at a different
+     * D-slot; the owner re-indexes at adoption so diagnostics and logs
+     * stay truthful.  Execution state is unaffected.
+     */
+    void setIndex(int index) { index_ = index; }
     const par::ParallelConfig &config() const { return config_; }
     const BatchingOptions &batching() const { return batching_; }
 

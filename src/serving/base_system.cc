@@ -203,15 +203,28 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
 }
 
 void
-BaseServingSystem::installDeployment(const par::ParallelConfig &config,
-                                     par::DeviceMesh mesh)
+BaseServingSystem::installDeployment(
+    const par::ParallelConfig &config, par::DeviceMesh mesh,
+    std::vector<std::unique_ptr<engine::InferencePipeline>> carried)
 {
     if (deployment_)
         throw std::logic_error("installDeployment: clear the old one first");
     Deployment dep{config, std::move(mesh), {}, {}};
     dep.pipelines.reserve(config.dp);
-    for (int d = 0; d < config.dp; ++d)
+    for (int d = 0; d < config.dp; ++d) {
+        if (d < static_cast<int>(carried.size()) && carried[d]) {
+            if (carried[d]->config().pp != config.pp ||
+                carried[d]->config().tp != config.tp ||
+                carried[d]->config().batch != config.batch) {
+                throw std::logic_error(
+                    "installDeployment: carried pipeline shape mismatch");
+            }
+            carried[d]->setIndex(d);
+            dep.pipelines.push_back(std::move(carried[d]));
+            continue;
+        }
         dep.pipelines.push_back(makePipeline(config, d));
+    }
     deployment_ = std::move(dep);
 
     // Every mapped GPU's context daemon now holds its position's model

@@ -112,9 +112,18 @@ class BaseServingSystem : public ServingSystem
     /**
      * Replace the deployment: build one InferencePipeline per replica and
      * update context-daemon holdings for every mapped GPU.
+     *
+     * @param carried optional per-replica pipelines to adopt instead of
+     *        building fresh ones (overlapped reconfiguration: replicas
+     *        whose GPUs and shape the new mapping keeps in place serve
+     *        straight through and their live pipeline objects — batches,
+     *        in-flight iterations, KV accounting — move into the new
+     *        deployment untouched).  A carried pipeline must have been
+     *        built for the same (P, M, B) shape; entries may be null.
      */
-    void installDeployment(const par::ParallelConfig &config,
-                           par::DeviceMesh mesh);
+    void installDeployment(
+        const par::ParallelConfig &config, par::DeviceMesh mesh,
+        std::vector<std::unique_ptr<engine::InferencePipeline>> carried = {});
 
     /** Destroy all pipelines (holdings are retained: daemons stay alive). */
     void clearDeployment();

@@ -32,7 +32,10 @@ reparallelizationFactory(const model::ModelSpec &spec,
                          const cost::CostParams &params,
                          const cost::SeqSpec &seq, double design_rate);
 
-/** Factory by name: "SpotServe", "Rerouting", "Reparallelization". */
+/**
+ * Factory by name: "SpotServe", "Rerouting", "Reparallelization", or
+ * "SpotServe-sync" (the synchronous-reconfiguration ablation).
+ */
 serving::SystemFactory
 factoryByName(const std::string &name, const model::ModelSpec &spec,
               const cost::CostParams &params, const cost::SeqSpec &seq,

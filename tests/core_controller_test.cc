@@ -168,16 +168,20 @@ TEST(WorthReconfiguringTest, GatesMarginalChanges)
 }
 
 /**
- * Reference (pre-memoisation) chooseConfig: the literal any-meets / SLO /
- * band / max-phi scans, re-evaluating throughput() and requestLatency()
- * at every use exactly like the old implementation did.  The memoised
- * production path must make byte-identical decisions.
+ * Reference (pre-memoisation, pre-pruning) chooseConfig: the literal
+ * any-meets / SLO / band / max-phi scans over the UNPRUNED candidate
+ * space, re-evaluating throughput() and requestLatency() at every use
+ * exactly like the old implementation did.  The memoised production path
+ * — cross-invocation caches plus dominance pruning — must make
+ * byte-identical decisions.  The only shared quantisation is the alpha
+ * bucket, which the production path applies before any evaluation.
  */
 std::optional<ControllerDecision>
 referenceChoose(const cost::ConfigSpace &space,
                 const cost::ThroughputModel &thr,
                 const ControllerOptions &options, int instances, double rate)
 {
+    rate = ParallelizationController::bucketAlpha(rate);
     const auto candidates = space.enumerate(instances);
     if (candidates.empty())
         return std::nullopt;
@@ -266,21 +270,36 @@ referenceChoose(const cost::ConfigSpace &space,
 
 TEST(ControllerTest, MemoisedSweepMatchesReferenceByteForByte)
 {
-    // Regression for the memoised candidate evaluation: across models,
-    // fleet sizes, arrival rates and both objectives (latency and SLO),
-    // the decision must be byte-identical to the reference scans.
+    // Regression for the memoised + dominance-pruned candidate
+    // evaluation: across models, fleet sizes, arrival rates and both
+    // objectives (latency and SLO), the decision must be byte-identical
+    // to the reference scans over the unpruned space.  Each (n, rate)
+    // pair is queried twice so both the cold and the warm (fully cached)
+    // sweep are pinned.
     for (const auto &spec :
          {model::ModelSpec::opt6_7b(), model::ModelSpec::gpt20b()}) {
         for (double slo : {0.0, 20.0}) {
             ControllerOptions options;
             options.sloLatency = slo;
             ParallelizationController ctrl(spec, kParams, kSeq, {}, options);
+            // The unpruned reference space (dominancePrune defaults off).
+            cost::ConfigSpace reference_space(spec, kParams, kSeq, {});
             for (int n = 0; n <= 8; ++n) {
                 for (double rate :
                      {0.0, 0.05, 0.2, 0.35, 0.7, 1.5, 3.0, 10.0}) {
-                    const auto got = ctrl.chooseConfig(n, rate);
+                    auto got = ctrl.chooseConfig(n, rate);
+                    const auto warm = ctrl.chooseConfig(n, rate);
+                    ASSERT_EQ(got.has_value(), warm.has_value());
+                    if (got) {
+                        EXPECT_EQ(got->config, warm->config);
+                        EXPECT_EQ(got->estimatedLatency,
+                                  warm->estimatedLatency);
+                        EXPECT_GE(got->instancesNeeded, 0);
+                        EXPECT_LE(ctrl.lastSweepStats().coldEvals, 0u)
+                            << "warm sweep re-evaluated candidates";
+                    }
                     const auto want =
-                        referenceChoose(ctrl.space(),
+                        referenceChoose(reference_space,
                                         ctrl.throughputModel(), options, n,
                                         rate);
                     ASSERT_EQ(got.has_value(), want.has_value())

@@ -190,6 +190,119 @@ TEST_F(MapperFixture, ThrowsWhenShort)
                  std::invalid_argument);
 }
 
+TEST_F(MapperFixture, IdentityFastPathByteIdenticalToFullSolve)
+{
+    // Membership-only remap: the snapshot already holds the exact target
+    // placement.  With live cache on every replica the identity is the
+    // full solve's unique optimum, so the fast path must reproduce the
+    // Hungarian result byte for byte — mesh, inheritance and both reuse
+    // accumulators.
+    for (const par::ParallelConfig cfg :
+         {par::ParallelConfig{2, 2, 8, 8}, par::ParallelConfig{2, 3, 4, 8},
+          par::ParallelConfig{3, 2, 4, 8}}) {
+        makeInstances((cfg.totalGpus() + 3) / 4 + 1); // one cold spare
+        const auto snap = packedSnapshot(cfg, /*cache_tokens=*/600.0);
+        const std::vector<double> tokens(cfg.dp, 600.0);
+
+        DeviceMapper fast(spec, kParams); // identityFastPath defaults on
+        DeviceMapperOptions full_opt;
+        full_opt.identityFastPath = false;
+        DeviceMapper full(spec, kParams, full_opt);
+
+        const auto a = fast.map(snap, cfg, instances, tokens);
+        const auto b = full.map(snap, cfg, instances, tokens);
+
+        const auto &topo = a.mesh.topology();
+        for (int i = 0; i < topo.size(); ++i) {
+            const auto pos = topo.position(i);
+            EXPECT_EQ(a.mesh.gpuAt(pos), b.mesh.gpuAt(pos))
+                << cfg.str() << " position " << pos.str();
+        }
+        EXPECT_EQ(a.inheritedOldPipeline, b.inheritedOldPipeline)
+            << cfg.str();
+        EXPECT_DOUBLE_EQ(a.reusedModelBytes, b.reusedModelBytes);
+        EXPECT_DOUBLE_EQ(a.reusedCacheBytes, b.reusedCacheBytes);
+        EXPECT_DOUBLE_EQ(a.neededModelBytes, b.neededModelBytes);
+    }
+}
+
+TEST_F(MapperFixture, IdentityFastPathDeclinesPartialCoverage)
+{
+    // One mesh member lost: the fast path must bail out and the full
+    // solve must still produce a complete mapping onto the survivors.
+    par::ParallelConfig cfg{2, 2, 8, 8};
+    const auto full_snap = packedSnapshot(cfg, 600.0);
+    engine::ContextSnapshot snap;
+    for (const auto &g : full_snap.gpus) {
+        if (g.instance != 3)
+            snap.gpus.push_back(g);
+    }
+    makeInstances(9);
+    instances.erase(instances.begin() + 3);
+    storage[3]->markPreempted(1.0);
+
+    DeviceMapper mapper(spec, kParams);
+    const auto result = mapper.map(snap, cfg, instances, {600.0, 600.0});
+    EXPECT_TRUE(result.mesh.complete());
+    // The lost instance's positions were rebuilt elsewhere: some model
+    // context must move.
+    EXPECT_LT(result.reusedModelBytes, result.neededModelBytes);
+}
+
+TEST_F(MapperFixture, ReplicaPinsSurviveWeightTies)
+{
+    // Zero cache tokens everywhere: model-context weights tie across
+    // same-shape replicas and the free Hungarian solve may mix stages
+    // from different old replicas.  Pins must keep the live replicas'
+    // placement verbatim so they can serve through the reconfiguration.
+    par::ParallelConfig cfg{3, 3, 4, 8};
+    const auto full = packedSnapshot(cfg, /*cache_tokens=*/0.0);
+    engine::ContextSnapshot snap;
+    for (const auto &g : full.gpus) {
+        if (g.instance != 0) // replica 0 loses its first stage
+            snap.gpus.push_back(g);
+    }
+    makeInstances(10);
+    instances.erase(instances.begin());
+    storage[0]->markPreempted(1.0);
+
+    par::Topology topo(cfg, spec.numLayers());
+    auto old_gpus = [&](int d) {
+        std::vector<par::GpuId> out;
+        for (int p = 0; p < cfg.pp; ++p) {
+            for (int m = 0; m < cfg.tp; ++m)
+                out.push_back(topo.flatIndex(par::Position{d, p, m}));
+        }
+        return out;
+    };
+    std::vector<ReplicaPin> pins;
+    pins.push_back(ReplicaPin{0, 1, old_gpus(1)});
+    pins.push_back(ReplicaPin{1, 2, old_gpus(2)});
+
+    DeviceMapper mapper(spec, kParams);
+    const auto result =
+        mapper.map(snap, cfg, instances, {0.0, 700.0, 300.0}, pins);
+    EXPECT_TRUE(result.mesh.complete());
+    EXPECT_EQ(result.mesh.pipelineGpus(0), old_gpus(1));
+    EXPECT_EQ(result.mesh.pipelineGpus(1), old_gpus(2));
+    // Pinned replicas inherit themselves; the drained old replica 0 had
+    // no progress worth inheriting... but here it has tokens 0.0 anyway.
+    EXPECT_EQ(result.inheritedOldPipeline[0], 1);
+    EXPECT_EQ(result.inheritedOldPipeline[1], 2);
+    // The rebuilt replica must not reuse any pinned GPU.
+    std::set<par::GpuId> pinned;
+    for (const auto &p : pins)
+        pinned.insert(p.gpus.begin(), p.gpus.end());
+    for (par::GpuId g : result.mesh.pipelineGpus(2))
+        EXPECT_EQ(pinned.count(g), 0u);
+
+    // Malformed pins are rejected loudly.
+    std::vector<ReplicaPin> bad;
+    bad.push_back(ReplicaPin{0, 1, {1, 2, 3}}); // wrong size
+    EXPECT_THROW(mapper.map(snap, cfg, instances, {}, bad),
+                 std::invalid_argument);
+}
+
 TEST_F(MapperFixture, DeterministicMapping)
 {
     par::ParallelConfig cfg{2, 3, 4, 8};

@@ -274,5 +274,92 @@ TEST_F(PlannerFixture, ScaleInFindsPeerSources)
     EXPECT_NEAR(plan.movedModelBytes, 0.0, 1.0);
 }
 
+TEST_F(PlannerFixture, StepEventScheduleIsConsistent)
+{
+    // The per-step event schedule (startOffset/finishOffset) must agree
+    // with the duration chain the serving system times migrations by:
+    // wire starts serialize, finishes are monotone, stageReady matches
+    // the latest finishing step of each stage, and durations telescope to
+    // totalDuration.
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg, 600.0);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {600.0, 600.0});
+    const auto plan =
+        planner.plan(snap, mapping, new_cfg, {600.0, 600.0});
+    ASSERT_FALSE(plan.steps.empty());
+
+    double prev_start = kParams.migrationSetupTime;
+    double prev_finish = kParams.migrationSetupTime;
+    double sum = kParams.migrationSetupTime;
+    std::vector<double> stage_latest(new_cfg.pp, kParams.migrationSetupTime);
+    const par::Topology topo(new_cfg, spec.numLayers());
+    for (const auto &s : plan.steps) {
+        EXPECT_GE(s.startOffset, prev_start - 1e-9); // wire serializes
+        EXPECT_GE(s.finishOffset, s.startOffset - 1e-9);
+        EXPECT_GE(s.finishOffset, prev_finish - 1e-9); // monotone finishes
+        EXPECT_LE(s.finishOffset, plan.totalDuration + 1e-9);
+        sum += s.duration;
+        EXPECT_NEAR(s.duration,
+                    std::max(s.finishOffset - prev_finish, 0.0), 1e-9);
+        prev_start = s.startOffset;
+        prev_finish = std::max(prev_finish, s.finishOffset);
+        if (!s.isCache()) {
+            const int p = topo.stageOfLayer(s.layer);
+            stage_latest[p] = std::max(stage_latest[p], s.finishOffset);
+        }
+    }
+    EXPECT_NEAR(sum, plan.totalDuration, 1e-6);
+    for (int p = 0; p < new_cfg.pp; ++p)
+        EXPECT_GE(plan.stageReady[p] + 1e-9, stage_latest[p]);
+}
+
+TEST_F(PlannerFixture, PlanBothMatchesTwoSeparatePasses)
+{
+    // planBoth must be byte-identical to invoking plan() twice with
+    // migrateCache toggled — it exists so beginReconfig stops paying a
+    // second full analysis pass when the arranger flips to recompute.
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg, 600.0);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {600.0, 600.0});
+
+    const auto pair =
+        planner.planBoth(snap, mapping, new_cfg, {600.0, 600.0});
+    const auto with = planner.plan(snap, mapping, new_cfg, {600.0, 600.0});
+    PlannerOptions no_cache;
+    no_cache.migrateCache = false;
+    const auto without =
+        planner.plan(snap, mapping, new_cfg, {600.0, 600.0}, no_cache);
+
+    auto expect_equal = [](const MigrationPlan &a, const MigrationPlan &b) {
+        EXPECT_DOUBLE_EQ(a.totalDuration, b.totalDuration);
+        EXPECT_DOUBLE_EQ(a.resumeOffset, b.resumeOffset);
+        EXPECT_DOUBLE_EQ(a.movedModelBytes, b.movedModelBytes);
+        EXPECT_DOUBLE_EQ(a.movedCacheBytes, b.movedCacheBytes);
+        EXPECT_DOUBLE_EQ(a.reusedBytes, b.reusedBytes);
+        EXPECT_DOUBLE_EQ(a.peakBufferBytes, b.peakBufferBytes);
+        EXPECT_EQ(a.cacheMigrated, b.cacheMigrated);
+        ASSERT_EQ(a.steps.size(), b.steps.size());
+        for (std::size_t i = 0; i < a.steps.size(); ++i) {
+            EXPECT_EQ(a.steps[i].layer, b.steps[i].layer);
+            EXPECT_DOUBLE_EQ(a.steps[i].startOffset, b.steps[i].startOffset);
+            EXPECT_DOUBLE_EQ(a.steps[i].finishOffset,
+                             b.steps[i].finishOffset);
+            EXPECT_DOUBLE_EQ(a.steps[i].duration, b.steps[i].duration);
+        }
+        ASSERT_EQ(a.pipelineResume.size(), b.pipelineResume.size());
+        for (std::size_t d = 0; d < a.pipelineResume.size(); ++d)
+            EXPECT_DOUBLE_EQ(a.pipelineResume[d], b.pipelineResume[d]);
+    };
+    expect_equal(pair.withCache, with);
+    expect_equal(pair.withoutCache, without);
+    EXPECT_TRUE(pair.withCache.cacheMigrated);
+    EXPECT_FALSE(pair.withoutCache.cacheMigrated);
+    EXPECT_DOUBLE_EQ(pair.withoutCache.movedCacheBytes, 0.0);
+}
+
 } // namespace
 } // namespace spotserve::core
