@@ -21,6 +21,7 @@ ReparallelizationSystem::ReparallelizationSystem(
     setKvBudgetAdmission(options_.kvBudgetAdmission);
     setPrefillChunkTokens(options_.prefillChunkTokens);
     setKvAdmissionMode(options_.kvAdmissionMode);
+    setKvBlockTokens(options_.kvBlockTokens);
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
 }

@@ -48,6 +48,9 @@ struct ReparallelizationOptions
     engine::KvAdmissionMode kvAdmissionMode =
         engine::KvAdmissionMode::Optimistic;
 
+    /** Tokens per KV block (paged accounting; 1 = token-granular). */
+    int kvBlockTokens = 16;
+
     core::ControllerOptions controller{};
 };
 

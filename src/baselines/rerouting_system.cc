@@ -23,6 +23,7 @@ ReroutingSystem::ReroutingSystem(sim::Simulation &simulation,
     setKvBudgetAdmission(options_.kvBudgetAdmission);
     setPrefillChunkTokens(options_.prefillChunkTokens);
     setKvAdmissionMode(options_.kvAdmissionMode);
+    setKvBlockTokens(options_.kvBlockTokens);
 }
 
 std::string
@@ -204,7 +205,8 @@ ReroutingSystem::dispatchSlots()
     // a whole (fixed-configuration) replica's budget can never be served.
     par::ParallelConfig pipe_cfg = *fixed_;
     pipe_cfg.dp = 1;
-    rejectUnservableHeads(replicaKvBudget(pipe_cfg));
+    rejectUnservableHeads(replicaKvBudgetBlocks(pipe_cfg),
+                          effectiveKvBlockTokens(pipe_cfg));
     for (auto &s : slots_) {
         if (!s->online || !s->pipeline || !s->pipeline->idle() ||
             s->pipeline->haltPending()) {
@@ -213,9 +215,10 @@ ReroutingSystem::dispatchSlots()
         if (requests_.pendingEmpty())
             return;
         auto batch = requests_.nextBatch(fixed_->batch,
-                                         s->pipeline->freeKvTokens(),
+                                         s->pipeline->freeKvBlocks(),
                                          s->pipeline->kvAdmissionMode(),
-                                         s->pipeline->kvBudgetTokens());
+                                         s->pipeline->kvBudgetBlocks(),
+                                         s->pipeline->kvBlockTokens());
         if (batch.empty())
             return;
         s->pipeline->startBatch(std::move(batch));

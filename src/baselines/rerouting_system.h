@@ -49,6 +49,9 @@ struct ReroutingOptions
     engine::KvAdmissionMode kvAdmissionMode =
         engine::KvAdmissionMode::Optimistic;
 
+    /** Tokens per KV block (paged accounting; 1 = token-granular). */
+    int kvBlockTokens = 16;
+
     core::ControllerOptions controller{};
 };
 

@@ -34,6 +34,7 @@ SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
     setKvBudgetAdmission(options_.kvBudgetAdmission);
     setPrefillChunkTokens(options_.prefillChunkTokens);
     setKvAdmissionMode(options_.kvAdmissionMode);
+    setKvBlockTokens(options_.kvBlockTokens);
     // The KV budget must deduct the same migration reserve the
     // feasibility check assumed (naive double-buffering when the
     // memory-optimised planner is ablated).
@@ -859,14 +860,21 @@ SpotServeSystem::startMigration()
                                 const engine::ActiveRequest &b) {
                                  return a.kvTokensHeld() > b.kvTokensHeld();
                              });
-            const long budget = replicaKvBudget(pm.target);
+            // Trimming charges whole KV blocks against the inheriting
+            // replica's block budget — the same denomination every
+            // admission path uses, so an inherited mid-prefill batch can
+            // never stand on more blocks than the new replica's paged
+            // allocator could hand out.
+            const long budget = replicaKvBudgetBlocks(pm.target);
+            const int blk = effectiveKvBlockTokens(pm.target);
             const engine::KvAdmissionMode mode = kvAdmissionMode();
             long charged = 0;
             std::size_t keep = 0;
             while (keep < recovered.size() &&
                    static_cast<int>(keep) < pm.target.batch) {
-                const long charge = recovered[keep].kvChargedTokens(mode);
-                if (budget != engine::kUnboundedKvTokens &&
+                const long charge =
+                    recovered[keep].kvChargedBlocks(mode, blk);
+                if (budget != engine::kUnboundedKvBlocks &&
                     charged + charge > budget)
                     break;
                 charged += charge;

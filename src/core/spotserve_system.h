@@ -94,6 +94,16 @@ struct SpotServeOptions
         engine::KvAdmissionMode::Optimistic;
 
     /**
+     * KV allocation granularity in tokens per block (paged KV cache).
+     * Admission charges ceil-rounded whole blocks per request and the
+     * per-replica budget is floored to whole blocks, so the enforced
+     * budget matches what a PagedAttention-style allocator can actually
+     * hand out.  1 reproduces token-granular accounting bit-for-bit
+     * (the ablation).
+     */
+    int kvBlockTokens = 16;
+
+    /**
      * Expected workload rate used to size the very first deployment (the
      * arrival-rate estimator has no history at t=0); subsequent decisions
      * use max(estimate, designArrivalRate) only while no deployment

@@ -2,25 +2,34 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace spotserve {
 namespace cost {
 
 KvWatermarks
-deriveKvWatermarks(long budget_tokens, int batch_slots)
+deriveKvWatermarks(long budget, int batch_slots)
 {
-    if (budget_tokens <= 0)
+    if (budget <= 0)
         return {};
-    if (budget_tokens == std::numeric_limits<long>::max())
-        return {budget_tokens, budget_tokens};
+    if (budget == std::numeric_limits<long>::max())
+        return {budget, budget};
+    if (budget == 1)
+        return {1, 1}; // no room for a hysteresis gap
     const long slots = std::max(1, batch_slots);
-    // One worst-case decode round (every slot commits a token) plus 1/16
+    // One worst-case decode round (every slot commits a token; in block
+    // space every slot crosses at most one block boundary) plus 1/16
     // slack below the budget, so a boundary that crosses the high
     // watermark still cannot overshoot the budget within one iteration.
-    const long margin = std::max(slots, budget_tokens / 16);
+    const long margin = std::max(slots, budget / 16);
     KvWatermarks wm;
-    wm.high = std::max(1L, budget_tokens - margin);
-    wm.low = std::max(1L, wm.high - std::max(slots, budget_tokens / 8));
+    // Ordering invariant for every budget > 1: low < high <= budget.
+    // Tiny budgets used to collapse both max(1, ...) clamps onto 1,
+    // erasing the hysteresis gap and letting eviction thrash at every
+    // boundary.
+    wm.high = std::clamp(budget - margin, 2L, budget);
+    wm.low = std::clamp(wm.high - std::max(slots, budget / 8), 1L,
+                        wm.high - 1);
     return wm;
 }
 
@@ -30,10 +39,20 @@ MemoryModel::MemoryModel(const model::ModelSpec &spec,
 {
 }
 
+int
+MemoryModel::bottleneckLayers(const par::ParallelConfig &config) const
+{
+    // Topology::stageLayers splits as evenly as possible with earlier
+    // stages taking the remainder, so the largest stage holds ceil(L/P)
+    // layers.  Sizing the average L/P instead over-promises on exactly
+    // the GPU that binds whenever L % P != 0.
+    return (spec_.numLayers() + config.pp - 1) / config.pp;
+}
+
 double
 MemoryModel::weightShardBytes(const par::ParallelConfig &config) const
 {
-    return spec_.totalWeightBytes() / config.gpusPerPipeline();
+    return spec_.layerWeightBytes() * bottleneckLayers(config) / config.tp;
 }
 
 double
@@ -41,9 +60,10 @@ MemoryModel::kvCacheBytes(const par::ParallelConfig &config,
                           const SeqSpec &seq) const
 {
     const double tokens = seq.inputLen + seq.outputLen;
-    // Stage p holds its layers' K/V for all B requests, sharded M ways.
-    return config.batch * spec_.kvBytesPerToken() * tokens /
-           config.gpusPerPipeline();
+    // The bottleneck stage holds its ceil(L/P) layers' K/V for all B
+    // requests, sharded M ways.
+    return config.batch * spec_.kvBytesPerTokenPerLayer() *
+           bottleneckLayers(config) * tokens / config.tp;
 }
 
 double
@@ -78,8 +98,9 @@ long
 MemoryModel::kvBudgetTokens(const par::ParallelConfig &config,
                             bool mem_opt_planner) const
 {
-    // Bytes left for KV on each GPU of the replica; the replica-wide
-    // token budget scales by the P*M GPUs the cache is sharded over.
+    // Bytes left for KV on each GPU of the bottleneck stage; one cached
+    // token costs that stage ceil(L/P) layers' K/V sharded M ways, and
+    // the other (smaller) stages see strictly less per token.
     const double free_per_gpu =
         params_.gpu.memBytes - weightShardBytes(config) -
         params_.workspaceBytes -
@@ -87,7 +108,8 @@ MemoryModel::kvBudgetTokens(const par::ParallelConfig &config,
     if (free_per_gpu <= 0.0)
         return 0;
     const double tokens =
-        free_per_gpu * config.gpusPerPipeline() / spec_.kvBytesPerToken();
+        free_per_gpu * config.tp /
+        (spec_.kvBytesPerTokenPerLayer() * bottleneckLayers(config));
     // Floor with an epsilon so a config sitting exactly on the fits()
     // frontier keeps its full B * (S_in + S_out) tokens despite
     // floating-point round-off (the budget must never be stricter than
@@ -95,12 +117,25 @@ MemoryModel::kvBudgetTokens(const par::ParallelConfig &config,
     return static_cast<long>(tokens + 1e-6);
 }
 
+long
+MemoryModel::kvBudgetBlocks(const par::ParallelConfig &config,
+                            int block_tokens, bool mem_opt_planner) const
+{
+    if (block_tokens < 1)
+        throw std::invalid_argument(
+            "MemoryModel::kvBudgetBlocks: block_tokens must be >= 1");
+    // A paged allocator can only hand out whole blocks: floor, never
+    // round up (the final partial block's tokens are real slack a real
+    // allocator cannot serve).
+    return kvBudgetTokens(config, mem_opt_planner) / block_tokens;
+}
+
 KvWatermarks
-MemoryModel::kvWatermarks(const par::ParallelConfig &config,
+MemoryModel::kvWatermarks(const par::ParallelConfig &config, int block_tokens,
                           bool mem_opt_planner) const
 {
-    return deriveKvWatermarks(kvBudgetTokens(config, mem_opt_planner),
-                              config.batch);
+    return deriveKvWatermarks(
+        kvBudgetBlocks(config, block_tokens, mem_opt_planner), config.batch);
 }
 
 int

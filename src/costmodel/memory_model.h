@@ -9,6 +9,20 @@
  * it, transient migration buffers are bounded by U_max; without it the
  * whole incoming shard may be double-buffered, which is why GPT-20B's
  * minimum GPU count drops from 16 to 12 when the planner is enabled (§6.2).
+ *
+ * All per-GPU accounting sizes the *bottleneck stage*: pipeline stages
+ * split L layers as evenly as possible, so with L % P != 0 the largest
+ * stage holds ceil(L/P) layers of weights and KV and is the GPU that
+ * binds.  Averaging over P*M GPUs (the naive W/(P*M) form) over-promises
+ * on exactly that GPU — e.g. GPT-20B's 44 layers at P = 3 put 15 layers
+ * on stage 0, not 14.67.
+ *
+ * The runtime budget is additionally exposed at KV *block* granularity
+ * (kvBudgetBlocks): production engines allocate KV in fixed-size
+ * pages/blocks of kvBlockTokens tokens (PagedAttention-style), so a
+ * request holding t tokens really occupies ceil(t / blockTokens) blocks
+ * and the replica can hand out at most floor(budgetTokens / blockTokens)
+ * blocks.  blockTokens = 1 reproduces token-granular accounting exactly.
  */
 
 #ifndef SPOTSERVE_COSTMODEL_MEMORY_MODEL_H
@@ -22,13 +36,15 @@ namespace spotserve {
 namespace cost {
 
 /**
- * Eviction watermarks over a replica's *held* KV tokens (optimistic
- * admission).  When the engine predicts the next iteration would push the
- * held tokens past @c high it first makes chunked prefills yield their
- * mixed-iteration slot to the incumbents' decode; past the full budget it
- * evicts LIFO victims until the held tokens fall back to @c low (the
- * hysteresis gap keeps one overflow from causing an eviction per
- * boundary).  Both are 0 when the budget itself is 0.
+ * Eviction watermarks over a replica's *held* KV (optimistic admission),
+ * denominated in whatever unit the budget they were derived from uses
+ * (tokens, or KV blocks under paged accounting).  When the engine
+ * predicts the next iteration would push the held KV past @c high it
+ * first makes chunked prefills yield their mixed-iteration slot to the
+ * incumbents' decode; past the full budget it evicts LIFO victims until
+ * the held KV falls back to @c low (the hysteresis gap keeps one
+ * overflow from causing an eviction per boundary).  Both are 0 when the
+ * budget itself is 0.
  */
 struct KvWatermarks
 {
@@ -37,12 +53,15 @@ struct KvWatermarks
 };
 
 /**
- * Watermarks for a given token budget and batch-slot count: the high
- * watermark leaves one worst-case decode round (every slot commits a
- * token) plus 1/16 slack below the budget; the low watermark clears a
- * further 1/8 of the budget so eviction buys real headroom.
+ * Watermarks for a given budget and batch-slot count: the high watermark
+ * leaves one worst-case decode round (every slot commits a token, which
+ * in block space grows every slot by at most one block) plus 1/16 slack
+ * below the budget; the low watermark clears a further 1/8 of the budget
+ * so eviction buys real headroom.  For any budget > 1 the ordering
+ * invariant low < high <= budget holds, so hysteresis never degenerates
+ * (a budget of exactly 1 has no room for a gap and pins both to 1).
  */
-KvWatermarks deriveKvWatermarks(long budget_tokens, int batch_slots);
+KvWatermarks deriveKvWatermarks(long budget, int batch_slots);
 
 /** Memory accounting for one model on one cluster parameterisation. */
 class MemoryModel
@@ -50,12 +69,17 @@ class MemoryModel
   public:
     MemoryModel(const model::ModelSpec &spec, const CostParams &params);
 
-    /** Weight bytes resident on each GPU: W / (P * M). */
+    /**
+     * Weight bytes resident on each GPU of the bottleneck stage:
+     * ceil(L/P) layers' weights sharded M ways.
+     */
     double weightShardBytes(const par::ParallelConfig &config) const;
 
     /**
-     * KV-cache bytes per GPU with every slot of the batch at full length
-     * S_in + S_out (worst case the daemon must be able to hold).
+     * KV-cache bytes per GPU of the bottleneck stage with every slot of
+     * the batch at full length S_in + S_out (worst case the daemon must
+     * be able to hold): ceil(L/P) layers' K/V for all B requests,
+     * sharded M ways.
      */
     double kvCacheBytes(const par::ParallelConfig &config,
                         const SeqSpec &seq) const;
@@ -77,24 +101,50 @@ class MemoryModel
 
     /**
      * Per-replica KV-cache token budget: the number of cached tokens one
-     * pipeline may hold across its batch before any GPU of the replica
-     * exceeds usable memory (weights + workspace + migration reserve
-     * already deducted).  This is the runtime admission budget the
-     * engine enforces at every iteration boundary; for any config with
-     * fits(config, seq), kvBudgetTokens(config) >=
-     * config.batch * (seq.inputLen + seq.outputLen), so token-budget
+     * pipeline may hold across its batch before the bottleneck-stage GPU
+     * of the replica exceeds usable memory (weights + workspace +
+     * migration reserve already deducted).  This is the runtime
+     * admission budget the engine enforces at every iteration boundary;
+     * for any config with fits(config, seq), kvBudgetTokens(config) >=
+     * config.batch * (seq.inputLen + seq.outputLen), so *token*-budget
      * admission is never stricter than the fixed-B capacity the
-     * optimizer planned for.  Returns 0 when even the weights do not fit.
+     * optimizer planned for.  (Under paged accounting that guarantee is
+     * deliberately NOT carried into block space: a config sitting
+     * exactly on the fits() frontier whose sequence length is not a
+     * multiple of kvBlockTokens can round to up to B extra blocks the
+     * allocator does not have, so block admission may cap the live
+     * batch below B — that is the real capacity of a paged allocator,
+     * and exactly the over-promise this accounting exists to surface;
+     * the fig8 token-vs-block row measures it.)  Returns 0 when even
+     * the weights do not fit.
      */
     long kvBudgetTokens(const par::ParallelConfig &config,
                         bool mem_opt_planner = true) const;
 
     /**
+     * Per-replica KV budget in fixed-size blocks of @p block_tokens
+     * tokens: floor(kvBudgetTokens / block_tokens), the number of whole
+     * blocks a paged allocator can actually carve out of the free
+     * memory.  block_tokens = 1 is exactly kvBudgetTokens.  A request
+     * holding t tokens occupies ceil(t / block_tokens) blocks, so the
+     * per-request rounding slack (up to block_tokens - 1 tokens) that
+     * token-granular accounting ignores is charged here.
+     */
+    long kvBudgetBlocks(const par::ParallelConfig &config, int block_tokens,
+                        bool mem_opt_planner = true) const;
+
+    /**
      * Eviction watermarks the optimistic admission mode enforces over a
-     * replica of @p config, derived from kvBudgetTokens with one decode
-     * round of margin per batch slot (deriveKvWatermarks).
+     * replica of @p config, derived from kvBudgetBlocks with one decode
+     * round of margin per batch slot (deriveKvWatermarks — one decode
+     * round grows every slot by at most one block, so the same margin
+     * formula applies in block space).  block_tokens = 1 is the
+     * token-denominated form.  A single signature on purpose: a
+     * bool-vs-int overload pair would let a literal argument silently
+     * pick the wrong denomination.
      */
     KvWatermarks kvWatermarks(const par::ParallelConfig &config,
+                              int block_tokens = 1,
                               bool mem_opt_planner = true) const;
 
     /**
@@ -105,6 +155,9 @@ class MemoryModel
     int minGpus(bool mem_opt_planner = true) const;
 
   private:
+    /** Layers held by the largest (bottleneck) stage: ceil(L/P). */
+    int bottleneckLayers(const par::ParallelConfig &config) const;
+
     model::ModelSpec spec_;
     CostParams params_;
 };

@@ -26,6 +26,42 @@ namespace engine {
 /** "No KV budget": token budgets of this value are never binding. */
 constexpr long kUnboundedKvTokens = std::numeric_limits<long>::max();
 
+/** The same sentinel in KV-block space (kvBlocksFor preserves it). */
+constexpr long kUnboundedKvBlocks = kUnboundedKvTokens;
+
+/**
+ * Ceil-divide a KV token count into fixed-size blocks of
+ * @p block_tokens tokens each — the unit a paged (PagedAttention-style)
+ * allocator actually hands out, so a request holding t tokens occupies
+ * ceil(t / block_tokens) blocks.  block_tokens <= 1 is the token-
+ * granular ablation (identity), and the unbounded sentinel stays
+ * unbounded rather than being divided.
+ */
+inline long
+kvBlocksFor(long tokens, int block_tokens)
+{
+    if (block_tokens <= 1 || tokens == kUnboundedKvTokens)
+        return tokens;
+    return (tokens + block_tokens - 1) / block_tokens;
+}
+
+/**
+ * Block granularity actually enforceable under @p budget_tokens: a
+ * (degenerate, no-headroom) budget smaller than one block degrades to
+ * token granularity, so it cannot round UP to a whole block and become
+ * block_tokens times looser than the token budget it clamps.  The one
+ * rule the engine and the serving-side pop paths must share — a charge
+ * computed at a different granularity than the pipeline enforces trips
+ * the budget-overflow throw at startBatch/admission.
+ */
+inline int
+effectiveKvBlockTokens(long budget_tokens, int block_tokens)
+{
+    if (budget_tokens != kUnboundedKvTokens && budget_tokens < block_tokens)
+        return 1;
+    return block_tokens;
+}
+
 /**
  * How admission charges a request against the KV-token budget.
  *
@@ -136,6 +172,29 @@ struct ActiveRequest
             std::clamp(predictedOutputTokens, committedTokens + 1,
                        outputCapTokens());
         return static_cast<long>(request.inputLen) + expected;
+    }
+
+    /**
+     * Blocks this request holds under a paged allocator with
+     * @p block_tokens tokens per block.  Rounded per *request*, not per
+     * chunk: a chunked prefill's committed chunks share blocks, so the
+     * charge is ceil(held / block), never a ceil per chunk.
+     */
+    long kvBlocksHeld(int block_tokens) const
+    {
+        return kvBlocksFor(kvTokensHeld(), block_tokens);
+    }
+
+    /** Worst-case blocks the request will ever occupy (kvPeakTokens). */
+    long kvPeakBlocks(int block_tokens) const
+    {
+        return kvBlocksFor(kvPeakTokens(), block_tokens);
+    }
+
+    /** Blocks admission charges under @p mode (kvChargedTokens). */
+    long kvChargedBlocks(KvAdmissionMode mode, int block_tokens) const
+    {
+        return kvBlocksFor(kvChargedTokens(mode), block_tokens);
     }
 
     /**

@@ -50,7 +50,19 @@ InferencePipeline::InferencePipeline(sim::Simulation &simulation,
     if (batching_.prefillChunkTokens < 0)
         throw std::invalid_argument(
             "InferencePipeline: negative prefill chunk");
+    if (batching_.kvBlockTokens < 1)
+        throw std::invalid_argument(
+            "InferencePipeline: kvBlockTokens must be >= 1");
     const bool bounded = batching_.kvBudgetTokens != kUnboundedKvTokens;
+    if (bounded) {
+        // Degenerate no-headroom budgets degrade to token granularity
+        // (shared rule: effectiveKvBlockTokens), and a paged allocator
+        // hands out whole blocks: floor the budget.
+        batching_.kvBlockTokens = effectiveKvBlockTokens(
+            batching_.kvBudgetTokens, batching_.kvBlockTokens);
+        budgetBlocks_ =
+            batching_.kvBudgetTokens / batching_.kvBlockTokens;
+    }
     if (bounded &&
         batching_.kvAdmissionMode == KvAdmissionMode::Optimistic) {
         if (!callbacks_.onEvict)
@@ -58,16 +70,16 @@ InferencePipeline::InferencePipeline(sim::Simulation &simulation,
                 "InferencePipeline: optimistic admission under a bounded "
                 "budget requires the onEvict callback (evicted requests "
                 "must be requeued, not dropped)");
-        if (batching_.kvHighWatermarkTokens <= 0 ||
-            batching_.kvLowWatermarkTokens <= 0) {
-            const auto wm = cost::deriveKvWatermarks(
-                batching_.kvBudgetTokens, config_.batch);
-            batching_.kvHighWatermarkTokens = wm.high;
-            batching_.kvLowWatermarkTokens = wm.low;
+        if (batching_.kvHighWatermarkBlocks <= 0 ||
+            batching_.kvLowWatermarkBlocks <= 0) {
+            const auto wm =
+                cost::deriveKvWatermarks(budgetBlocks_, config_.batch);
+            batching_.kvHighWatermarkBlocks = wm.high;
+            batching_.kvLowWatermarkBlocks = wm.low;
         }
-        if (batching_.kvLowWatermarkTokens >
-                batching_.kvHighWatermarkTokens ||
-            batching_.kvHighWatermarkTokens > batching_.kvBudgetTokens)
+        if (batching_.kvLowWatermarkBlocks >
+                batching_.kvHighWatermarkBlocks ||
+            batching_.kvHighWatermarkBlocks > budgetBlocks_)
             throw std::invalid_argument(
                 "InferencePipeline: need low <= high <= budget watermarks");
     }
@@ -105,7 +117,7 @@ InferencePipeline::startBatch(std::vector<ActiveRequest> batch)
     // the rest run their prefill first.
     for (auto &r : batch_)
         normalizeProgress(r);
-    if (kvTokensCharged() > batching_.kvBudgetTokens)
+    if (kvBlocksCharged() > budgetBlocks_)
         throw std::invalid_argument(
             "InferencePipeline::startBatch: batch exceeds the KV budget");
     observeBoundary();
@@ -155,11 +167,48 @@ InferencePipeline::kvTokensCharged() const
 }
 
 long
+InferencePipeline::kvBlocksHeld() const
+{
+    long held = 0;
+    for (const auto &r : batch_)
+        held += r.kvBlocksHeld(batching_.kvBlockTokens);
+    return held;
+}
+
+long
+InferencePipeline::kvBlocksReserved() const
+{
+    long reserved = 0;
+    for (const auto &r : batch_)
+        reserved += r.kvPeakBlocks(batching_.kvBlockTokens);
+    return reserved;
+}
+
+long
+InferencePipeline::kvBlocksCharged() const
+{
+    long charged = 0;
+    for (const auto &r : batch_)
+        charged += r.kvChargedBlocks(batching_.kvAdmissionMode,
+                                     batching_.kvBlockTokens);
+    return charged;
+}
+
+long
+InferencePipeline::freeKvBlocks() const
+{
+    if (budgetBlocks_ == kUnboundedKvBlocks)
+        return kUnboundedKvBlocks;
+    return std::max(0L, budgetBlocks_ - kvBlocksCharged());
+}
+
+long
 InferencePipeline::freeKvTokens() const
 {
-    if (batching_.kvBudgetTokens == kUnboundedKvTokens)
+    const long blocks = freeKvBlocks();
+    if (blocks == kUnboundedKvBlocks)
         return kUnboundedKvTokens;
-    return std::max(0L, batching_.kvBudgetTokens - kvTokensCharged());
+    return blocks * batching_.kvBlockTokens;
 }
 
 int
@@ -232,13 +281,14 @@ InferencePipeline::enforceKvPressure()
         batching_.kvBudgetTokens == kUnboundedKvTokens || batch_.empty())
         return;
     // A fully-covered batch (every member charged its worst case) cannot
-    // overflow: admission bounded the sum of peaks by the budget.  This
-    // keeps Reserve-equivalent workloads — cold predictor, or outputs
-    // that run to their cap — on the exact Reserve schedule.
+    // overflow: admission bounded the sum of peak blocks by the block
+    // budget.  This keeps Reserve-equivalent workloads — cold predictor,
+    // or outputs that run to their cap — on the exact Reserve schedule.
+    const int blk = batching_.kvBlockTokens;
     bool under_covered = false;
     for (const auto &r : batch_) {
-        if (r.kvChargedTokens(KvAdmissionMode::Optimistic) <
-            r.kvPeakTokens()) {
+        if (r.kvChargedBlocks(KvAdmissionMode::Optimistic, blk) <
+            r.kvPeakBlocks(blk)) {
             under_covered = true;
             break;
         }
@@ -246,14 +296,17 @@ InferencePipeline::enforceKvPressure()
     if (!under_covered)
         return;
 
-    const long budget = batching_.kvBudgetTokens;
-    const long high = batching_.kvHighWatermarkTokens;
-    const long low = batching_.kvLowWatermarkTokens;
+    const long budget = budgetBlocks_;
+    const long high = batching_.kvHighWatermarkBlocks;
+    const long low = batching_.kvLowWatermarkBlocks;
 
     std::vector<bool> gone(batch_.size(), false);
-    // Survivor scan with the yield decision applied: decode growth is one
-    // token per prefilled member; prefill growth is one chunk per
-    // non-frozen prefiller.
+    // Survivor scan, in block space, with the yield decision applied:
+    // decode growth is at most one block per prefilled member (one token
+    // may cross a block boundary); prefill growth is the blocks one
+    // chunk adds per non-frozen prefiller — ceil-rounded against the
+    // request's current holding, never per chunk, so chunks sharing a
+    // block are not double-charged.
     struct Scan
     {
         long held = 0;
@@ -268,13 +321,18 @@ InferencePipeline::enforceKvPressure()
             if (gone[i])
                 continue;
             const ActiveRequest &r = batch_[i];
-            s.held += r.kvTokensHeld();
+            const long cur = r.kvBlocksHeld(blk);
+            s.held += cur;
             if (r.prefilled) {
                 s.anyDecoder = true;
-                s.decodeGrowth += 1;
+                s.decodeGrowth +=
+                    kvBlocksFor(r.kvTokensHeld() + 1, blk) - cur;
             } else {
                 s.anyPrefiller = true;
-                s.prefillGrowth += prefillChunkFor(r);
+                s.prefillGrowth +=
+                    kvBlocksFor(r.kvTokensHeld() + prefillChunkFor(r),
+                                blk) -
+                    cur;
             }
         }
         return s;
@@ -540,7 +598,7 @@ InferencePipeline::admitNewWork()
         batch_.push_back(std::move(r));
         ++admittedMidBatch_;
     }
-    if (kvTokensCharged() > batching_.kvBudgetTokens)
+    if (kvBlocksCharged() > budgetBlocks_)
         throw std::logic_error(
             "InferencePipeline::onAdmit overflowed the KV budget");
 }

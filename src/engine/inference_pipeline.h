@@ -50,13 +50,25 @@ struct BatchingOptions
 {
     /**
      * Per-replica KV-cache budget in tokens (MemoryModel::kvBudgetTokens).
-     * The pipeline enforces sum of kvChargedTokens() over the live batch
-     * <= budget at startBatch and at every admission, and (optimistic
-     * mode) keeps the *held* tokens under the budget at every iteration
-     * boundary by evicting victims.  kUnboundedKvTokens disables the
-     * check (fixed-B ablation mode).
+     * The pipeline enforces sum of kvChargedBlocks() over the live batch
+     * <= the block budget (floor(kvBudgetTokens / kvBlockTokens)) at
+     * startBatch and at every admission, and (optimistic mode) keeps the
+     * *held* blocks under the block budget at every iteration boundary
+     * by evicting victims.  kUnboundedKvTokens disables the check
+     * (fixed-B ablation mode).
      */
     long kvBudgetTokens = kUnboundedKvTokens;
+
+    /**
+     * KV allocation granularity in tokens per block (paged KV cache).
+     * Every request is charged ceil-rounded whole blocks — held,
+     * predicted and worst-case peak alike, rounded per request, not per
+     * prefill chunk — and the budget is floored to whole blocks, exactly
+     * what a PagedAttention-style allocator can hand out.  1 reproduces
+     * token-granular accounting bit-for-bit (the ablation); serving
+     * systems default to 16.
+     */
+    int kvBlockTokens = 1;
 
     /**
      * Chunked prefill: at most this many input tokens of one request are
@@ -75,12 +87,13 @@ struct BatchingOptions
     KvAdmissionMode kvAdmissionMode = KvAdmissionMode::Optimistic;
 
     /**
-     * Eviction watermarks over the held KV tokens (optimistic mode; see
-     * cost::KvWatermarks).  Leave 0 to derive both from the budget and
-     * batch size via cost::deriveKvWatermarks.
+     * Eviction watermarks over the held KV *blocks* (optimistic mode;
+     * see cost::KvWatermarks — with kvBlockTokens = 1 a block is a
+     * token).  Leave 0 to derive both from the block budget and batch
+     * size via cost::deriveKvWatermarks.
      */
-    long kvHighWatermarkTokens = 0;
-    long kvLowWatermarkTokens = 0;
+    long kvHighWatermarkBlocks = 0;
+    long kvLowWatermarkBlocks = 0;
 };
 
 /**
@@ -200,16 +213,37 @@ class InferencePipeline
     /** KV tokens the live batch is charged under the admission mode
      *  (== kvTokensReserved in Reserve mode). */
     long kvTokensCharged() const;
-    /** The enforced per-replica budget (kUnboundedKvTokens = none). */
+    /** KV blocks the live batch occupies (per-request ceil rounding). */
+    long kvBlocksHeld() const;
+    /** Worst-case KV blocks reserved by the live batch. */
+    long kvBlocksReserved() const;
+    /** KV blocks the live batch is charged under the admission mode. */
+    long kvBlocksCharged() const;
+    /** The token-denominated budget (kUnboundedKvTokens = none). */
     long kvBudgetTokens() const { return batching_.kvBudgetTokens; }
+    /**
+     * The enforced per-replica budget in whole KV blocks:
+     * floor(kvBudgetTokens / kvBlockTokens), clamped to at least one
+     * block for bounded budgets (kUnboundedKvBlocks = none).  This — not
+     * the token budget — is what every admission and eviction decision
+     * compares against.
+     */
+    long kvBudgetBlocks() const { return budgetBlocks_; }
+    /** Tokens per KV block (1 = token-granular ablation). */
+    int kvBlockTokens() const { return batching_.kvBlockTokens; }
     /** The admission mode this pipeline charges requests under. */
     KvAdmissionMode kvAdmissionMode() const
     {
         return batching_.kvAdmissionMode;
     }
     /**
-     * Remaining admission headroom: budget minus charged tokens
-     * (kUnboundedKvTokens when no budget is enforced).
+     * Remaining admission headroom in blocks: block budget minus charged
+     * blocks (kUnboundedKvBlocks when no budget is enforced).
+     */
+    long freeKvBlocks() const;
+    /**
+     * Token-space view of the headroom (freeKvBlocks * kvBlockTokens;
+     * identical to the PR 3 token form when kvBlockTokens = 1).
      */
     long freeKvTokens() const;
 
@@ -244,12 +278,13 @@ class InferencePipeline
     void observeBoundary();
     /**
      * Optimistic mode, before each step: if the next iteration's KV
-     * growth would cross the high watermark, make prefills yield their
-     * slot to the decoders (decode-priority boundary scheduling); if it
-     * would overflow the budget, evict LIFO victims (youngest arrival,
-     * least progress first; restarted requests and the batch's oldest
-     * member are protected) until the held tokens plus the remaining
-     * growth fall to the low watermark, firing onEvict with the victims.
+     * growth (in whole blocks) would cross the high watermark, make
+     * prefills yield their slot to the decoders (decode-priority
+     * boundary scheduling); if it would overflow the block budget, evict
+     * LIFO victims (youngest arrival, least progress first; restarted
+     * requests and the batch's oldest member are protected) until the
+     * held blocks plus the remaining growth fall to the low watermark,
+     * firing onEvict with the victims.
      */
     void enforceKvPressure();
     /** A prefiller is frozen this step (drain or decode-priority). */
@@ -261,6 +296,8 @@ class InferencePipeline
     int index_;
     Callbacks callbacks_;
     BatchingOptions batching_;
+    /** floor(kvBudgetTokens / kvBlockTokens); the enforced budget. */
+    long budgetBlocks_ = kUnboundedKvBlocks;
 
     PipelinePhase phase_ = PipelinePhase::Idle;
     std::vector<ActiveRequest> batch_;

@@ -21,21 +21,32 @@ BaseServingSystem::BaseServingSystem(sim::Simulation &simulation,
 }
 
 long
-BaseServingSystem::rejectUnservableHeads(long budget)
+BaseServingSystem::rejectUnservableHeads(long budget_blocks, int block_tokens)
 {
     long rejected = 0;
-    while (budget != engine::kUnboundedKvTokens &&
+    while (budget_blocks != engine::kUnboundedKvBlocks &&
            !requests_.pendingEmpty() &&
-           requests_.pending().front().kvPeakTokens() > budget) {
+           requests_.pending().front().kvPeakBlocks(block_tokens) >
+               budget_blocks) {
         // Even an empty replica cannot host this request: reject it
         // rather than letting it head-block the strict-FIFO queue.
         const wl::RequestId id = requests_.rejectHead();
         sim::logWarn(name() + ": rejecting request " + std::to_string(id) +
                      " (KV peak exceeds the replica budget " +
-                     std::to_string(budget) + " tokens)");
+                     std::to_string(budget_blocks) + " blocks of " +
+                     std::to_string(block_tokens) + " tokens)");
         ++rejected;
     }
     return rejected;
+}
+
+void
+BaseServingSystem::setKvBlockTokens(int tokens)
+{
+    if (tokens < 1)
+        throw std::invalid_argument(
+            "setKvBlockTokens: block size must be >= 1 token");
+    kvBlockTokens_ = tokens;
 }
 
 long
@@ -53,6 +64,27 @@ BaseServingSystem::replicaKvBudget(const par::ParallelConfig &config) const
         return 1;
     }
     return budget;
+}
+
+int
+BaseServingSystem::effectiveKvBlockTokens(
+    const par::ParallelConfig &config) const
+{
+    // Shared engine rule: degenerate no-headroom budgets keep token
+    // granularity, so the pop-path charges match what the pipeline
+    // built for this config enforces.
+    return engine::effectiveKvBlockTokens(replicaKvBudget(config),
+                                          kvBlockTokens_);
+}
+
+long
+BaseServingSystem::replicaKvBudgetBlocks(
+    const par::ParallelConfig &config) const
+{
+    const long tokens = replicaKvBudget(config);
+    if (tokens == engine::kUnboundedKvTokens)
+        return engine::kUnboundedKvBlocks;
+    return tokens / effectiveKvBlockTokens(config);
 }
 
 void
@@ -166,6 +198,7 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
         peakKvHeldTokens_ = std::max(peakKvHeldTokens_, p.kvTokensHeld());
         peakKvReservedTokens_ =
             std::max(peakKvReservedTokens_, p.kvTokensReserved());
+        peakKvHeldBlocks_ = std::max(peakKvHeldBlocks_, p.kvBlocksHeld());
         peakConcurrentRequests_ = std::max(
             peakConcurrentRequests_, static_cast<int>(p.batch().size()));
         if (kvObserver_)
@@ -189,14 +222,15 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
     };
     engine::BatchingOptions batching;
     batching.kvBudgetTokens = replicaKvBudget(config);
+    batching.kvBlockTokens = kvBlockTokens_;
     batching.prefillChunkTokens = prefillChunkTokens_;
     batching.kvAdmissionMode = kvAdmissionMode_;
     if (kvBudgetAdmission_ &&
         kvAdmissionMode_ == engine::KvAdmissionMode::Optimistic) {
         const cost::KvWatermarks wm =
-            memory_.kvWatermarks(config, memOptReserve_);
-        batching.kvHighWatermarkTokens = wm.high;
-        batching.kvLowWatermarkTokens = wm.low;
+            memory_.kvWatermarks(config, kvBlockTokens_, memOptReserve_);
+        batching.kvHighWatermarkBlocks = wm.high;
+        batching.kvLowWatermarkBlocks = wm.low;
     }
     return std::make_unique<engine::InferencePipeline>(
         sim_, latency_, config, index, std::move(cb), batching);
@@ -286,25 +320,28 @@ BaseServingSystem::dispatchAll()
     // Deal the FIFO queue onto the least-loaded replica one request at a
     // time (fewest requests, then least charged KV): D small batches
     // decode faster than one full batch and keep KV headroom even.
-    const long budget = replicaKvBudget(deployment_->config);
+    // All budgets and charges are in whole KV blocks, matching what the
+    // pipelines enforce.
+    const long budget = replicaKvBudgetBlocks(deployment_->config);
+    const int blk = effectiveKvBlockTokens(deployment_->config);
     const engine::KvAdmissionMode mode = kvAdmissionMode_;
     std::vector<std::vector<engine::ActiveRequest>> batches(ready.size());
     std::vector<long> charged(ready.size(), 0);
     while (!requests_.pendingEmpty()) {
-        if (rejectUnservableHeads(budget) > 0)
+        if (rejectUnservableHeads(budget, blk) > 0)
             continue;
         if (requests_.pendingEmpty())
             break;
         // Least-loaded replica with a free slot AND enough KV headroom
         // for the FIFO head; stop only when the head fits no replica
         // (strict head-blocking — nothing slips past it).
-        const long head_charge = requests_.headKvCharge(mode);
+        const long head_charge = requests_.headKvCharge(mode, blk);
         int best = -1;
         for (int i = 0; i < static_cast<int>(ready.size()); ++i) {
             if (static_cast<int>(batches[i].size()) >=
                 deployment_->config.batch)
                 continue;
-            if (budget != engine::kUnboundedKvTokens &&
+            if (budget != engine::kUnboundedKvBlocks &&
                 charged[i] + head_charge > budget)
                 continue;
             if (best < 0 || batches[i].size() < batches[best].size() ||
@@ -315,13 +352,13 @@ BaseServingSystem::dispatchAll()
         }
         if (best < 0)
             break;
-        const long headroom = budget == engine::kUnboundedKvTokens
-                                  ? engine::kUnboundedKvTokens
+        const long headroom = budget == engine::kUnboundedKvBlocks
+                                  ? engine::kUnboundedKvBlocks
                                   : budget - charged[best];
-        auto got = requests_.nextBatch(1, headroom, mode, budget);
+        auto got = requests_.nextBatch(1, headroom, mode, budget, blk);
         if (got.empty())
             break;
-        charged[best] += got.front().kvChargedTokens(mode);
+        charged[best] += got.front().kvChargedBlocks(mode, blk);
         batches[best].push_back(std::move(got.front()));
     }
     for (std::size_t i = 0; i < ready.size(); ++i) {
@@ -471,7 +508,8 @@ BaseServingSystem::admitAtBoundary(engine::InferencePipeline &pipeline,
     // became the protected oldest member — so it is rejected here exactly
     // as idle-batch formation rejects it, keeping a request's fate
     // independent of which admission path reaches it first.
-    rejectUnservableHeads(pipeline.kvBudgetTokens());
+    rejectUnservableHeads(pipeline.kvBudgetBlocks(),
+                          pipeline.kvBlockTokens());
     // Replica balancing at the boundary: when other idle replicas could
     // start this work immediately in fresh (faster, lighter) batches, the
     // boundary admission only claims its even split of the queue and the
@@ -496,9 +534,10 @@ BaseServingSystem::admitAtBoundary(engine::InferencePipeline &pipeline,
         slots = static_cast<int>(
             std::min<long>(slots, std::max<long>(1, share)));
     }
-    auto admitted = requests_.admitAtBoundary(slots, pipeline.freeKvTokens(),
+    auto admitted = requests_.admitAtBoundary(slots, pipeline.freeKvBlocks(),
                                               pipeline.kvAdmissionMode(),
-                                              pipeline.kvBudgetTokens());
+                                              pipeline.kvBudgetBlocks(),
+                                              pipeline.kvBlockTokens());
     // The asking pipeline is mid-boundary (not idle), so dispatchAll only
     // touches the others.
     if (idle_others > 0 && !requests_.pendingEmpty())

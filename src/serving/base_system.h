@@ -65,6 +65,10 @@ class BaseServingSystem : public ServingSystem
     long peakKvHeldTokens() const { return peakKvHeldTokens_; }
     /** Largest worst-case KV reservation any replica reached (tokens). */
     long peakKvReservedTokens() const { return peakKvReservedTokens_; }
+    /** Largest KV holding any replica reached at a boundary, in whole
+     *  KV blocks (per-request ceil rounding — what a paged allocator
+     *  would really have handed out). */
+    long peakKvHeldBlocks() const { return peakKvHeldBlocks_; }
     /** Largest live batch any replica reached at a boundary (requests). */
     int peakConcurrentRequests() const { return peakConcurrentRequests_; }
     /** Requests evicted by optimistic admission across all pipelines. */
@@ -222,6 +226,18 @@ class BaseServingSystem : public ServingSystem
     int prefillChunkTokens() const { return prefillChunkTokens_; }
 
     /**
+     * KV allocation granularity in tokens per block (paged KV cache,
+     * default 16).  Admission charges every request ceil-rounded whole
+     * blocks and the per-replica budget is floored to whole blocks, so
+     * the budget the engine enforces matches what a PagedAttention-style
+     * allocator can actually hand out.  1 reproduces the token-granular
+     * accounting bit-for-bit (the ablation).  Takes effect for pipelines
+     * built after the call.
+     */
+    void setKvBlockTokens(int tokens);
+    int kvBlockTokens() const { return kvBlockTokens_; }
+
+    /**
      * How admission charges requests against the KV budget (takes effect
      * for pipelines built after the call).  Optimistic (default) charges
      * held + predicted tokens and relies on watermark eviction; Reserve
@@ -250,12 +266,32 @@ class BaseServingSystem : public ServingSystem
     long replicaKvBudget(const par::ParallelConfig &config) const;
 
     /**
-     * Drop queue heads whose worst-case KV exceeds @p budget (they can
-     * never be served by any replica of the active configuration, so
-     * leaving them would head-block the strict-FIFO queue forever).
-     * Returns how many were rejected.
+     * Block granularity actually in force for replicas of @p config:
+     * kvBlockTokens(), except that a (degenerate, loudly warned) budget
+     * smaller than one block degrades to token granularity — the same
+     * fallback InferencePipeline applies — so a 1-token no-headroom
+     * budget keeps starving admission instead of rounding up to a whole
+     * block.  Every serving-side pop pairs this with
+     * replicaKvBudgetBlocks.
      */
-    long rejectUnservableHeads(long budget);
+    int effectiveKvBlockTokens(const par::ParallelConfig &config) const;
+
+    /**
+     * The per-replica budget in whole KV blocks of
+     * effectiveKvBlockTokens(config) tokens:
+     * floor(replicaKvBudget / block).  This is the budget every
+     * admission path charges against.
+     */
+    long replicaKvBudgetBlocks(const par::ParallelConfig &config) const;
+
+    /**
+     * Drop queue heads whose worst-case KV (in blocks of
+     * @p block_tokens) exceeds @p budget_blocks (they can never be
+     * served by any replica of the active configuration, so leaving them
+     * would head-block the strict-FIFO queue forever).  Returns how many
+     * were rejected.
+     */
+    long rejectUnservableHeads(long budget_blocks, int block_tokens);
 
     /** Build a pipeline wired to this system's callbacks. */
     std::unique_ptr<engine::InferencePipeline>
@@ -277,12 +313,14 @@ class BaseServingSystem : public ServingSystem
     bool continuousBatching_ = true;
     bool kvBudgetAdmission_ = true;
     int prefillChunkTokens_ = 0;
+    int kvBlockTokens_ = 16;
     bool memOptReserve_ = true;
     engine::KvAdmissionMode kvAdmissionMode_ =
         engine::KvAdmissionMode::Optimistic;
     std::function<void(const engine::InferencePipeline &)> kvObserver_;
     long peakKvHeldTokens_ = 0;
     long peakKvReservedTokens_ = 0;
+    long peakKvHeldBlocks_ = 0;
     int peakConcurrentRequests_ = 0;
     long evictionsTotal_ = 0;
     double evictedWorkSeconds_ = 0.0;

@@ -58,6 +58,7 @@ runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
             dynamic_cast<const BaseServingSystem *>(system.get())) {
         result.peakKvReservedTokens = base->peakKvReservedTokens();
         result.peakKvHeldTokens = base->peakKvHeldTokens();
+        result.peakKvHeldBlocks = base->peakKvHeldBlocks();
         result.peakConcurrentRequests = base->peakConcurrentRequests();
         result.evictions = base->evictionsTotal();
         result.evictedWorkSeconds = base->evictedWorkSeconds();

@@ -55,6 +55,11 @@ struct ExperimentResult
     long peakKvReservedTokens = 0;
     long peakKvHeldTokens = 0;
 
+    /** Largest KV holding in whole blocks (per-request ceil rounding —
+     *  the footprint a paged allocator would really have handed out;
+     *  equals peakKvHeldTokens when kvBlockTokens = 1). */
+    long peakKvHeldBlocks = 0;
+
     /** Largest live batch any replica reached at a boundary (requests) —
      *  the admitted concurrency the Reserve/Optimistic ablation compares. */
     int peakConcurrentRequests = 0;

@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "baselines/reparallelization_system.h"
+#include "baselines/rerouting_system.h"
 #include "core/spotserve_system.h"
 #include "serving/experiment.h"
 
@@ -21,16 +23,23 @@ serving::SystemFactory
 spotServeFactory(const model::ModelSpec &spec, const cost::CostParams &params,
                  const cost::SeqSpec &seq, core::SpotServeOptions options);
 
-/** Factory for the request-rerouting baseline. */
+/**
+ * Factory for the request-rerouting baseline.  @p options carries the
+ * shared engine knobs (continuous batching, KV admission mode,
+ * kvBlockTokens, chunked prefill); @p design_rate overrides its
+ * designArrivalRate.
+ */
 serving::SystemFactory
 reroutingFactory(const model::ModelSpec &spec, const cost::CostParams &params,
-                 const cost::SeqSpec &seq, double design_rate);
+                 const cost::SeqSpec &seq, double design_rate,
+                 baselines::ReroutingOptions options = {});
 
-/** Factory for the model-reparallelization baseline. */
+/** Factory for the model-reparallelization baseline (same knob rules). */
 serving::SystemFactory
 reparallelizationFactory(const model::ModelSpec &spec,
                          const cost::CostParams &params,
-                         const cost::SeqSpec &seq, double design_rate);
+                         const cost::SeqSpec &seq, double design_rate,
+                         baselines::ReparallelizationOptions options = {});
 
 /**
  * Factory by name: "SpotServe", "Rerouting", "Reparallelization", or

@@ -63,22 +63,22 @@ RequestManager::stampPrediction(engine::ActiveRequest &request,
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::popAdmissible(int max_count, long kv_budget_tokens,
+RequestManager::popAdmissible(int max_count, long kv_budget,
                               engine::KvAdmissionMode mode,
-                              long replica_budget_tokens)
+                              long replica_budget, int block_tokens)
 {
     std::vector<engine::ActiveRequest> batch;
-    long remaining = kv_budget_tokens;
+    long remaining = kv_budget;
     while (!pending_.empty() && static_cast<int>(batch.size()) < max_count) {
         engine::ActiveRequest &head = pending_.front();
         stampPrediction(head, mode);
         // Unservable whatever its optimistic charge: head-block until a
         // rejection site drops it.
-        if (replica_budget_tokens != engine::kUnboundedKvTokens &&
-            head.kvPeakTokens() > replica_budget_tokens)
+        if (replica_budget != engine::kUnboundedKvBlocks &&
+            head.kvPeakBlocks(block_tokens) > replica_budget)
             break;
-        if (remaining != engine::kUnboundedKvTokens) {
-            const long charge = head.kvChargedTokens(mode);
+        if (remaining != engine::kUnboundedKvBlocks) {
+            const long charge = head.kvChargedBlocks(mode, block_tokens);
             if (charge > remaining)
                 break; // strict FIFO: nothing may slip past the head
             remaining -= charge;
@@ -90,33 +90,33 @@ RequestManager::popAdmissible(int max_count, long kv_budget_tokens,
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::nextBatch(int max_size, long kv_budget_tokens,
-                          engine::KvAdmissionMode mode,
-                          long replica_budget_tokens)
+RequestManager::nextBatch(int max_size, long kv_budget,
+                          engine::KvAdmissionMode mode, long replica_budget,
+                          int block_tokens)
 {
-    return popAdmissible(max_size, kv_budget_tokens, mode,
-                         replica_budget_tokens);
+    return popAdmissible(max_size, kv_budget, mode, replica_budget,
+                         block_tokens);
 }
 
 std::vector<engine::ActiveRequest>
-RequestManager::admitAtBoundary(int free_slots, long free_kv_tokens,
+RequestManager::admitAtBoundary(int free_slots, long free_kv,
                                 engine::KvAdmissionMode mode,
-                                long replica_budget_tokens)
+                                long replica_budget, int block_tokens)
 {
-    auto admitted = popAdmissible(free_slots, free_kv_tokens, mode,
-                                  replica_budget_tokens);
+    auto admitted = popAdmissible(free_slots, free_kv, mode, replica_budget,
+                                  block_tokens);
     midBatchAdmissions_ += static_cast<long>(admitted.size());
     return admitted;
 }
 
 long
-RequestManager::headKvCharge(engine::KvAdmissionMode mode)
+RequestManager::headKvCharge(engine::KvAdmissionMode mode, int block_tokens)
 {
     if (pending_.empty())
         throw std::logic_error("RequestManager::headKvCharge: empty queue");
     engine::ActiveRequest &head = pending_.front();
     stampPrediction(head, mode);
-    return head.kvChargedTokens(mode);
+    return head.kvChargedBlocks(mode, block_tokens);
 }
 
 wl::RequestId
@@ -153,7 +153,12 @@ RequestManager::estimatedArrivalRate(double window_seconds) const
             break;
         ++count;
     }
-    const double window = std::max(1.0, std::min(now, window_seconds));
+    // Divide by the elapsed-since-start time when it is shorter than the
+    // window (cold start), clamped only by a small epsilon against t = 0.
+    // The old 1.0 s floor underestimated alpha for every trace's first
+    // second and skewed the controller's first chooseConfig.
+    constexpr double kMinWindow = 1e-3;
+    const double window = std::max(kMinWindow, std::min(now, window_seconds));
     return static_cast<double>(count) / window;
 }
 

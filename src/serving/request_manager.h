@@ -72,40 +72,45 @@ class RequestManager
      * Pop up to @p max_size pending requests, oldest first, whose KV
      * charge under @p mode (worst-case peak in Reserve, predicted output
      * in Optimistic — the predictor estimate is stamped on the request as
-     * it is popped) fits @p kv_budget_tokens.  Only
-     * fresh/restarted/mid-prefill work lives in the queue (committed
+     * it is popped) fits @p kv_budget.  Budgets are denominated in KV
+     * blocks of @p block_tokens tokens each (block_tokens = 1 is the
+     * token-granular form), matching the charges the pipelines enforce.
+     * Only fresh/restarted/mid-prefill work lives in the queue (committed
      * decode progress == 0); recovered batches are handed to pipelines
      * directly by the serving systems.
      */
     std::vector<engine::ActiveRequest>
-    nextBatch(int max_size,
-              long kv_budget_tokens = engine::kUnboundedKvTokens,
+    nextBatch(int max_size, long kv_budget = engine::kUnboundedKvBlocks,
               engine::KvAdmissionMode mode = engine::KvAdmissionMode::Reserve,
-              long replica_budget_tokens = engine::kUnboundedKvTokens);
+              long replica_budget = engine::kUnboundedKvBlocks,
+              int block_tokens = 1);
 
     /**
      * Iteration-level scheduler (continuous batching): pack a live batch
      * back up to capacity at a decode-iteration boundary by popping up to
      * @p free_slots pending requests whose KV charge under @p mode fits
-     * the replica's remaining budget @p free_kv_tokens.  FIFO fairness
-     * holds across requeues and interruptions because the queue is kept
-     * in arrival order.  Counted separately from idle-pipeline batch
-     * formation so benches and tests can observe mid-batch admission.
+     * the replica's remaining block budget @p free_kv (same block
+     * denomination as nextBatch).  FIFO fairness holds across requeues
+     * and interruptions because the queue is kept in arrival order.
+     * Counted separately from idle-pipeline batch formation so benches
+     * and tests can observe mid-batch admission.
      */
     std::vector<engine::ActiveRequest>
     admitAtBoundary(int free_slots,
-                    long free_kv_tokens = engine::kUnboundedKvTokens,
+                    long free_kv = engine::kUnboundedKvBlocks,
                     engine::KvAdmissionMode mode =
                         engine::KvAdmissionMode::Reserve,
-                    long replica_budget_tokens = engine::kUnboundedKvTokens);
+                    long replica_budget = engine::kUnboundedKvBlocks,
+                    int block_tokens = 1);
 
     /**
-     * KV tokens the queue head would be charged under @p mode (stamping a
-     * fresh prediction on it first).  Used by idle-batch formation to
-     * pick a replica with enough headroom before popping.
+     * KV blocks (of @p block_tokens tokens; 1 = tokens) the queue head
+     * would be charged under @p mode (stamping a fresh prediction on it
+     * first).  Used by idle-batch formation to pick a replica with
+     * enough headroom before popping.
      * @pre the queue is not empty.
      */
-    long headKvCharge(engine::KvAdmissionMode mode);
+    long headKvCharge(engine::KvAdmissionMode mode, int block_tokens = 1);
 
     /** Requests admitted into live batches at iteration boundaries. */
     long midBatchAdmissions() const { return midBatchAdmissions_; }
@@ -191,17 +196,19 @@ class RequestManager
      * the eviction-storm guard: a just-evicted request only re-admits
      * into genuine worst-case headroom, so it can never immediately push
      * a second victim out.  A head whose worst-case peak exceeds
-     * @p replica_budget_tokens never pops, whatever its optimistic
+     * @p replica_budget never pops, whatever its optimistic
      * charge: such a request is unservable (if its output ran to the cap
      * no eviction could save the replica once it became the protected
      * oldest member) and head-blocks until a rejection site
      * (rejectUnservableHeads) drops it — the check must live in this
      * shared pop, not only at the heads the call sites inspect, because
-     * a multi-request pop exposes new heads mid-call.
+     * a multi-request pop exposes new heads mid-call.  All budgets and
+     * charges are in KV blocks of @p block_tokens tokens (1 = tokens).
      */
     std::vector<engine::ActiveRequest>
-    popAdmissible(int max_count, long kv_budget_tokens,
-                  engine::KvAdmissionMode mode, long replica_budget_tokens);
+    popAdmissible(int max_count, long kv_budget,
+                  engine::KvAdmissionMode mode, long replica_budget,
+                  int block_tokens);
 
     /** Stamp a fresh predictor estimate on @p request (Optimistic). */
     void stampPrediction(engine::ActiveRequest &request,

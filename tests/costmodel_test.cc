@@ -94,8 +94,119 @@ TEST(MemoryModelTest, SteadyBytesDecomposition)
     EXPECT_DOUBLE_EQ(mem.steadyBytes(c, kSeq),
                      mem.weightShardBytes(c) + mem.kvCacheBytes(c, kSeq) +
                          kParams.workspaceBytes);
+    // GPT-20B's 44 layers at P = 3 put ceil(44/3) = 15 layers on the
+    // bottleneck stage: the binding GPU holds 15 layers' weights sharded
+    // M = 4 ways, NOT the W/(P*M) = W/12 average (which under-counts it).
     EXPECT_NEAR(mem.weightShardBytes(c),
-                ModelSpec::gpt20b().totalWeightBytes() / 12, 1.0);
+                ModelSpec::gpt20b().layerWeightBytes() * 15 / 4, 1.0);
+    EXPECT_GT(mem.weightShardBytes(c),
+              ModelSpec::gpt20b().totalWeightBytes() / 12);
+}
+
+TEST(MemoryModelTest, BottleneckStageSizingWhenLayersDontDivide)
+{
+    // For every config with L % P != 0 the per-GPU accounting must size
+    // the largest stage (ceil(L/P) layers); with L % P == 0 it must
+    // reduce exactly to the uniform W/(P*M) split.  The satellite
+    // acceptance check: the bottleneck stage's modeled bytes fit the GPU
+    // line for every config the budget calls feasible.
+    for (const auto &spec :
+         {ModelSpec::opt6_7b(), ModelSpec::gpt20b(), ModelSpec::llama30b()}) {
+        MemoryModel mem(spec, kParams);
+        for (int pp : {1, 2, 3, 4, 6, 8}) {
+            if (spec.numLayers() < pp)
+                continue;
+            for (int tp : {1, 2, 4, 8}) {
+                const ParallelConfig c{1, pp, tp, 8};
+                const int bottleneck = (spec.numLayers() + pp - 1) / pp;
+                EXPECT_NEAR(mem.weightShardBytes(c),
+                            spec.layerWeightBytes() * bottleneck / tp, 1.0)
+                    << spec.name() << " " << c.str();
+                if (spec.numLayers() % pp == 0) {
+                    EXPECT_NEAR(mem.weightShardBytes(c),
+                                spec.totalWeightBytes() / (pp * tp), 1.0)
+                        << spec.name() << " " << c.str();
+                } else {
+                    EXPECT_GT(mem.weightShardBytes(c),
+                              spec.totalWeightBytes() / (pp * tp))
+                        << spec.name() << " " << c.str();
+                }
+                // KV per token scales with the same bottleneck layers.
+                EXPECT_NEAR(mem.kvCacheBytes(c, kSeq),
+                            c.batch * spec.kvBytesPerTokenPerLayer() *
+                                bottleneck *
+                                (kSeq.inputLen + kSeq.outputLen) / tp,
+                            1.0)
+                    << spec.name() << " " << c.str();
+                // Acceptance: wherever the budget is positive, the
+                // bottleneck stage's modeled bytes at that budget fit
+                // the per-GPU memory line.
+                const long budget = mem.kvBudgetTokens(c);
+                if (budget > 0) {
+                    const double kv_bytes =
+                        static_cast<double>(budget) *
+                        spec.kvBytesPerTokenPerLayer() * bottleneck / tp;
+                    EXPECT_LE(mem.weightShardBytes(c) + kv_bytes +
+                                  kParams.workspaceBytes +
+                                  mem.migrationReserveBytes(c, true),
+                              kParams.gpu.memBytes * (1.0 + 1e-9))
+                        << spec.name() << " " << c.str();
+                }
+            }
+        }
+    }
+}
+
+TEST(MemoryModelTest, KvBudgetBlocksFloorsToWholeBlocks)
+{
+    MemoryModel mem(ModelSpec::opt6_7b(), kParams);
+    const ParallelConfig c{1, 2, 2, 8};
+    const long tokens = mem.kvBudgetTokens(c);
+    ASSERT_GT(tokens, 0);
+    // blockTokens = 1 reproduces the token budget exactly.
+    EXPECT_EQ(mem.kvBudgetBlocks(c, 1), tokens);
+    for (int blk : {8, 16, 64}) {
+        const long blocks = mem.kvBudgetBlocks(c, blk);
+        // Floor, never round up: whole blocks only...
+        EXPECT_EQ(blocks, tokens / blk) << "blk " << blk;
+        // ...so the block budget never promises more tokens than exist.
+        EXPECT_LE(blocks * static_cast<long>(blk), tokens) << "blk " << blk;
+    }
+    EXPECT_THROW(mem.kvBudgetBlocks(c, 0), std::invalid_argument);
+}
+
+TEST(MemoryModelTest, WatermarkOrderingInvariant)
+{
+    // deriveKvWatermarks must keep low < high <= budget for every
+    // budget > 1 (the old double max(1, ...) clamp collapsed both onto
+    // 1 on tiny budgets, erasing hysteresis so eviction could thrash at
+    // every boundary), and block-denominated watermarks follow the
+    // block budget.
+    for (long budget : {2L, 3L, 5L, 9L, 10L, 17L, 64L, 1500L, 100000L}) {
+        for (int slots : {1, 4, 8, 64}) {
+            const auto wm = deriveKvWatermarks(budget, slots);
+            EXPECT_LT(wm.low, wm.high)
+                << "budget " << budget << " slots " << slots;
+            EXPECT_LE(wm.high, budget)
+                << "budget " << budget << " slots " << slots;
+            EXPECT_GE(wm.low, 1) << "budget " << budget;
+        }
+    }
+    EXPECT_EQ(deriveKvWatermarks(1, 8).high, 1);
+    EXPECT_EQ(deriveKvWatermarks(1, 8).low, 1);
+    EXPECT_EQ(deriveKvWatermarks(0, 8).high, 0);
+    // Large budgets keep the PR 3 values (margin = budget/16, gap =
+    // budget/8): the fix only touches the degenerate small-budget cases.
+    const auto wm = deriveKvWatermarks(1500, 8);
+    EXPECT_EQ(wm.high, 1407);
+    EXPECT_EQ(wm.low, 1220);
+    // Block-denominated watermarks derive from the block budget.
+    MemoryModel mem(ModelSpec::opt6_7b(), kParams);
+    const ParallelConfig c{1, 2, 2, 8};
+    const auto blockWm = mem.kvWatermarks(c, /*block_tokens=*/16);
+    const auto expect = deriveKvWatermarks(mem.kvBudgetBlocks(c, 16), c.batch);
+    EXPECT_EQ(blockWm.high, expect.high);
+    EXPECT_EQ(blockWm.low, expect.low);
 }
 
 TEST(MemoryModelTest, KvScalesWithBatch)

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <vector>
@@ -33,6 +34,24 @@ namespace spotserve {
 namespace {
 
 const cost::CostParams kParams = cost::CostParams::awsG4dn();
+
+/**
+ * KV block size the system-level block-mode suites run with.  Defaults
+ * to the serving layer's paged default (16); CI additionally runs the
+ * whole binary with SPOTSERVE_TEST_KV_BLOCK_TOKENS=1 so both block
+ * modes go through the full preemption/migration matrix (the ASan job
+ * exercises both).
+ */
+int
+testBlockTokens()
+{
+    if (const char *env = std::getenv("SPOTSERVE_TEST_KV_BLOCK_TOKENS")) {
+        const int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    return 16;
+}
 
 wl::Request
 makeRequest(wl::RequestId id, sim::SimTime arrival = 0.0, int input_len = 512,
@@ -71,16 +90,34 @@ struct BudgetedServer
     std::unique_ptr<engine::InferencePipeline> pipeline;
 
     long budget;
+    int blockTokens;
+    /** Block size the *observer* checks the paged invariant with.  By
+     *  default the pipeline's own granularity; the token-over-promise
+     *  regression sets it above a token-granular pipeline to show what a
+     *  real paged allocator would have been asked for. */
+    int obsBlockTokens;
+    long obsBudgetBlocks;
     long boundaries = 0;
     long violations = 0;
+    long blockViolations = 0;
     std::vector<wl::RequestId> admissionOrder;
     std::map<wl::RequestId, sim::SimTime> completedAt;
 
     BudgetedServer(const model::ModelSpec &model_spec,
                    const par::ParallelConfig &cfg, long kv_budget,
-                   int chunk_tokens, bool enforce_budget = true)
+                   int chunk_tokens, bool enforce_budget = true,
+                   int block_tokens = 1, int observe_block_tokens = 0)
         : spec(model_spec), latency(spec, kParams), config(cfg),
-          budget(kv_budget)
+          budget(kv_budget),
+          // The shared engine rule: budgets smaller than one block
+          // degrade to token accounting.
+          blockTokens(engine::effectiveKvBlockTokens(kv_budget,
+                                                     block_tokens)),
+          obsBlockTokens(observe_block_tokens > 0 ? observe_block_tokens
+                                                  : blockTokens),
+          obsBudgetBlocks(kv_budget == engine::kUnboundedKvTokens
+                              ? engine::kUnboundedKvBlocks
+                              : std::max(1L, kv_budget / obsBlockTokens))
     {
         engine::InferencePipeline::Callbacks cb;
         cb.onRequestComplete = [this](const engine::ActiveRequest &r) {
@@ -89,8 +126,9 @@ struct BudgetedServer
         };
         cb.onIdle = [this](engine::InferencePipeline &) { dispatch(); };
         cb.onAdmit = [this](engine::InferencePipeline &p, int free_slots) {
-            auto admitted = requests.admitAtBoundary(free_slots,
-                                                     p.freeKvTokens());
+            auto admitted = requests.admitAtBoundary(
+                free_slots, p.freeKvBlocks(), engine::KvAdmissionMode::Reserve,
+                engine::kUnboundedKvBlocks, blockTokens);
             for (const auto &r : admitted)
                 admissionOrder.push_back(r.request.id);
             return admitted;
@@ -104,10 +142,23 @@ struct BudgetedServer
             if (p.kvTokensReserved() > budget ||
                 p.kvTokensHeld() > p.kvTokensReserved())
                 ++violations;
+            // The paged-allocator invariant: ceil-rounded blocks (what a
+            // real allocator hands out) never exceed the whole blocks
+            // the budget contains.  Computed with this harness's
+            // reference block size even when the pipeline itself
+            // accounts at a different granularity — that is how the
+            // harness shows token-granular admission over-promising
+            // paged memory.
+            long held_blocks = 0;
+            for (const auto &r : p.batch())
+                held_blocks += r.kvBlocksHeld(obsBlockTokens);
+            if (held_blocks > obsBudgetBlocks)
+                ++blockViolations;
         };
         engine::BatchingOptions batching;
         batching.kvBudgetTokens =
             enforce_budget ? budget : engine::kUnboundedKvTokens;
+        batching.kvBlockTokens = blockTokens;
         batching.prefillChunkTokens = chunk_tokens;
         // This harness exercises the reservation-based (PR 2) admission
         // semantics; the optimistic mode has its own harness below.
@@ -123,7 +174,9 @@ struct BudgetedServer
             return;
         }
         auto batch =
-            requests.nextBatch(config.batch, pipeline->freeKvTokens());
+            requests.nextBatch(config.batch, pipeline->freeKvBlocks(),
+                               engine::KvAdmissionMode::Reserve,
+                               engine::kUnboundedKvBlocks, blockTokens);
         for (const auto &r : batch)
             admissionOrder.push_back(r.request.id);
         if (!batch.empty())
@@ -815,16 +868,30 @@ struct OptimisticServer
 
     engine::KvAdmissionMode mode;
     long budget;
+    int blockTokens;
+    long budgetBlocks;
     long boundaries = 0;
     long violations = 0;
+    long blockViolations = 0;
+    /** Boundaries where a block = 1 pipeline's block-space accessors
+     *  diverged from the token accessors they must degenerate to. */
+    long tokenEquivalenceViolations = 0;
     int peakConcurrency = 0;
     std::map<wl::RequestId, sim::SimTime> completedAt;
 
     OptimisticServer(const model::ModelSpec &model_spec,
                      const par::ParallelConfig &cfg, long kv_budget,
-                     int chunk_tokens, engine::KvAdmissionMode admission_mode)
+                     int chunk_tokens, engine::KvAdmissionMode admission_mode,
+                     int block_tokens = 1)
         : spec(model_spec), latency(spec, kParams), config(cfg),
-          mode(admission_mode), budget(kv_budget)
+          mode(admission_mode), budget(kv_budget),
+          // The shared engine rule: budgets smaller than one block
+          // degrade to token accounting.
+          blockTokens(engine::effectiveKvBlockTokens(kv_budget,
+                                                     block_tokens)),
+          budgetBlocks(kv_budget == engine::kUnboundedKvTokens
+                           ? engine::kUnboundedKvBlocks
+                           : kv_budget / blockTokens)
     {
         engine::InferencePipeline::Callbacks cb;
         cb.onRequestComplete = [this](const engine::ActiveRequest &r) {
@@ -833,8 +900,9 @@ struct OptimisticServer
         };
         cb.onIdle = [this](engine::InferencePipeline &) { dispatch(); };
         cb.onAdmit = [this](engine::InferencePipeline &p, int free_slots) {
-            return requests.admitAtBoundary(free_slots, p.freeKvTokens(),
-                                            mode);
+            return requests.admitAtBoundary(free_slots, p.freeKvBlocks(),
+                                            mode, engine::kUnboundedKvBlocks,
+                                            blockTokens);
         };
         cb.onBoundary = [this](const engine::InferencePipeline &p) {
             ++boundaries;
@@ -842,6 +910,19 @@ struct OptimisticServer
             // budget at a boundary (worst-case reservations may).
             if (p.kvTokensHeld() > budget)
                 ++violations;
+            // The paged invariant: ceil-rounded held blocks never exceed
+            // the whole blocks the budget can actually hand out.
+            if (p.kvBlocksHeld() > budgetBlocks)
+                ++blockViolations;
+            // At block = 1 every block accessor must equal the token
+            // accessor it generalises — checked against live batches,
+            // where a per-chunk-rounding regression would show up.
+            if (blockTokens == 1 &&
+                (p.kvBlocksHeld() != p.kvTokensHeld() ||
+                 p.kvBlocksCharged() != p.kvTokensCharged() ||
+                 p.kvBlocksReserved() != p.kvTokensReserved() ||
+                 p.freeKvBlocks() != p.freeKvTokens()))
+                ++tokenEquivalenceViolations;
             peakConcurrency = std::max(peakConcurrency,
                                        static_cast<int>(p.batch().size()));
         };
@@ -851,6 +932,7 @@ struct OptimisticServer
         };
         engine::BatchingOptions batching;
         batching.kvBudgetTokens = budget;
+        batching.kvBlockTokens = blockTokens;
         batching.prefillChunkTokens = chunk_tokens;
         batching.kvAdmissionMode = mode;
         pipeline = std::make_unique<engine::InferencePipeline>(
@@ -864,7 +946,8 @@ struct OptimisticServer
             return;
         }
         auto batch =
-            requests.nextBatch(config.batch, pipeline->freeKvTokens(), mode);
+            requests.nextBatch(config.batch, pipeline->freeKvBlocks(), mode,
+                               engine::kUnboundedKvBlocks, blockTokens);
         if (!batch.empty())
             pipeline->startBatch(std::move(batch));
     }
@@ -1336,6 +1419,336 @@ TEST(ReplicaBalancingTest, BudgetTracksTheMigrationReserveMode)
     const cost::MemoryModel mem(spec, kParams);
     EXPECT_EQ(opt, mem.kvBudgetTokens(config, true));
     EXPECT_EQ(naive, mem.kvBudgetTokens(config, false));
+}
+
+// ---------------------------------------------------------------------
+// Block-granular (paged) KV accounting
+// ---------------------------------------------------------------------
+
+TEST(BlockAdmissionTest, TokenGranularAdmissionOverpromisesPagedBlocks)
+{
+    // The regression that motivates the block budget: a 1000-token
+    // budget holds floor(1000/16) = 62 whole 16-token blocks, but ten
+    // 100-token requests — which token accounting happily admits at
+    // exactly 10 x 100 = 1000 tokens — each occupy ceil(100/16) = 7
+    // blocks, i.e. 70 blocks: a real paged allocator OOMs on a batch
+    // the token invariant calls safe.  Block-granular admission charges
+    // the rounded blocks up front and never exceeds 62.
+    const long budget = 1000;
+    const par::ParallelConfig cfg{1, 1, 4, 12};
+    wl::Workload workload;
+    for (int i = 0; i < 10; ++i)
+        workload.push_back(makeRequest(i, 0.01 * i, /*input=*/90,
+                                       /*output=*/10)); // peak 100 tokens
+    auto run = [&](int pipeline_blk) {
+        // The observer always checks the 16-token paged invariant,
+        // whatever granularity the pipeline enforces.
+        BudgetedServer s(model::ModelSpec::opt6_7b(), cfg, budget,
+                         /*chunk=*/0, /*enforce=*/true, pipeline_blk,
+                         /*observe_block_tokens=*/16);
+        s.drive(workload);
+        s.sim.run();
+        EXPECT_EQ(s.requests.completedCount(), 10);
+        EXPECT_EQ(s.violations, 0); // token invariant holds either way
+        return s.blockViolations;
+    };
+    EXPECT_GT(run(1), 0);  // token-granular admission breaks the paged line
+    EXPECT_EQ(run(16), 0); // block-granular admission holds it
+}
+
+TEST(BlockAdmissionTest, DegenerateBudgetKeepsTokenGranularity)
+{
+    // A (loudly warned) budget smaller than one block — the no-headroom
+    // clamp path — must degrade to token granularity, not round up to a
+    // whole block: a 10-token budget under 16-token blocks would
+    // otherwise become a 1-block = 16-token budget and admit a request
+    // into a replica the memory model says has no real headroom.
+    BudgetedServer s(model::ModelSpec::opt6_7b(),
+                     par::ParallelConfig{1, 1, 4, 8}, /*budget=*/10,
+                     /*chunk=*/0, /*enforce=*/true, /*block=*/16);
+    EXPECT_EQ(s.pipeline->kvBlockTokens(), 1);
+    EXPECT_EQ(s.pipeline->kvBudgetBlocks(), 10);
+    // Peak 12 tokens: fits one 16-token block, but NOT the 10 tokens
+    // that actually exist — it must starve exactly as the token path
+    // always did.
+    s.drive({makeRequest(1, 0.0, /*input=*/8, /*output=*/4)});
+    s.sim.run();
+    EXPECT_EQ(s.requests.completedCount(), 0);
+    EXPECT_EQ(s.requests.pendingCount(), 1u);
+    EXPECT_EQ(s.violations, 0);
+}
+
+TEST(BlockAdmissionTest, BlockOneReproducesTokenPathExactly)
+{
+    // kvBlockTokens = 1 is the ablation that must reproduce the
+    // token-granular path bit-for-bit: identical admission order,
+    // identical completion times, identical boundary counts — and the
+    // block-space accessors must equal the token accessors at every
+    // boundary.
+    const long budget = 2600;
+    auto workload = [] {
+        sim::Rng rng(33);
+        auto w = wl::stationaryPoisson(0.8, 120.0, cost::SeqSpec{256, 64},
+                                       rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        return w;
+    }();
+    auto run = [&](int blk, long &boundaries,
+                   std::vector<wl::RequestId> &order) {
+        OptimisticServer s(model::ModelSpec::opt6_7b(),
+                           par::ParallelConfig{1, 1, 4, 8}, budget,
+                           /*chunk=*/128,
+                           engine::KvAdmissionMode::Optimistic, blk);
+        if (blk == 1) {
+            // At block = 1 the block budget degenerates to the token
+            // budget the PR 3 path enforced.
+            EXPECT_EQ(s.pipeline->kvBudgetBlocks(), budget);
+        }
+        s.drive(workload);
+        s.sim.run();
+        if (blk == 1)
+            EXPECT_EQ(s.tokenEquivalenceViolations, 0);
+        boundaries = s.boundaries;
+        order.clear();
+        for (const auto &[id, t] : s.completedAt)
+            order.push_back(id);
+        return s.completedAt;
+    };
+    long b1 = 0, b2 = 0;
+    std::vector<wl::RequestId> o1, o2;
+    const auto token_times = run(1, b1, o1);
+    // A second, independent run through the same block=1 path must be
+    // bit-identical (pins determinism of the ablation baseline)...
+    const auto again = run(1, b2, o2);
+    EXPECT_EQ(b1, b2);
+    ASSERT_EQ(token_times.size(), again.size());
+    for (const auto &[id, t] : token_times) {
+        auto it = again.find(id);
+        ASSERT_NE(it, again.end());
+        EXPECT_DOUBLE_EQ(t, it->second) << "request " << id;
+    }
+    EXPECT_EQ(token_times.size(), workload.size());
+}
+
+TEST(BlockAdmissionTest, HeldBlocksInvariantEngineMatrix)
+{
+    // Engine-level matrix: Poisson / spike / long-input early-stopping
+    // workloads, chunked and unchunked, both admission modes, at the
+    // paged block size: ceil-rounded held blocks never exceed the whole
+    // blocks the budget contains, and every request completes.
+    const cost::SeqSpec seq{256, 64};
+    auto poisson = [&] {
+        sim::Rng rng(51);
+        auto w = wl::stationaryPoisson(0.8, 180.0, seq, rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        return w;
+    };
+    auto spike = [&] {
+        sim::Rng rng(52);
+        auto w = wl::fluctuating(
+            [](sim::SimTime t) {
+                return (t >= 60.0 && t < 100.0) ? 3.0 : 0.4;
+            },
+            1.0, 180.0, seq, rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        return w;
+    };
+    auto longInput = [&] {
+        sim::Rng rng(53);
+        auto w = wl::stationaryPoisson(0.5, 180.0, seq, rng);
+        wl::capOutputs(w, 256, 8, 64, rng);
+        const int lens[] = {128, 512, 1024};
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i].inputLen = lens[i % 3];
+        return w;
+    };
+
+    const int blk = 16;
+    int variant = 0;
+    for (const auto &make : {std::function<wl::Workload()>(poisson),
+                             std::function<wl::Workload()>(spike),
+                             std::function<wl::Workload()>(longInput)}) {
+        const auto workload = make();
+        for (int chunk : {0, 128}) {
+            for (const auto mode : {engine::KvAdmissionMode::Reserve,
+                                    engine::KvAdmissionMode::Optimistic}) {
+                OptimisticServer s(model::ModelSpec::opt6_7b(),
+                                   par::ParallelConfig{1, 1, 4, 8},
+                                   /*budget=*/2600, chunk, mode, blk);
+                s.drive(workload);
+                s.sim.run();
+                EXPECT_EQ(s.blockViolations, 0)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode);
+                EXPECT_EQ(s.violations, 0)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode);
+                EXPECT_GT(s.boundaries, 0);
+                EXPECT_EQ(s.requests.completedCount(),
+                          static_cast<long>(workload.size()))
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode);
+            }
+        }
+        ++variant;
+    }
+}
+
+/**
+ * Run SpotServe over the churn trace with block-granular accounting,
+ * asserting at every boundary of every replica that the ceil-rounded
+ * held blocks fit the block budget, reservations fit it in Reserve
+ * mode, and the bottleneck-stage bytes stay under the GPU line.
+ */
+SystemInvariantResult
+runBlockSystemInvariant(const wl::Workload &workload, int chunk_tokens,
+                        engine::KvAdmissionMode mode, int block_tokens)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const auto trace = churnTrace();
+    const cost::SeqSpec seq{};
+    const cost::MemoryModel mem(spec, kParams);
+
+    sim::Simulation sim;
+    cluster::InstanceManager instances(sim, kParams);
+    serving::RequestManager requests(sim);
+    core::SpotServeOptions options;
+    options.designArrivalRate = 0.35;
+    options.prefillChunkTokens = chunk_tokens;
+    options.kvAdmissionMode = mode;
+    options.kvBlockTokens = block_tokens;
+    core::SpotServeSystem system(sim, instances, requests, spec, kParams,
+                                 seq, options);
+
+    SystemInvariantResult out;
+    system.setKvObserver([&](const engine::InferencePipeline &p) {
+        ++out.checks;
+        const long budget_blocks =
+            mem.kvBudgetBlocks(p.config(), block_tokens);
+        if (p.kvBlocksHeld() > budget_blocks)
+            ++out.violations;
+        if (mode == engine::KvAdmissionMode::Reserve &&
+            p.kvBlocksReserved() > budget_blocks)
+            ++out.violations;
+        // Bottleneck-stage bytes: the largest stage holds ceil(L/P)
+        // layers of weights and of every held block's KV.
+        const int bl = (spec.numLayers() + p.config().pp - 1) /
+                       p.config().pp;
+        const double kv_bytes = static_cast<double>(p.kvBlocksHeld()) *
+                                block_tokens *
+                                spec.kvBytesPerTokenPerLayer() * bl /
+                                p.config().tp;
+        if (mem.weightShardBytes(p.config()) + kv_bytes +
+                kParams.workspaceBytes +
+                mem.migrationReserveBytes(p.config(), true) >
+            kParams.gpu.memBytes)
+            ++out.violations;
+    });
+
+    instances.setListener(&system);
+    instances.loadTrace(trace);
+    for (const auto &req : workload) {
+        sim.schedule(req.arrival,
+                     [&system, req] { system.onRequestArrival(req); });
+    }
+    sim.run(trace.duration() + 900.0);
+
+    out.migrations = system.migrationsCompleted();
+    out.completed = requests.completedCount();
+    out.arrived = requests.arrivedCount();
+    return out;
+}
+
+TEST(BlockSystemTest, HeldBlocksInvariantAcrossTracesAndMigrations)
+{
+    // Full-system matrix at the paged block size (or the value CI
+    // injects via SPOTSERVE_TEST_KV_BLOCK_TOKENS): Poisson, spike and
+    // long-input early-stopping workloads across preemption-driven
+    // migrations, chunked and unchunked, both admission modes — the
+    // inherited mid-prefill batches of the chunked runs are trimmed in
+    // block space against the inheriting replica.
+    const cost::SeqSpec seq{};
+    const int blk = testBlockTokens();
+    auto poisson = [&] {
+        sim::Rng rng(61);
+        auto w = wl::stationaryPoisson(0.3, 900.0, seq, rng);
+        wl::capOutputs(w, /*cap=*/512, /*min=*/16, /*max=*/128, rng);
+        return w;
+    };
+    auto spike = [&] {
+        sim::Rng rng(62);
+        auto w = wl::fluctuating(
+            [](sim::SimTime t) {
+                return (t >= 300.0 && t < 420.0) ? 1.2 : 0.2;
+            },
+            1.0, 900.0, seq, rng);
+        wl::capOutputs(w, /*cap=*/512, /*min=*/16, /*max=*/128, rng);
+        return w;
+    };
+    auto longInput = [&] {
+        sim::Rng rng(63);
+        auto w = wl::stationaryPoisson(0.25, 900.0, seq, rng);
+        wl::capOutputs(w, /*cap=*/512, /*min=*/16, /*max=*/128, rng);
+        const int lens[] = {512, 1024, 2048};
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i].inputLen = lens[i % 3];
+        return w;
+    };
+
+    int variant = 0;
+    for (const auto &make : {std::function<wl::Workload()>(poisson),
+                             std::function<wl::Workload()>(spike),
+                             std::function<wl::Workload()>(longInput)}) {
+        const auto workload = make();
+        for (int chunk : {0, 256}) {
+            for (const auto mode : {engine::KvAdmissionMode::Reserve,
+                                    engine::KvAdmissionMode::Optimistic}) {
+                const auto r =
+                    runBlockSystemInvariant(workload, chunk, mode, blk);
+                EXPECT_EQ(r.violations, 0)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode) << " blk " << blk;
+                EXPECT_GT(r.checks, 0);
+                EXPECT_GE(r.migrations, 2); // initial + preemption-driven
+                EXPECT_EQ(r.completed, r.arrived)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode) << " blk " << blk;
+            }
+        }
+        ++variant;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arrival-rate estimator cold start (bugfix)
+// ---------------------------------------------------------------------
+
+TEST(RequestManagerTest, ArrivalRateColdStartUsesElapsedTime)
+{
+    // Regression: the estimator used to floor its divisor at 1.0 s, so
+    // every trace's first second underestimated alpha (2 arrivals in
+    // 0.5 s read as 2/s instead of 4/s) and skewed the controller's
+    // first chooseConfig.  The divisor is now the elapsed-since-start
+    // time clamped only by a tiny epsilon.
+    sim::Simulation sim;
+    serving::RequestManager mgr(sim);
+    sim.schedule(0.1, [&] { mgr.submit(makeRequest(1, 0.1)); });
+    sim.schedule(0.3, [&] { mgr.submit(makeRequest(2, 0.3)); });
+    double at_half = 0.0;
+    sim.schedule(0.5, [&] { at_half = mgr.estimatedArrivalRate(); });
+    double at_two = 0.0;
+    sim.schedule(2.0, [&] { at_two = mgr.estimatedArrivalRate(); });
+    // Steady state far past the window is unchanged: the full 30 s
+    // window divides.
+    double steady = 0.0;
+    sim.schedule(100.0, [&] {
+        mgr.submit(makeRequest(3, 100.0));
+        steady = mgr.estimatedArrivalRate();
+    });
+    sim.run();
+    EXPECT_NEAR(at_half, 4.0, 1e-9);  // 2 arrivals / 0.5 s elapsed
+    EXPECT_NEAR(at_two, 1.0, 1e-9);   // 2 arrivals / 2.0 s elapsed
+    EXPECT_NEAR(steady, 1.0 / 30.0, 1e-9); // 1 arrival in the 30 s window
 }
 
 } // namespace
