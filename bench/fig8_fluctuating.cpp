@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "serving/presets.h"
 #include "workload/maf_trace.h"
@@ -296,7 +297,7 @@ main(int argc, char **argv)
                 // ceil would understate it).
                 long peak_real_blocks = 0;
                 auto token_factory =
-                    [&](sim::Simulation &sim,
+                    [&](sim::Executor &sim,
                         cluster::InstanceManager &instances,
                         serving::RequestManager &requests)
                     -> std::unique_ptr<serving::ServingSystem> {

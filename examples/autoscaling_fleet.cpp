@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "core/spotserve_system.h"
 #include "serving/presets.h"

@@ -8,11 +8,11 @@ namespace spotserve {
 namespace baselines {
 
 ReparallelizationSystem::ReparallelizationSystem(
-    sim::Simulation &simulation, cluster::InstanceManager &instances,
+    sim::Executor &executor, cluster::InstanceManager &instances,
     serving::RequestManager &requests, const model::ModelSpec &spec,
     const cost::CostParams &params, const cost::SeqSpec &seq,
     ReparallelizationOptions options)
-    : BaseServingSystem(simulation, instances, requests, spec, params, seq),
+    : BaseServingSystem(executor, instances, requests, spec, params, seq),
       options_(options),
       controller_(spec, params, seq, cost::ConfigSpaceOptions{},
                   options.controller)

@@ -58,7 +58,7 @@ struct ReparallelizationOptions
 class ReparallelizationSystem : public serving::BaseServingSystem
 {
   public:
-    ReparallelizationSystem(sim::Simulation &simulation,
+    ReparallelizationSystem(sim::Executor &executor,
                             cluster::InstanceManager &instances,
                             serving::RequestManager &requests,
                             const model::ModelSpec &spec,

@@ -7,14 +7,14 @@
 namespace spotserve {
 namespace baselines {
 
-ReroutingSystem::ReroutingSystem(sim::Simulation &simulation,
+ReroutingSystem::ReroutingSystem(sim::Executor &executor,
                                  cluster::InstanceManager &instances,
                                  serving::RequestManager &requests,
                                  const model::ModelSpec &spec,
                                  const cost::CostParams &params,
                                  const cost::SeqSpec &seq,
                                  ReroutingOptions options)
-    : BaseServingSystem(simulation, instances, requests, spec, params, seq),
+    : BaseServingSystem(executor, instances, requests, spec, params, seq),
       options_(options),
       controller_(spec, params, seq, cost::ConfigSpaceOptions{},
                   options.controller)

@@ -59,7 +59,7 @@ struct ReroutingOptions
 class ReroutingSystem : public serving::BaseServingSystem
 {
   public:
-    ReroutingSystem(sim::Simulation &simulation,
+    ReroutingSystem(sim::Executor &executor,
                     cluster::InstanceManager &instances,
                     serving::RequestManager &requests,
                     const model::ModelSpec &spec,

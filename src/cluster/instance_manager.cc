@@ -8,10 +8,10 @@
 namespace spotserve {
 namespace cluster {
 
-InstanceManager::InstanceManager(sim::Simulation &simulation,
+InstanceManager::InstanceManager(sim::Executor &executor,
                                  const cost::CostParams &params,
                                  std::uint64_t victim_seed)
-    : sim_(simulation), params_(params), victimRng_(victim_seed)
+    : sim_(executor), params_(params), victimRng_(victim_seed)
 {
 }
 

@@ -19,7 +19,7 @@
 #include "cluster/instance.h"
 #include "costmodel/cost_params.h"
 #include "simcore/rng.h"
-#include "simcore/simulation.h"
+#include "simcore/executor.h"
 
 namespace spotserve {
 namespace cluster {
@@ -57,7 +57,7 @@ class InstanceManager
      *        capacity, so victims are drawn uniformly (deterministically
      *        per seed for reproducibility).
      */
-    InstanceManager(sim::Simulation &simulation,
+    InstanceManager(sim::Executor &executor,
                     const cost::CostParams &params,
                     std::uint64_t victim_seed = 12345);
 
@@ -126,7 +126,7 @@ class InstanceManager
     void fireRelease(InstanceType type, int count);
     double billedSeconds(const Instance &inst, sim::SimTime now) const;
 
-    sim::Simulation &sim_;
+    sim::Executor &sim_;
     cost::CostParams params_;
     ClusterListener *listener_ = nullptr;
     std::vector<std::unique_ptr<Instance>> instances_;

@@ -8,14 +8,14 @@
 namespace spotserve {
 namespace core {
 
-SpotServeSystem::SpotServeSystem(sim::Simulation &simulation,
+SpotServeSystem::SpotServeSystem(sim::Executor &executor,
                                  cluster::InstanceManager &instances,
                                  serving::RequestManager &requests,
                                  const model::ModelSpec &spec,
                                  const cost::CostParams &params,
                                  const cost::SeqSpec &seq,
                                  SpotServeOptions options)
-    : BaseServingSystem(simulation, instances, requests, spec, params, seq),
+    : BaseServingSystem(executor, instances, requests, spec, params, seq),
       options_(options),
       controller_(spec, params, seq,
                   [&options] {

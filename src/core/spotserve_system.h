@@ -158,7 +158,7 @@ struct SpotServeOptions
 class SpotServeSystem : public serving::BaseServingSystem
 {
   public:
-    SpotServeSystem(sim::Simulation &simulation,
+    SpotServeSystem(sim::Executor &executor,
                     cluster::InstanceManager &instances,
                     serving::RequestManager &requests,
                     const model::ModelSpec &spec,

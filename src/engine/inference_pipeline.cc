@@ -35,12 +35,12 @@ toString(KvAdmissionMode mode)
     return "?";
 }
 
-InferencePipeline::InferencePipeline(sim::Simulation &simulation,
+InferencePipeline::InferencePipeline(sim::Executor &executor,
                                      const cost::LatencyModel &latency,
                                      const par::ParallelConfig &config,
                                      int index, Callbacks callbacks,
                                      BatchingOptions batching)
-    : sim_(simulation), latency_(latency), config_(config), index_(index),
+    : sim_(executor), latency_(latency), config_(config), index_(index),
       callbacks_(std::move(callbacks)), batching_(batching)
 {
     if (batching_.kvBudgetTokens <= 0)
@@ -517,6 +517,8 @@ InferencePipeline::onBoundary()
         if (r.prefilled) {
             ++r.committedTokens;
             ++decoded;
+            if (callbacks_.onToken)
+                callbacks_.onToken(r);
         } else if (stepRanPrefill_) {
             r.prefillTokens += prefillChunkFor(r);
             r.prefilled = r.prefillTokens >= r.request.inputLen;

@@ -27,7 +27,7 @@
 #include "costmodel/latency_model.h"
 #include "costmodel/memory_model.h"
 #include "engine/active_request.h"
-#include "simcore/simulation.h"
+#include "simcore/executor.h"
 
 namespace spotserve {
 namespace engine {
@@ -110,6 +110,13 @@ class InferencePipeline
     {
         /** A request finished all its output tokens. */
         std::function<void(const ActiveRequest &)> onRequestComplete;
+        /**
+         * A request committed one output token (fired per decoding
+         * request at each iteration boundary, before the completion
+         * check).  A live ingress streams tokens to clients from here;
+         * simulated experiments leave it unset.
+         */
+        std::function<void(const ActiveRequest &)> onToken;
         /** The whole batch completed; the pipeline is Idle again. */
         std::function<void(InferencePipeline &)> onIdle;
         /** haltAfter() drained; the pipeline is Halted with its batch. */
@@ -145,7 +152,7 @@ class InferencePipeline
             onEvict;
     };
 
-    InferencePipeline(sim::Simulation &simulation,
+    InferencePipeline(sim::Executor &executor,
                       const cost::LatencyModel &latency,
                       const par::ParallelConfig &config, int index,
                       Callbacks callbacks, BatchingOptions batching = {});
@@ -290,7 +297,7 @@ class InferencePipeline
     /** A prefiller is frozen this step (drain or decode-priority). */
     bool prefillFrozen() const { return haltPending_ || deferPrefill_; }
 
-    sim::Simulation &sim_;
+    sim::Executor &sim_;
     const cost::LatencyModel &latency_;
     par::ParallelConfig config_;
     int index_;

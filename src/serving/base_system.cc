@@ -8,13 +8,13 @@
 namespace spotserve {
 namespace serving {
 
-BaseServingSystem::BaseServingSystem(sim::Simulation &simulation,
+BaseServingSystem::BaseServingSystem(sim::Executor &executor,
                                      cluster::InstanceManager &instances,
                                      RequestManager &requests,
                                      const model::ModelSpec &spec,
                                      const cost::CostParams &params,
                                      const cost::SeqSpec &seq)
-    : sim_(simulation), instances_(instances), requests_(requests),
+    : sim_(executor), instances_(instances), requests_(requests),
       spec_(spec), params_(params), seq_(seq), latency_(spec, params),
       memory_(spec, params), throughput_(latency_)
 {
@@ -184,6 +184,10 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
     engine::InferencePipeline::Callbacks cb;
     cb.onRequestComplete = [this](const engine::ActiveRequest &r) {
         requests_.complete(r);
+    };
+    cb.onToken = [this](const engine::ActiveRequest &r) {
+        if (tokenObserver_)
+            tokenObserver_(r);
     };
     cb.onIdle = [this](engine::InferencePipeline &p) { onPipelineIdle(p); };
     cb.onHalted = [this](engine::InferencePipeline &p) {

@@ -25,7 +25,7 @@
 #include "model/model_spec.h"
 #include "serving/request_manager.h"
 #include "serving/serving_system.h"
-#include "simcore/simulation.h"
+#include "simcore/executor.h"
 
 namespace spotserve {
 namespace serving {
@@ -34,7 +34,7 @@ namespace serving {
 class BaseServingSystem : public ServingSystem
 {
   public:
-    BaseServingSystem(sim::Simulation &simulation,
+    BaseServingSystem(sim::Executor &executor,
                       cluster::InstanceManager &instances,
                       RequestManager &requests, const model::ModelSpec &spec,
                       const cost::CostParams &params,
@@ -59,6 +59,18 @@ class BaseServingSystem : public ServingSystem
         std::function<void(const engine::InferencePipeline &)> observer)
     {
         kvObserver_ = std::move(observer);
+    }
+
+    /**
+     * Observer forwarded to every pipeline's per-token callback: fired
+     * once per request per committed output token.  The socket ingress
+     * streams tokens from here; experiments leave it unset.  Read at
+     * fire time, so it takes effect immediately for live pipelines too.
+     */
+    void setTokenObserver(
+        std::function<void(const engine::ActiveRequest &)> observer)
+    {
+        tokenObserver_ = std::move(observer);
     }
 
     /** Largest KV holding any replica reached at a boundary (tokens). */
@@ -297,7 +309,7 @@ class BaseServingSystem : public ServingSystem
     std::unique_ptr<engine::InferencePipeline>
     makePipeline(const par::ParallelConfig &config, int index);
 
-    sim::Simulation &sim_;
+    sim::Executor &sim_;
     cluster::InstanceManager &instances_;
     RequestManager &requests_;
     model::ModelSpec spec_;
@@ -318,6 +330,7 @@ class BaseServingSystem : public ServingSystem
     engine::KvAdmissionMode kvAdmissionMode_ =
         engine::KvAdmissionMode::Optimistic;
     std::function<void(const engine::InferencePipeline &)> kvObserver_;
+    std::function<void(const engine::ActiveRequest &)> tokenObserver_;
     long peakKvHeldTokens_ = 0;
     long peakKvReservedTokens_ = 0;
     long peakKvHeldBlocks_ = 0;

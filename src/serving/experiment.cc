@@ -1,5 +1,7 @@
 #include "serving/experiment.h"
 
+#include "simcore/simulation.h"
+
 namespace spotserve {
 namespace serving {
 
@@ -10,21 +12,32 @@ runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
               ExperimentOptions options)
 {
     sim::Simulation simulation;
-    cluster::InstanceManager instances(simulation, params);
-    RequestManager requests(simulation);
+    return runExperimentOn(simulation, spec, params, trace, workload,
+                           factory, options);
+}
 
-    auto system = factory(simulation, instances, requests);
+ExperimentResult
+runExperimentOn(sim::Executor &executor, const model::ModelSpec &spec,
+                const cost::CostParams &params,
+                const cluster::AvailabilityTrace &trace,
+                const wl::Workload &workload, const SystemFactory &factory,
+                ExperimentOptions options)
+{
+    cluster::InstanceManager instances(executor, params);
+    RequestManager requests(executor);
+
+    auto system = factory(executor, instances, requests);
     instances.setListener(system.get());
     instances.loadTrace(trace);
 
     for (const auto &req : workload) {
-        simulation.schedule(req.arrival, [&system, req] {
+        executor.schedule(req.arrival, [&system, req] {
             system->onRequestArrival(req);
         });
     }
 
     const sim::SimTime horizon = trace.duration() + options.drainTimeout;
-    simulation.run(horizon);
+    executor.run(horizon);
 
     ExperimentResult result;
     result.systemName = system->name();

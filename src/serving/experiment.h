@@ -76,9 +76,9 @@ struct ExperimentResult
     }
 };
 
-/** Builds the serving system under test inside the driver's simulation. */
+/** Builds the serving system under test on the driver's executor. */
 using SystemFactory = std::function<std::unique_ptr<ServingSystem>(
-    sim::Simulation &, cluster::InstanceManager &, RequestManager &)>;
+    sim::Executor &, cluster::InstanceManager &, RequestManager &)>;
 
 /** Driver knobs. */
 struct ExperimentOptions
@@ -96,13 +96,30 @@ struct ExperimentOptions
 
 /**
  * Replay @p trace and @p workload against the system built by @p factory
- * and collect metrics.  Deterministic: same inputs, same outputs.
+ * on a private deterministic Simulation and collect metrics.  Same
+ * inputs, same outputs — byte-identical across runs.
  */
 ExperimentResult
 runExperiment(const model::ModelSpec &spec, const cost::CostParams &params,
               const cluster::AvailabilityTrace &trace,
               const wl::Workload &workload, const SystemFactory &factory,
               ExperimentOptions options = {});
+
+/**
+ * The same driver over a caller-supplied execution substrate: builds the
+ * system graph on @p executor, schedules every trace and workload event,
+ * and drives executor.run() to the horizon.  With a Simulation this is
+ * exactly runExperiment; with a WallClockExecutor (typically at a large
+ * timeScale) the identical serving stack replays the workload in real
+ * time — the sim-vs-wallclock equivalence tests run both sides through
+ * this one entry point.
+ */
+ExperimentResult
+runExperimentOn(sim::Executor &executor, const model::ModelSpec &spec,
+                const cost::CostParams &params,
+                const cluster::AvailabilityTrace &trace,
+                const wl::Workload &workload, const SystemFactory &factory,
+                ExperimentOptions options = {});
 
 } // namespace serving
 } // namespace spotserve

@@ -12,7 +12,7 @@ serving::SystemFactory
 spotServeFactory(const model::ModelSpec &spec, const cost::CostParams &params,
                  const cost::SeqSpec &seq, core::SpotServeOptions options)
 {
-    return [spec, params, seq, options](sim::Simulation &sim,
+    return [spec, params, seq, options](sim::Executor &sim,
                                         cluster::InstanceManager &instances,
                                         serving::RequestManager &requests)
                -> std::unique_ptr<serving::ServingSystem> {
@@ -27,7 +27,7 @@ reroutingFactory(const model::ModelSpec &spec, const cost::CostParams &params,
                  baselines::ReroutingOptions options)
 {
     options.designArrivalRate = design_rate;
-    return [spec, params, seq, options](sim::Simulation &sim,
+    return [spec, params, seq, options](sim::Executor &sim,
                                         cluster::InstanceManager &instances,
                                         serving::RequestManager &requests)
                -> std::unique_ptr<serving::ServingSystem> {
@@ -43,7 +43,7 @@ reparallelizationFactory(const model::ModelSpec &spec,
                          baselines::ReparallelizationOptions options)
 {
     options.designArrivalRate = design_rate;
-    return [spec, params, seq, options](sim::Simulation &sim,
+    return [spec, params, seq, options](sim::Executor &sim,
                                         cluster::InstanceManager &instances,
                                         serving::RequestManager &requests)
                -> std::unique_ptr<serving::ServingSystem> {

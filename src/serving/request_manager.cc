@@ -6,9 +6,9 @@
 namespace spotserve {
 namespace serving {
 
-RequestManager::RequestManager(sim::Simulation &simulation,
+RequestManager::RequestManager(sim::Executor &executor,
                                double rate_window_seconds)
-    : sim_(simulation), rateWindow_(rate_window_seconds)
+    : sim_(executor), rateWindow_(rate_window_seconds)
 {
     if (rate_window_seconds <= 0.0)
         throw std::invalid_argument("RequestManager: bad rate window");
@@ -127,6 +127,8 @@ RequestManager::rejectHead()
     const wl::RequestId id = pending_.front().request.id;
     pending_.pop_front();
     ++rejected_;
+    if (rejectionObserver_)
+        rejectionObserver_(id);
     return id;
 }
 
@@ -174,6 +176,8 @@ RequestManager::complete(const engine::ActiveRequest &request)
     // The completed length is the ground truth optimistic admission
     // learns from (the only place the actual EOS point becomes known).
     predictor_.observe(request.request.outputLen);
+    if (completionObserver_)
+        completionObserver_(completions_.back());
 }
 
 } // namespace serving

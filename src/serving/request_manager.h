@@ -13,11 +13,12 @@
 #define SPOTSERVE_SERVING_REQUEST_MANAGER_H
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "engine/active_request.h"
 #include "serving/output_predictor.h"
-#include "simcore/simulation.h"
+#include "simcore/executor.h"
 #include "simcore/stats.h"
 #include "workload/request.h"
 
@@ -41,7 +42,7 @@ struct CompletionRecord
 class RequestManager
 {
   public:
-    explicit RequestManager(sim::Simulation &simulation,
+    explicit RequestManager(sim::Executor &executor,
                             double rate_window_seconds = 30.0);
 
     /** A new request arrived (from the workload). */
@@ -144,6 +145,28 @@ class RequestManager
     void complete(const engine::ActiveRequest &request);
 
     /**
+     * Observer fired after every complete() with the fresh record.  The
+     * socket ingress streams the final completion line to the issuing
+     * client from here; experiments leave it unset.  Runs on the
+     * executor's driver thread.
+     */
+    void setCompletionObserver(
+        std::function<void(const CompletionRecord &)> observer)
+    {
+        completionObserver_ = std::move(observer);
+    }
+
+    /**
+     * Observer fired when rejectHead() drops an unservable request, so a
+     * live ingress can bounce it to the client instead of silently
+     * swallowing it.  Runs on the executor's driver thread.
+     */
+    void setRejectionObserver(std::function<void(wl::RequestId)> observer)
+    {
+        rejectionObserver_ = std::move(observer);
+    }
+
+    /**
      * The output-length predictor optimistic admission charges against
      * (mutable access so tests and warm-started deployments can prime
      * it with historical completions).
@@ -214,7 +237,7 @@ class RequestManager
     void stampPrediction(engine::ActiveRequest &request,
                          engine::KvAdmissionMode mode);
 
-    sim::Simulation &sim_;
+    sim::Executor &sim_;
     double rateWindow_;
     OutputLengthPredictor predictor_;
 
@@ -223,6 +246,8 @@ class RequestManager
 
     sim::LatencyRecorder latencies_;
     std::vector<CompletionRecord> completions_;
+    std::function<void(const CompletionRecord &)> completionObserver_;
+    std::function<void(wl::RequestId)> rejectionObserver_;
     long arrived_ = 0;
     long midBatchAdmissions_ = 0;
     long rejected_ = 0;

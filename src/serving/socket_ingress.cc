@@ -1,0 +1,336 @@
+#include "serving/socket_ingress.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "serving/base_system.h"
+
+namespace spotserve {
+namespace serving {
+
+namespace {
+
+void closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace
+
+SocketIngress::SocketIngress(sim::Executor &executor, ServingSystem &system,
+                             RequestManager &requests, Options options)
+    : executor_(executor), system_(system), requests_(requests),
+      baseSystem_(dynamic_cast<BaseServingSystem *>(&system)),
+      options_(std::move(options))
+{
+}
+
+SocketIngress::SocketIngress(sim::Executor &executor, ServingSystem &system,
+                             RequestManager &requests)
+    : SocketIngress(executor, system, requests, Options{})
+{
+}
+
+SocketIngress::~SocketIngress() { stop(); }
+
+void SocketIngress::start()
+{
+    if (running_.load())
+        throw std::logic_error("SocketIngress already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error(std::string("socket(): ") +
+                                 std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.bindAddress.c_str(), &addr.sin_addr) !=
+        1) {
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("bad bind address: " + options_.bindAddress);
+    }
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, options_.backlog) != 0) {
+        const std::string what = std::strerror(errno);
+        closeFd(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("bind/listen on " + options_.bindAddress +
+                                 ": " + what);
+    }
+
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &boundLen) == 0)
+        boundPort_.store(static_cast<int>(ntohs(bound.sin_port)));
+
+    // Stream results back as the engine produces them.  The observers run
+    // on the executor's driver thread; sendToRequest takes the client lock.
+    requests_.setCompletionObserver([this](const CompletionRecord &rec) {
+        std::ostringstream line;
+        line << "done " << rec.id << ' ' << rec.latency << ' '
+             << rec.restarts;
+        sendToRequest(rec.id, line.str(), /*final_line=*/true);
+    });
+    requests_.setRejectionObserver([this](wl::RequestId id) {
+        sendToRequest(id, "rejected " + std::to_string(id),
+                      /*final_line=*/true);
+    });
+    if (baseSystem_ != nullptr) {
+        baseSystem_->setTokenObserver([this](const engine::ActiveRequest &r) {
+            std::ostringstream line;
+            line << "token " << r.request.id << ' ' << r.committedTokens;
+            sendToRequest(r.request.id, line.str(), /*final_line=*/false);
+        });
+    }
+
+    stopRequested_.store(false);
+    running_.store(true);
+    pollThread_ = std::thread([this] { pollLoop(); });
+}
+
+void SocketIngress::stop()
+{
+    if (!running_.load())
+        return;
+    stopRequested_.store(true);
+    if (pollThread_.joinable())
+        pollThread_.join();
+    {
+        std::lock_guard<std::mutex> lk(clientsMutex_);
+        for (auto &entry : clients_)
+            closeFd(entry.second.fd);
+        clients_.clear();
+        routes_.clear();
+    }
+    closeFd(listenFd_);
+    listenFd_ = -1;
+    running_.store(false);
+}
+
+void SocketIngress::pollLoop()
+{
+    while (!stopRequested_.load()) {
+        std::vector<pollfd> fds;
+        fds.push_back(pollfd{listenFd_, POLLIN, 0});
+        {
+            std::lock_guard<std::mutex> lk(clientsMutex_);
+            for (const auto &entry : clients_)
+                fds.push_back(pollfd{entry.first, POLLIN, 0});
+        }
+
+        const int ready =
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                   options_.pollIntervalMs);
+        if (ready <= 0)
+            continue; // timeout (stop re-checked) or EINTR
+
+        if (fds[0].revents & POLLIN)
+            acceptClient();
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ||
+                !readClient(fds[i].fd)) {
+                std::lock_guard<std::mutex> lk(clientsMutex_);
+                closeClientLocked(fds[i].fd);
+            }
+        }
+    }
+}
+
+void SocketIngress::acceptClient()
+{
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+        std::lock_guard<std::mutex> lk(clientsMutex_);
+        Client client;
+        client.fd = fd;
+        clients_.emplace(fd, std::move(client));
+    }
+    connectionsAccepted_.fetch_add(1);
+}
+
+bool SocketIngress::readClient(int fd)
+{
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0)
+        return false; // peer closed (0) or error (<0)
+
+    // Pull the accumulated buffer out under the lock, parse outside it:
+    // handleLine() injects into the executor and must not hold the client
+    // lock while doing so (the driver thread takes it to stream tokens).
+    std::string inbox;
+    {
+        std::lock_guard<std::mutex> lk(clientsMutex_);
+        auto it = clients_.find(fd);
+        if (it == clients_.end())
+            return false;
+        it->second.inbox.append(buf, static_cast<std::size_t>(n));
+        if (it->second.inbox.size() > options_.maxLineBytes) {
+            protocolErrors_.fetch_add(1);
+            return false; // line too long: drop the connection
+        }
+        inbox.swap(it->second.inbox);
+    }
+
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t nl = inbox.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = inbox.substr(start, nl - start);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            handleLine(fd, line);
+        start = nl + 1;
+    }
+
+    // Put any trailing partial line back for the next read.
+    if (start < inbox.size()) {
+        std::lock_guard<std::mutex> lk(clientsMutex_);
+        auto it = clients_.find(fd);
+        if (it != clients_.end())
+            it->second.inbox.insert(0, inbox.substr(start));
+    }
+    return true;
+}
+
+void SocketIngress::handleLine(int fd, const std::string &line)
+{
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+
+    if (verb == "gen") {
+        int input = 0;
+        int output = 0;
+        int cap = 0;
+        if (!(in >> input >> output) || input <= 0 || output <= 0) {
+            protocolErrors_.fetch_add(1);
+            sendToFd(fd, "error usage: gen <input_tokens> <output_tokens> "
+                         "[<output_cap>]");
+            return;
+        }
+        in >> cap; // optional; stays 0 when absent
+        if (cap != 0 && cap < output) {
+            protocolErrors_.fetch_add(1);
+            sendToFd(fd, "error output_cap must be >= output_tokens");
+            return;
+        }
+        const wl::RequestId id = injectRequest(fd, input, output, cap);
+        sendToFd(fd, "queued " + std::to_string(id));
+        return;
+    }
+
+    protocolErrors_.fetch_add(1);
+    sendToFd(fd, "error unknown command: " + verb);
+}
+
+wl::RequestId SocketIngress::injectRequest(int fd, int input_tokens,
+                                           int output_tokens, int output_cap)
+{
+    const wl::RequestId id =
+        static_cast<wl::RequestId>(nextRequestId_.fetch_add(1));
+    {
+        std::lock_guard<std::mutex> lk(clientsMutex_);
+        routes_[id] = fd;
+    }
+
+    wl::Request request;
+    request.id = id;
+    request.inputLen = input_tokens;
+    request.outputLen = output_tokens;
+    request.outputCap = output_cap;
+
+    // The arrival timestamp is stamped on the driver thread right before
+    // the system sees the request, so latency is measured from the moment
+    // the serving system could first have acted on it (not from socket
+    // read, which would fold scheduling delay of this very event into
+    // every latency sample).  Raw pointers, not `this`: queued injections
+    // may outlive a stopped ingress.
+    sim::Executor *exec = &executor_;
+    ServingSystem *sys = &system_;
+    executor_.schedule(executor_.now(), [exec, sys, request]() mutable {
+        request.arrival = exec->now();
+        sys->onRequestArrival(request);
+    });
+    requestsInjected_.fetch_add(1);
+    return id;
+}
+
+void SocketIngress::sendToFd(int fd, const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(clientsMutex_);
+    if (clients_.find(fd) == clients_.end())
+        return;
+    std::string wire = line;
+    wire.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            closeClientLocked(fd);
+            return;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void SocketIngress::sendToRequest(wl::RequestId id, const std::string &line,
+                                  bool final_line)
+{
+    int fd = -1;
+    {
+        std::lock_guard<std::mutex> lk(clientsMutex_);
+        auto it = routes_.find(id);
+        if (it == routes_.end())
+            return; // client gone (or simulation-fed request): drop
+        fd = it->second;
+        if (final_line)
+            routes_.erase(it);
+    }
+    sendToFd(fd, line);
+}
+
+void SocketIngress::closeClientLocked(int fd)
+{
+    auto it = clients_.find(fd);
+    if (it == clients_.end())
+        return;
+    closeFd(it->second.fd);
+    clients_.erase(it);
+    for (auto rit = routes_.begin(); rit != routes_.end();) {
+        if (rit->second == fd)
+            rit = routes_.erase(rit);
+        else
+            ++rit;
+    }
+}
+
+} // namespace serving
+} // namespace spotserve

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Socket front door for the wall-clock execution mode.
+ *
+ * A poll()-multiplexed TCP ingress: one background thread accepts
+ * connections and reads line-delimited requests, injects them through the
+ * regular RequestManager admission path (so live traffic crosses the
+ * identical KV-budget/continuous-batching/reconfiguration machinery the
+ * simulated experiments exercise), and streams per-token completions back
+ * to the issuing client as the engine commits them.
+ *
+ * Wire protocol (newline-delimited ASCII, one message per line):
+ *
+ *   client -> server
+ *     gen <input_tokens> <output_tokens> [<output_cap>]
+ *         One generation request: prefill <input_tokens>, decode
+ *         <output_tokens> (the EOS point), optionally declaring a larger
+ *         max-tokens cap for admission.  Lengths are token counts — the
+ *         engine is the paper's cost-model reproduction, so requests are
+ *         shaped, not tokenized.
+ *
+ *   server -> client
+ *     queued <id>                      request injected, server-assigned id
+ *     token <id> <n>                   the id-th request committed its n-th
+ *                                      output token (streamed per token)
+ *     done <id> <latency_s> <restarts> request finished
+ *     rejected <id>                    unservable under the KV budget
+ *     error <text>                     malformed request line
+ *
+ * Threading: the poll thread owns accept/read/parse and only talks to the
+ * executor through the thread-safe schedule() path; engine callbacks
+ * (token/completion observers) run on the executor's driver thread and
+ * write to client sockets under the ingress's client lock.  The executor
+ * must therefore be a thread-safe implementation (WallClockExecutor) —
+ * the deterministic Simulation is single-threaded and cannot take
+ * concurrent injections.
+ *
+ * Lifetime: stop() (or the destructor) joins the poll thread and closes
+ * every socket; registered observers then find no routes and degrade to
+ * no-ops.  Destroy the ingress only once the executor has stopped firing
+ * callbacks, since the observers are owned by the ingress.
+ */
+
+#ifndef SPOTSERVE_SERVING_SOCKET_INGRESS_H
+#define SPOTSERVE_SERVING_SOCKET_INGRESS_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serving/request_manager.h"
+#include "serving/serving_system.h"
+#include "simcore/executor.h"
+
+namespace spotserve {
+namespace serving {
+
+class BaseServingSystem;
+
+class SocketIngress
+{
+  public:
+    struct Options
+    {
+        /** Address to bind (loopback by default; servers opt into 0.0.0.0). */
+        std::string bindAddress = "127.0.0.1";
+        /** TCP port; 0 picks an ephemeral port (see boundPort()). */
+        int port = 0;
+        int backlog = 16;
+        /** poll() timeout — bounds stop() latency. */
+        int pollIntervalMs = 50;
+        /** Protocol guard: longest accepted request line. */
+        std::size_t maxLineBytes = 4096;
+    };
+
+    /**
+     * @param system   the serving system arrivals are injected into.  When
+     *                 it is a BaseServingSystem the ingress also registers
+     *                 the per-token observer for streaming; otherwise only
+     *                 queued/done/rejected lines are sent.
+     */
+    SocketIngress(sim::Executor &executor, ServingSystem &system,
+                  RequestManager &requests, Options options);
+    SocketIngress(sim::Executor &executor, ServingSystem &system,
+                  RequestManager &requests);
+
+    ~SocketIngress();
+
+    SocketIngress(const SocketIngress &) = delete;
+    SocketIngress &operator=(const SocketIngress &) = delete;
+
+    /** Bind, listen, register observers and spawn the poll thread. */
+    void start();
+
+    /** Join the poll thread and close every socket.  Idempotent. */
+    void stop();
+
+    /** The port the listener bound (after start()). */
+    int boundPort() const { return boundPort_.load(); }
+
+    bool running() const { return running_.load(); }
+
+    long connectionsAccepted() const { return connectionsAccepted_.load(); }
+    long requestsInjected() const { return requestsInjected_.load(); }
+    long protocolErrors() const { return protocolErrors_.load(); }
+
+  private:
+    struct Client
+    {
+        int fd = -1;
+        std::string inbox; ///< partial-line accumulation buffer
+    };
+
+    void pollLoop();
+    void acceptClient();
+    /** Read what is available; returns false when the peer closed. */
+    bool readClient(int fd);
+    /** Parse and act on one complete request line from @p fd. */
+    void handleLine(int fd, const std::string &line);
+    /** Inject one parsed request; returns its assigned id. */
+    wl::RequestId injectRequest(int fd, int input_tokens, int output_tokens,
+                                int output_cap);
+    /** Write a line (newline appended) to @p fd; drops on dead sockets. */
+    void sendToFd(int fd, const std::string &line);
+    /** Route a line to whichever client issued request @p id. */
+    void sendToRequest(wl::RequestId id, const std::string &line,
+                       bool final_line);
+    void closeClientLocked(int fd);
+
+    sim::Executor &executor_;
+    ServingSystem &system_;
+    RequestManager &requests_;
+    BaseServingSystem *baseSystem_ = nullptr; ///< token streaming, if any
+    Options options_;
+
+    std::thread pollThread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    int listenFd_ = -1;
+    std::atomic<int> boundPort_{0};
+
+    /** Guards clients_ and routes_ (poll thread vs driver thread). */
+    std::mutex clientsMutex_;
+    std::unordered_map<int, Client> clients_;
+    /** request id -> issuing client fd (dropped on done/disconnect). */
+    std::unordered_map<wl::RequestId, int> routes_;
+
+    std::atomic<std::int64_t> nextRequestId_{0};
+    std::atomic<long> connectionsAccepted_{0};
+    std::atomic<long> requestsInjected_{0};
+    std::atomic<long> protocolErrors_{0};
+};
+
+} // namespace serving
+} // namespace spotserve
+
+#endif // SPOTSERVE_SERVING_SOCKET_INGRESS_H

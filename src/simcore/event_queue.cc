@@ -11,46 +11,45 @@ EventQueue::schedule(SimTime when, EventCallback fn)
 {
     EventId id = nextId_++;
     heap_.push(Entry{when, id, std::move(fn)});
-    ++liveCount_;
+    pendingIds_.insert(id);
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == kInvalidEventId || id >= nextId_)
+    // Only a live event can be cancelled: an id that never existed,
+    // already fired, or was already cancelled is a harmless no-op and
+    // must not leave any trace behind.
+    auto it = pendingIds_.find(id);
+    if (it == pendingIds_.end())
         return false;
-    // Lazy cancellation: remember the id and drop the entry when it
-    // surfaces.  Double-cancel and cancel-after-fire are no-ops.
-    if (cancelled_.count(id))
-        return false;
+    pendingIds_.erase(it);
+    // Lazy cancellation: the heap entry is discarded when it surfaces
+    // (skipCancelled), which also purges this tombstone.
     cancelled_.insert(id);
-    if (liveCount_ == 0)
-        return false;
-    --liveCount_;
     return true;
 }
 
 bool
 EventQueue::empty() const
 {
-    return liveCount_ == 0;
+    return pendingIds_.empty();
 }
 
 std::size_t
 EventQueue::size() const
 {
-    return liveCount_;
+    return pendingIds_.size();
 }
 
 SimTime
 EventQueue::nextTime() const
 {
-    // const_cast-free peek: copy out cancelled skips by scanning.  The heap
-    // top may be cancelled; we cannot mutate in a const method, so walk a
-    // copy only when needed.  In practice cancellations are rare enough
-    // that the top is almost always live, but correctness first.
-    if (liveCount_ == 0)
+    // const_cast-free peek is impossible with a priority_queue; mutating
+    // only discards entries that are already dead, so observable state is
+    // unchanged.
+    if (pendingIds_.empty())
         return kTimeInfinity;
     auto *self = const_cast<EventQueue *>(this);
     self->skipCancelled();
@@ -64,7 +63,7 @@ EventQueue::pop()
     assert(!heap_.empty() && "pop() on empty EventQueue");
     Entry top = heap_.top();
     heap_.pop();
-    --liveCount_;
+    pendingIds_.erase(top.id);
     return Fired{top.time, top.id, std::move(top.fn)};
 }
 
@@ -74,7 +73,7 @@ EventQueue::clear()
     while (!heap_.empty())
         heap_.pop();
     cancelled_.clear();
-    liveCount_ = 0;
+    pendingIds_.clear();
 }
 
 void

@@ -70,6 +70,12 @@ class EventQueue
     /** Drop every pending event (used when tearing a simulation down). */
     void clear();
 
+    /**
+     * Cancelled events whose heap entries have not surfaced yet
+     * (diagnostic: this backlog must stay bounded — see cancelled_).
+     */
+    std::size_t cancelledBacklog() const { return cancelled_.size(); }
+
   private:
     struct Entry
     {
@@ -93,9 +99,22 @@ class EventQueue
     void skipCancelled();
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /**
+     * Ids of live (scheduled, not yet fired or cancelled) events.  This
+     * is what makes cancel() after fire a true no-op: an id that already
+     * fired is no longer here, so cancelling it cannot corrupt the live
+     * count or leave a permanent tombstone in cancelled_.
+     */
+    std::unordered_set<EventId> pendingIds_;
+    /**
+     * Lazy-cancellation tombstones: ids whose heap entry still has to
+     * surface and be discarded.  Every tombstone is purged the moment its
+     * entry reaches the heap top (skipCancelled), so the set is bounded
+     * by the cancelled-but-not-yet-surfaced events — it cannot grow
+     * without bound over a long-running (wall-clock) process.
+     */
     std::unordered_set<EventId> cancelled_;
     EventId nextId_ = 1;
-    std::size_t liveCount_ = 0;
 };
 
 } // namespace sim

@@ -9,56 +9,55 @@
 #include <cstdint>
 
 #include "simcore/event_queue.h"
+#include "simcore/executor.h"
 #include "simcore/sim_time.h"
 
 namespace spotserve {
 namespace sim {
 
 /**
- * Owns the simulated clock and the event queue and advances time by firing
- * events in deterministic order.
+ * Deterministic Executor: owns the simulated clock and the event queue and
+ * advances time by firing events in (time, schedule-order) sequence.
  *
- * Components hold a reference to the Simulation and schedule callbacks on
- * it; nothing in the system reads wall-clock time.
+ * Components hold a reference to the Executor seam and schedule callbacks
+ * on it; nothing driven by a Simulation reads wall-clock time, so the same
+ * inputs always produce byte-identical outputs.
  */
-class Simulation
+class Simulation : public Executor
 {
   public:
     Simulation() = default;
 
-    Simulation(const Simulation &) = delete;
-    Simulation &operator=(const Simulation &) = delete;
-
     /** Current simulated time in seconds. */
-    SimTime now() const { return now_; }
+    SimTime now() const override { return now_; }
 
     /** Schedule @p fn at absolute time @p when (must be >= now()). */
-    EventId schedule(SimTime when, EventCallback fn);
+    EventId schedule(SimTime when, EventCallback fn) override;
 
     /** Schedule @p fn @p delay seconds from now (delay >= 0). */
-    EventId scheduleAfter(SimTime delay, EventCallback fn);
+    EventId scheduleAfter(SimTime delay, EventCallback fn) override;
 
     /** Cancel a pending event; no-op if already fired. */
-    bool cancel(EventId id) { return queue_.cancel(id); }
+    bool cancel(EventId id) override { return queue_.cancel(id); }
 
     /**
      * Run until the queue drains or simulated time would pass @p until.
      * Events at exactly @p until still fire.
      * @return number of events fired by this call.
      */
-    std::uint64_t run(SimTime until = kTimeInfinity);
+    std::uint64_t run(SimTime until = kTimeInfinity) override;
 
     /**
      * Fire exactly one event if any is pending.
      * @retval true if an event fired.
      */
-    bool step();
+    bool step() override;
 
     /** True when no events remain. */
-    bool idle() const { return queue_.empty(); }
+    bool idle() const override { return queue_.empty(); }
 
     /** Number of events fired since construction. */
-    std::uint64_t eventsFired() const { return eventsFired_; }
+    std::uint64_t eventsFired() const override { return eventsFired_; }
 
     /** Pending-event count (live only). */
     std::size_t pendingEvents() const { return queue_.size(); }

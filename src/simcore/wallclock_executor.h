@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Wall-clock Executor: the production execution substrate.
+ *
+ * Maps the event timeline onto the real monotonic clock.  Events are held
+ * in the same deterministic (time, schedule-order) queue the simulator
+ * uses, guarded by a mutex; the driving thread sleeps on a condition
+ * variable until the earliest event's real deadline and fires callbacks
+ * one at a time, so components see the exact single-threaded execution
+ * model the simulator gives them.  Other threads (e.g. the socket ingress)
+ * may inject or cancel work concurrently through schedule()/
+ * scheduleAfter()/cancel()/now(); a newly scheduled earlier event wakes
+ * the sleeper immediately.
+ *
+ * A timeScale > 1 compresses virtual seconds into fractions of a real
+ * second (delay_real = delay_virtual / timeScale), which lets the
+ * sim-vs-wallclock equivalence tests replay a workload in milliseconds.
+ * Production servers run at timeScale = 1.
+ */
+
+#ifndef SPOTSERVE_SIMCORE_WALLCLOCK_EXECUTOR_H
+#define SPOTSERVE_SIMCORE_WALLCLOCK_EXECUTOR_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "simcore/event_queue.h"
+#include "simcore/executor.h"
+
+namespace spotserve {
+namespace sim {
+
+class WallClockExecutor : public Executor
+{
+  public:
+    struct Options
+    {
+        /** Virtual seconds that elapse per real second (must be > 0). */
+        double timeScale = 1.0;
+    };
+
+    explicit WallClockExecutor(Options options);
+    WallClockExecutor();
+
+    /** Stops the driver thread (if running) and discards pending events. */
+    ~WallClockExecutor() override;
+
+    /**
+     * Virtual seconds since construction, derived from the monotonic
+     * clock.  Unlike the simulator's clock it advances between events;
+     * while a callback runs it is always >= the event's scheduled time.
+     */
+    SimTime now() const override;
+
+    /**
+     * Schedule @p fn at virtual time @p when.  A time at or before now()
+     * fires as soon as the driver reaches it (the wall clock cannot hop
+     * backwards, so past deadlines are served immediately, in schedule
+     * order) — unlike the simulator, which rejects past times because it
+     * could otherwise break determinism.  Thread-safe.
+     */
+    EventId schedule(SimTime when, EventCallback fn) override;
+
+    /** Schedule @p fn @p delay virtual seconds from now. Thread-safe. */
+    EventId scheduleAfter(SimTime delay, EventCallback fn) override;
+
+    /** Cancel a pending event; no-op after it fired. Thread-safe. */
+    bool cancel(EventId id) override;
+
+    /**
+     * Drive events on the calling thread, sleeping out the real gaps,
+     * until no event at or before @p until remains.  Returns when the
+     * queue drains (matching Simulation::run) — use start() for a server
+     * loop that must idle awaiting injected work.  Interruptible via
+     * requestStop().
+     */
+    std::uint64_t run(SimTime until = kTimeInfinity) override;
+
+    /** Sleep until the earliest event's deadline and fire it. */
+    bool step() override;
+
+    bool idle() const override;
+
+    std::uint64_t eventsFired() const override { return eventsFired_; }
+
+    /**
+     * Spawn the background driver thread (server mode): fires events as
+     * their deadlines arrive and, unlike run(), parks when the queue is
+     * empty until new work is injected or stop() is called.
+     */
+    void start();
+
+    /** Ask the driver (run(), step() or the start() thread) to exit. */
+    void requestStop();
+
+    /** requestStop() + join the driver thread.  Idempotent. */
+    void stop();
+
+    /** True while the start() driver thread is alive. */
+    bool running() const;
+
+    const Options &options() const { return options_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** Real deadline for virtual time @p when. */
+    Clock::time_point realDeadline(SimTime when) const;
+
+    /**
+     * The shared driving loop.  Fires events with time <= @p until;
+     * when the queue is empty: returns if @p return_when_idle, else waits
+     * for injected work.  Exits on stop.
+     */
+    std::uint64_t drive(SimTime until, bool return_when_idle);
+
+    Options options_;
+    Clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    EventQueue queue_;
+    bool stopRequested_ = false;
+
+    std::thread driver_;
+    bool driverStarted_ = false;
+
+    std::atomic<std::uint64_t> eventsFired_{0};
+};
+
+} // namespace sim
+} // namespace spotserve
+
+#endif // SPOTSERVE_SIMCORE_WALLCLOCK_EXECUTOR_H

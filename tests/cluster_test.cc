@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/simulation.h"
 #include "cluster/instance_manager.h"
 #include "cluster/trace_library.h"
 

@@ -11,6 +11,7 @@
 
 #include <map>
 
+#include "simcore/simulation.h"
 #include "engine/inference_pipeline.h"
 #include "model/model_spec.h"
 #include "serving/request_manager.h"

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/simulation.h"
 #include "engine/context_state.h"
 #include "engine/inference_pipeline.h"
 #include "model/model_spec.h"

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "core/controller.h"
 #include "core/spotserve_system.h"

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Loopback smoke tests for the socket ingress front door: a real TCP
+ * client talks to a SpotServe system driven by the WallClockExecutor at
+ * a high time scale, so whole generations complete in milliseconds of
+ * real time while crossing the full admission/batching/engine path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/availability_trace.h"
+#include "serving/presets.h"
+#include "serving/socket_ingress.h"
+#include "simcore/wallclock_executor.h"
+
+namespace spotserve {
+namespace {
+
+/** Blocking line-oriented loopback client with a receive timeout. */
+class LineClient
+{
+  public:
+    explicit LineClient(int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        timeval tv{};
+        tv.tv_sec = 20; // generous: CI machines stall
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+    }
+
+    ~LineClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    void sendLine(const std::string &line)
+    {
+        std::string wire = line + "\n";
+        ASSERT_EQ(::send(fd_, wire.data(), wire.size(), 0),
+                  static_cast<ssize_t>(wire.size()));
+    }
+
+    /** Next full line, or empty string on timeout/close. */
+    std::string readLine()
+    {
+        for (;;) {
+            const std::size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = buffer_.substr(0, nl);
+                buffer_.erase(0, nl + 1);
+                return line;
+            }
+            char buf[512];
+            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n <= 0)
+                return "";
+            buffer_.append(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** Read lines until one starts with @p prefix (inclusive). */
+    std::vector<std::string> readUntil(const std::string &prefix)
+    {
+        std::vector<std::string> lines;
+        for (;;) {
+            std::string line = readLine();
+            if (line.empty())
+                return lines; // timeout — let the caller's asserts fail
+            lines.push_back(line);
+            if (line.compare(0, prefix.size(), prefix) == 0)
+                return lines;
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/** A live server on an ephemeral loopback port, torn down in order. */
+class IngressFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const auto spec = model::ModelSpec::opt6_7b();
+        const cost::CostParams params = cost::CostParams::awsG4dn();
+        const cost::SeqSpec seq{};
+
+        sim::WallClockExecutor::Options execOptions;
+        execOptions.timeScale = 1000.0;
+        executor_ = std::make_unique<sim::WallClockExecutor>(execOptions);
+        fleet_ = std::make_unique<cluster::InstanceManager>(*executor_,
+                                                            params);
+        requests_ = std::make_unique<serving::RequestManager>(*executor_);
+
+        cluster::AvailabilityTrace trace(
+            "stable-4", 3600.0,
+            {{0.0, cluster::TraceEventKind::Join,
+              cluster::InstanceType::Spot, 4}});
+
+        core::SpotServeOptions options;
+        options.designArrivalRate = presets::stableRate(spec);
+        system_ = presets::spotServeFactory(spec, params, seq, options)(
+            *executor_, *fleet_, *requests_);
+        fleet_->setListener(system_.get());
+        fleet_->loadTrace(trace);
+
+        ingress_ = std::make_unique<serving::SocketIngress>(
+            *executor_, *system_, *requests_);
+        ingress_->start();
+        ASSERT_GT(ingress_->boundPort(), 0);
+        executor_->start();
+    }
+
+    void TearDown() override
+    {
+        // Front door first (no new arrivals), then the driver; the
+        // ingress object (observer owner) is destroyed after both.
+        ingress_->stop();
+        executor_->stop();
+    }
+
+    std::unique_ptr<sim::WallClockExecutor> executor_;
+    std::unique_ptr<cluster::InstanceManager> fleet_;
+    std::unique_ptr<serving::RequestManager> requests_;
+    std::unique_ptr<serving::ServingSystem> system_;
+    std::unique_ptr<serving::SocketIngress> ingress_;
+};
+
+TEST_F(IngressFixture, SingleRequestStreamsTokensThenCompletes)
+{
+    LineClient client(ingress_->boundPort());
+    client.sendLine("gen 512 4");
+
+    const auto lines = client.readUntil("done");
+    ASSERT_FALSE(lines.empty());
+
+    // queued precedes everything else this client observes, tokens
+    // arrive in order 1..4, and done carries id + latency + restarts.
+    EXPECT_EQ(lines.front(), "queued 0");
+    std::vector<int> tokens;
+    for (const auto &line : lines) {
+        std::istringstream in(line);
+        std::string verb;
+        in >> verb;
+        if (verb == "token") {
+            long id = -1;
+            int n = 0;
+            in >> id >> n;
+            EXPECT_EQ(id, 0);
+            tokens.push_back(n);
+        }
+    }
+    EXPECT_EQ(tokens, (std::vector<int>{1, 2, 3, 4}));
+
+    std::istringstream done(lines.back());
+    std::string verb;
+    long id = -1;
+    double latency = -1.0;
+    int restarts = -1;
+    done >> verb >> id >> latency >> restarts;
+    EXPECT_EQ(verb, "done");
+    EXPECT_EQ(id, 0);
+    EXPECT_GT(latency, 0.0);
+    EXPECT_EQ(restarts, 0);
+
+    EXPECT_EQ(ingress_->requestsInjected(), 1);
+    EXPECT_EQ(requests_->completedCount(), 1);
+    EXPECT_EQ(requests_->tokensGenerated(), 4.0);
+}
+
+TEST_F(IngressFixture, MalformedLinesGetErrorsWithoutKillingTheSession)
+{
+    LineClient client(ingress_->boundPort());
+
+    client.sendLine("gen -5 4");
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+    client.sendLine("frobnicate 1 2");
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+    client.sendLine("gen 128 2 1"); // cap below output length
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+
+    // The connection survives protocol errors: a valid request still
+    // runs to completion.
+    client.sendLine("gen 128 2");
+    const auto lines = client.readUntil("done");
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back().substr(0, 4), "done");
+    EXPECT_GE(ingress_->protocolErrors(), 3);
+    EXPECT_EQ(ingress_->requestsInjected(), 1);
+}
+
+TEST_F(IngressFixture, ConcurrentClientsGetTheirOwnStreams)
+{
+    LineClient a(ingress_->boundPort());
+    LineClient b(ingress_->boundPort());
+    a.sendLine("gen 512 3");
+    b.sendLine("gen 512 3");
+
+    const auto aLines = a.readUntil("done");
+    const auto bLines = b.readUntil("done");
+    ASSERT_FALSE(aLines.empty());
+    ASSERT_FALSE(bLines.empty());
+
+    auto idsSeen = [](const std::vector<std::string> &lines) {
+        std::set<long> ids;
+        for (const auto &line : lines) {
+            std::istringstream in(line);
+            std::string verb;
+            long id = -1;
+            in >> verb >> id;
+            ids.insert(id);
+        }
+        return ids;
+    };
+    // Every line a client sees is about its own (single) request.
+    EXPECT_EQ(idsSeen(aLines).size(), 1u);
+    EXPECT_EQ(idsSeen(bLines).size(), 1u);
+    EXPECT_NE(*idsSeen(aLines).begin(), *idsSeen(bLines).begin());
+
+    EXPECT_EQ(ingress_->connectionsAccepted(), 2);
+    EXPECT_EQ(ingress_->requestsInjected(), 2);
+    EXPECT_EQ(requests_->completedCount(), 2);
+}
+
+} // namespace
+} // namespace spotserve

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "core/spotserve_system.h"
 #include "costmodel/memory_model.h"
@@ -763,7 +764,7 @@ TEST(AdmissionBookkeepingTest, RequeuePreservesPrefillChunksOnly)
 
 struct TestSystem : serving::BaseServingSystem
 {
-    TestSystem(sim::Simulation &s, cluster::InstanceManager &im,
+    TestSystem(sim::Executor &s, cluster::InstanceManager &im,
                serving::RequestManager &rm, const model::ModelSpec &spec)
         : BaseServingSystem(s, im, rm, spec, kParams, cost::SeqSpec{})
     {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "engine/inference_pipeline.h"
 #include "simcore/logging.h"

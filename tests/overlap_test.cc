@@ -20,6 +20,7 @@
 #include <set>
 #include <vector>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "core/spotserve_system.h"
 #include "serving/experiment.h"

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "serving/presets.h"
 

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "simcore/simulation.h"
 #include "cluster/trace_library.h"
 #include "engine/inference_pipeline.h"
 #include "serving/presets.h"

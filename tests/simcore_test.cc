@@ -60,6 +60,62 @@ TEST(EventQueueTest, CancelIsIdempotent)
     EXPECT_FALSE(q.cancel(9999));
 }
 
+// Regression: cancelling an id that already fired used to insert a
+// permanent tombstone and decrement the live count, so a later event
+// could make the queue report empty() while still holding live work.
+TEST(EventQueueTest, CancelAfterFireIsTrueNoOp)
+{
+    EventQueue q;
+    EventId fired = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    q.pop().fn(); // fires `fired`
+    EXPECT_FALSE(q.cancel(fired));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+    EXPECT_EQ(q.cancelledBacklog(), 0u); // no tombstone planted
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+// Regression: repeated cancel-after-fire must not underflow the live
+// count — a fresh event scheduled afterwards has to stay visible.
+TEST(EventQueueTest, CancelAfterFireDoesNotCorruptLiveCount)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(q.schedule(1.0 + i, [] {}));
+    while (!q.empty())
+        q.pop();
+    for (EventId id : ids)
+        EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 0u);
+
+    bool fired = false;
+    q.schedule(50.0, [&] { fired = true; });
+    EXPECT_EQ(q.size(), 1u);
+    q.pop().fn();
+    EXPECT_TRUE(fired);
+}
+
+// Tombstones from genuine cancellations are purged as their heap entries
+// surface, so the cancelled-id set stays bounded on a long-running
+// (wall-clock) process.
+TEST(EventQueueTest, CancelledTombstonesArePurged)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        EXPECT_TRUE(q.cancel(ids[i]));
+    EXPECT_EQ(q.cancelledBacklog(), 50u);
+    while (!q.empty())
+        q.pop();
+    EXPECT_EQ(q.cancelledBacklog(), 0u);
+}
+
 TEST(EventQueueTest, SizeTracksLiveEvents)
 {
     EventQueue q;
