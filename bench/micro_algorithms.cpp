@@ -26,6 +26,7 @@
 #include "core/controller.h"
 #include "core/device_mapper.h"
 #include "core/migration_planner.h"
+#include "costmodel/link_schedule.h"
 #include "matching/hungarian.h"
 #include "simcore/rng.h"
 #include "simcore/simulation.h"
@@ -174,6 +175,12 @@ struct PlanningRow
     double mapperFullSec = 0.0;
     double mapperIdentitySec = 0.0;
     double plannerSec = 0.0;
+    /** Migration makespans (simulated seconds) for the same plan. @{ */
+    double serializedMakespan = 0.0;
+    double interleavedMakespan = 0.0;
+    /** @} */
+    /** Wall-clock cost of building the link schedule itself. */
+    double linkScheduleSec = 0.0;
 };
 
 PlanningRow
@@ -250,7 +257,10 @@ timePlanningPath(int instances)
         benchmark::DoNotOptimize(m.reusedModelBytes);
     }
 
-    // Migration planner over the full-solve mapping.
+    // Migration planner over the full-solve mapping, and the link
+    // scheduler on the resulting plan: serialized-cursor makespan vs the
+    // interleaved link-level schedule (ISSUE 7 data plane), plus the
+    // wall-clock cost of building the schedule itself.
     {
         const auto mapping =
             setup.mapper.map(setup.snapshot, target, setup.instances, tokens);
@@ -258,7 +268,17 @@ timePlanningPath(int instances)
         auto plan =
             setup.planner.plan(setup.snapshot, mapping, target, tokens);
         row.plannerSec = secondsSince(t0);
-        benchmark::DoNotOptimize(plan.totalDuration);
+        row.serializedMakespan = plan.serializedDuration;
+        row.interleavedMakespan = plan.totalDuration;
+
+        const auto steps = core::MigrationPlanner::transferSteps(plan);
+        cost::LinkSchedule scheduler(kParams);
+        cost::LinkScheduleOptions lopts;
+        lopts.setupTime = kParams.migrationSetupTime;
+        const auto t1 = std::chrono::steady_clock::now();
+        auto schedule = scheduler.build(steps, lopts);
+        row.linkScheduleSec = secondsSince(t1);
+        benchmark::DoNotOptimize(schedule.makespan);
     }
     return row;
 }
@@ -282,6 +302,13 @@ runPlanningHarness(const std::string &json_path)
                                           : 0.0,
                     r.mapperFullSec * 1e3, r.mapperIdentitySec * 1e3,
                     r.plannerSec * 1e3);
+        std::printf("         migration makespan serialized %8.3f s  "
+                    "interleaved %8.3f s (%.2fx)  schedule build %8.3f ms\n",
+                    r.serializedMakespan, r.interleavedMakespan,
+                    r.interleavedMakespan > 0.0
+                        ? r.serializedMakespan / r.interleavedMakespan
+                        : 0.0,
+                    r.linkScheduleSec * 1e3);
     }
 
     std::ofstream os(json_path);
@@ -297,7 +324,12 @@ runPlanningHarness(const std::string &json_path)
            << ", \"choose_config_speedup\": " << speedup
            << ", \"mapper_full_s\": " << r.mapperFullSec
            << ", \"mapper_identity_s\": " << r.mapperIdentitySec
-           << ", \"planner_s\": " << r.plannerSec << "}"
+           << ", \"planner_s\": " << r.plannerSec
+           << ", \"migration_serialized_makespan_s\": "
+           << r.serializedMakespan
+           << ", \"migration_interleaved_makespan_s\": "
+           << r.interleavedMakespan
+           << ", \"link_schedule_build_s\": " << r.linkScheduleSec << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "]\n";
@@ -315,6 +347,21 @@ runPlanningHarness(const std::string &json_path)
                          ? big.chooseColdSec / big.chooseWarmSec
                          : 0.0);
         return 1;
+    }
+    // Second bar: the interleaved link-level schedule must never be
+    // slower than the serialized cursor it replaces (the planner falls
+    // back to the serialized timing otherwise, so a violation means the
+    // fallback broke).
+    for (const auto &r : rows) {
+        if (r.interleavedMakespan > r.serializedMakespan + 1e-9) {
+            std::fprintf(stderr,
+                         "FAIL: interleaved migration makespan %.6f s "
+                         "exceeds serialized cursor %.6f s at %d "
+                         "instances\n",
+                         r.interleavedMakespan, r.serializedMakespan,
+                         r.instances);
+            return 1;
+        }
     }
     return 0;
 }

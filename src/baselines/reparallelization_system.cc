@@ -15,7 +15,8 @@ ReparallelizationSystem::ReparallelizationSystem(
     : BaseServingSystem(executor, instances, requests, spec, params, seq),
       options_(options),
       controller_(spec, params, seq, cost::ConfigSpaceOptions{},
-                  options.controller)
+                  options.controller),
+      dataPlane_(executor, params)
 {
     setContinuousBatching(options_.continuousBatching);
     setKvBudgetAdmission(options_.kvBudgetAdmission);
@@ -182,7 +183,22 @@ ReparallelizationSystem::beginRestart(const par::ParallelConfig &target,
     }
     phase_ = Phase::Restarting;
     pending_ = PendingRestart{target, reason};
-    const double stall = latency_.coldLoadTime(target);
+
+    // The per-instance weight loads run through the data plane's disk
+    // links: with idle disks the stall is byte-identical to the
+    // closed-form coldLoadTime; a disk still draining a previous load
+    // (back-to-back restarts) honestly delays this one.
+    const double bytes = latency_.coldLoadBytesPerInstance(target);
+    std::vector<std::pair<int, double>> loads;
+    const auto usable = instances_.usableInstances();
+    const int needed = controller_.space().instancesNeeded(target);
+    for (const auto *inst : usable) {
+        if (static_cast<int>(loads.size()) >= needed)
+            break;
+        loads.emplace_back(static_cast<int>(inst->id()), bytes);
+    }
+    const double stall =
+        params_.engineRestartTime + dataPlane_.submitColdLoad(loads);
     sim_.scheduleAfter(stall, [this] { activate(); });
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "core/controller.h"
+#include "core/transfer_data_plane.h"
 #include "serving/base_system.h"
 
 namespace spotserve {
@@ -76,6 +77,9 @@ class ReparallelizationSystem : public serving::BaseServingSystem
 
     int restartsCompleted() const { return restarts_; }
 
+    /** The disk-link data plane cold weight loads run through. */
+    const core::TransferDataPlane &dataPlane() const { return dataPlane_; }
+
   private:
     enum class Phase
     {
@@ -93,6 +97,7 @@ class ReparallelizationSystem : public serving::BaseServingSystem
 
     ReparallelizationOptions options_;
     core::ParallelizationController controller_;
+    core::TransferDataPlane dataPlane_;
 
     Phase phase_ = Phase::Idle;
     bool evalScheduled_ = false;

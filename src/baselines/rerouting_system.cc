@@ -15,7 +15,7 @@ ReroutingSystem::ReroutingSystem(sim::Executor &executor,
                                  const cost::SeqSpec &seq,
                                  ReroutingOptions options)
     : BaseServingSystem(executor, instances, requests, spec, params, seq),
-      options_(options),
+      options_(options), dataPlane_(executor, params),
       controller_(spec, params, seq, cost::ConfigSpaceOptions{},
                   options.controller)
 {
@@ -176,8 +176,19 @@ ReroutingSystem::assemble()
         }
         par::ParallelConfig pipe_cfg = *fixed_;
         pipe_cfg.dp = 1;
-        const double delay = all_warm ? params_.engineRestartTime
-                                      : latency_.coldLoadTime(pipe_cfg);
+        // Cold members pull their shards over the data plane's disk
+        // links (identical to coldLoadTime when the disks are idle; a
+        // member re-pooled from a just-destroyed slot may still have a
+        // load in flight and honestly delays the new slot).
+        double delay = params_.engineRestartTime;
+        if (!all_warm) {
+            const double bytes = latency_.coldLoadBytesPerInstance(pipe_cfg);
+            std::vector<std::pair<int, double>> loads;
+            loads.reserve(static_cast<std::size_t>(k));
+            for (int r = 0; r < k; ++r)
+                loads.emplace_back(static_cast<int>(slot->members[r]), bytes);
+            delay += dataPlane_.submitColdLoad(loads);
+        }
         for (int r = 0; r < k; ++r)
             lastRole_[slot->members[r]] = r;
         slot->pipeline = makePipeline(pipe_cfg, nextSlotIndex_++);

@@ -25,6 +25,7 @@
 #include <unordered_set>
 
 #include "core/controller.h"
+#include "core/transfer_data_plane.h"
 #include "serving/base_system.h"
 
 namespace spotserve {
@@ -113,6 +114,7 @@ class ReroutingSystem : public serving::BaseServingSystem
     int instancesPerPipeline() const;
 
     ReroutingOptions options_;
+    core::TransferDataPlane dataPlane_;
     core::ParallelizationController controller_;
 
     std::optional<par::ParallelConfig> fixed_;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/device_mapper.h"
+#include "costmodel/link_schedule.h"
 #include "costmodel/migration_cost.h"
 
 namespace spotserve {
@@ -35,6 +36,9 @@ struct MigrationStep
 
     /** Bytes that must come from disk/S3 (no live replica), per step. */
     double coldBytes = 0.0;
+
+    /** The same cold bytes split by loading instance (disk-link loads). */
+    std::vector<std::pair<int, double>> coldLoads;
 
     /** Wire time of this step (computed by the planner). */
     double duration = 0.0;
@@ -96,6 +100,28 @@ struct MigrationPlan
 
     /** Whether cache context was included. */
     bool cacheMigrated = false;
+
+    /**
+     * The legacy serialized-cursor duration: setup + every step's
+     * closed-form port-bottleneck wire time back to back (disk loads
+     * overlapped).  Kept as the planner's cheap screening estimate and
+     * the bench's comparison baseline; equals totalDuration when the
+     * link scheduler is disabled (or when it could not beat it).
+     */
+    double serializedDuration = 0.0;
+
+    /** True when the timing came from the interleaved link schedule. */
+    bool linkScheduled = false;
+
+    /**
+     * Step indices each (replica d, stage p) depends on — the cache step
+     * when the replica inherits migrated cache, plus every step moving a
+     * layer of that stage the position was missing.  This is what lets
+     * the timing be *re-derived* from actual step finishes when the
+     * transfer data plane schedules the plan against busy links (see
+     * MigrationPlanner::retime).
+     */
+    std::vector<std::vector<std::vector<int>>> dpStepDeps;
 };
 
 /** Planner behaviour switches (Figure 9 ablations). */
@@ -109,6 +135,16 @@ struct PlannerOptions
 
     /** Move the cache context (the arranger may decide not to, §4.1). */
     bool migrateCache = true;
+
+    /**
+     * Time the plan with the link-level scheduler (cost::LinkSchedule):
+     * steps interleave across disjoint instance pairs instead of
+     * serializing on a global wire cursor.  The serialized cursor stays
+     * computed as the screening estimate (MigrationPlan::
+     * serializedDuration) and is used verbatim when it is not beaten.
+     * Disable for the legacy serialized-cursor timing (ablation).
+     */
+    bool linkSchedule = true;
 };
 
 /**
@@ -159,6 +195,24 @@ class MigrationPlanner
              const std::vector<double> &old_pipeline_tokens,
              PlannerOptions options = {}) const;
 
+    /**
+     * Re-derive every timing field of @p plan (step offsets, stageReady,
+     * the per-replica progressive resumes, totalDuration) from actual
+     * per-step start/finish offsets — the transfer data plane calls this
+     * after scheduling the plan's steps against the *current* link state,
+     * so contention with other in-flight migrations propagates into the
+     * serving system's activation events instead of being ignored.
+     * Offsets are from migration start and include setup.
+     */
+    void retime(MigrationPlan &plan, const par::ParallelConfig &target,
+                const PlannerOptions &options,
+                const std::vector<double> &step_start,
+                const std::vector<double> &step_finish) const;
+
+    /** The plan's steps as link-scheduler input (transfers + cold). */
+    static std::vector<cost::TransferStep>
+    transferSteps(const MigrationPlan &plan);
+
   private:
     struct Analysis;
 
@@ -178,6 +232,7 @@ class MigrationPlanner
     model::ModelSpec spec_;
     cost::CostParams params_;
     cost::MigrationCostModel costModel_;
+    cost::LinkSchedule linkScheduler_;
 };
 
 } // namespace core

@@ -28,7 +28,8 @@ SpotServeSystem::SpotServeSystem(sim::Executor &executor,
               DeviceMapperOptions{options.enableDeviceMapper,
                                   options.enableArranger,
                                   /*identityFastPath=*/true}),
-      planner_(spec, params), arranger_(latency_)
+      planner_(spec, params), arranger_(latency_),
+      dataPlane_(executor, params)
 {
     setContinuousBatching(options_.continuousBatching);
     setKvBudgetAdmission(options_.kvBudgetAdmission);
@@ -563,6 +564,7 @@ SpotServeSystem::beginReconfig(const par::ParallelConfig &target,
     popts.progressive = options_.enableMigrationPlanner;
     popts.memoryOpt = options_.enableMigrationPlanner;
     popts.migrateCache = options_.enableArranger;
+    popts.linkSchedule = options_.linkDataPlane;
     // One analysis pass yields both cache variants; the arranger's
     // migrate-vs-recompute flip below reads the memoised no-cache
     // sibling instead of re-running the planner.
@@ -745,6 +747,30 @@ SpotServeSystem::startMigration()
             clearDeployment();
     }
 
+    PlannerOptions popts;
+    popts.progressive = options_.enableMigrationPlanner;
+    popts.memoryOpt = options_.enableMigrationPlanner;
+    popts.migrateCache = pm.migrateCache;
+    popts.linkSchedule = options_.linkDataPlane;
+
+    // Quote the plan against the data plane's *current* link state: a
+    // previous migration's tail may still occupy NIC/disk ports, and the
+    // quote (not the planner's idle-link estimate) is what the §4.2
+    // deadline decision below must judge.  The plan's step offsets,
+    // stageReady and per-replica resumes are re-derived from the quoted
+    // step finishes, so contention propagates into the activation events.
+    if (options_.linkDataPlane) {
+        // A plan whose interleaved schedule could not beat the serialized
+        // cursor still runs through the data plane, just with per-step
+        // wire barriers — either way the executed timeline is a feasible
+        // link schedule built from live link state.
+        const auto quote = dataPlane_.preview(
+            MigrationPlanner::transferSteps(pm.plan),
+            params_.migrationSetupTime, pm.plan.linkScheduled);
+        planner_.retime(pm.plan, pm.target, popts, quote.stepStart,
+                        quote.stepFinish);
+    }
+
     double duration = pm.plan.totalDuration;
     double resume = pm.plan.resumeOffset;
     std::vector<double> resumes = pm.plan.pipelineResume;
@@ -764,13 +790,17 @@ SpotServeSystem::startMigration()
         double remaining = pm.deadline - sim_.now();
         if (duration > remaining && cache_ok) {
             cache_ok = false;
-            PlannerOptions popts;
-            popts.progressive = options_.enableMigrationPlanner;
-            popts.memoryOpt = options_.enableMigrationPlanner;
             popts.migrateCache = false;
             const auto snapshot = snapshotContext();
             pm.plan = planner_.plan(snapshot, pm.mapping, pm.target,
                                     pm.oldTokens, popts);
+            if (options_.linkDataPlane) {
+                const auto quote = dataPlane_.preview(
+                    MigrationPlanner::transferSteps(pm.plan),
+                    params_.migrationSetupTime, pm.plan.linkScheduled);
+                planner_.retime(pm.plan, pm.target, popts, quote.stepStart,
+                                quote.stepFinish);
+            }
             duration = pm.plan.totalDuration;
             resume = pm.plan.resumeOffset;
             resumes = pm.plan.pipelineResume;
@@ -900,7 +930,16 @@ SpotServeSystem::startMigration()
     // Only the affected replicas ever stalled: the serving stall of this
     // reconfiguration is their critical path, not the full plan span.
     totalMigrationStall_ += affected_resume;
+    totalMigrationMakespan_ += duration;
     migrationTailUntil_ = sim_.now() + duration;
+
+    // Commit the schedule: the data plane reserves every link slice it
+    // occupies, so a migration submitted while this one drains is quoted
+    // — and executed — behind (or interleaved around) it.
+    if (options_.linkDataPlane) {
+        dataPlane_.submit(MigrationPlanner::transferSteps(pm.plan),
+                          params_.migrationSetupTime, pm.plan.linkScheduled);
+    }
 
     // Activate as soon as the first affected replica's context is ready;
     // the rest come online at their own progressive-resume times and the

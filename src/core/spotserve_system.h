@@ -37,6 +37,7 @@
 #include "core/device_mapper.h"
 #include "core/interruption_arranger.h"
 #include "core/migration_planner.h"
+#include "core/transfer_data_plane.h"
 #include "costmodel/planning_latency_model.h"
 #include "serving/base_system.h"
 
@@ -151,6 +152,19 @@ struct SpotServeOptions
     /** Wall-clock model of one planning pass (overlapped mode). */
     cost::PlanningLatencyModel planning{};
 
+    /**
+     * Drive context migration through the link-level transfer data plane
+     * (the default): the planner times its steps with cost::LinkSchedule
+     * (interleaved, contention-free link slices) and startMigration
+     * schedules them on core::TransferDataPlane, so concurrent
+     * migrations contend for shared NIC/PCIe/disk links and disjoint
+     * instance pairs genuinely overlap.  Disable for the legacy
+     * serialized-cursor timing (the fig-style ablation): every step's
+     * closed-form port-bottleneck time back to back, no cross-migration
+     * contention.
+     */
+    bool linkDataPlane = true;
+
     ControllerOptions controller{};
 };
 
@@ -177,6 +191,8 @@ class SpotServeSystem : public serving::BaseServingSystem
     /** Diagnostics for tests and benches. @{ */
     int migrationsCompleted() const { return migrationsCompleted_; }
     double totalMigrationStall() const { return totalMigrationStall_; }
+    /** Cumulative end-to-end migration makespan (full plan spans). */
+    double totalMigrationMakespan() const { return totalMigrationMakespan_; }
     double totalBytesMigrated() const { return totalBytesMigrated_; }
     double totalBytesReused() const { return totalBytesReused_; }
     /** Planning passes charged as scheduled events (overlapped mode). */
@@ -190,6 +206,13 @@ class SpotServeSystem : public serving::BaseServingSystem
     /** Reconfigurations where at least one replica never stopped. */
     int partialReconfigs() const { return partialReconfigs_; }
     const SpotServeOptions &options() const { return options_; }
+    /** The migration transfer data plane (link busy state, counters). */
+    const TransferDataPlane &dataPlane() const { return dataPlane_; }
+    /** Migrations whose schedule hit links still busy from another. */
+    long contendedMigrations() const
+    {
+        return dataPlane_.contendedSubmissions();
+    }
     /** @} */
 
   protected:
@@ -269,6 +292,7 @@ class SpotServeSystem : public serving::BaseServingSystem
     DeviceMapper mapper_;
     MigrationPlanner planner_;
     InterruptionArranger arranger_;
+    TransferDataPlane dataPlane_;
 
     Phase phase_ = Phase::Idle;
     bool evalScheduled_ = false;
@@ -332,6 +356,7 @@ class SpotServeSystem : public serving::BaseServingSystem
 
     int migrationsCompleted_ = 0;
     double totalMigrationStall_ = 0.0;
+    double totalMigrationMakespan_ = 0.0;
     double totalBytesMigrated_ = 0.0;
     double totalBytesReused_ = 0.0;
     long planningEvents_ = 0;

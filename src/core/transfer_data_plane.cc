@@ -1,0 +1,144 @@
+#include "core/transfer_data_plane.h"
+
+#include <algorithm>
+
+namespace spotserve {
+namespace core {
+
+TransferDataPlane::TransferDataPlane(sim::Executor &executor,
+                                     const cost::CostParams &params)
+    : executor_(executor), scheduler_(params)
+{
+}
+
+cost::LinkScheduleResult
+TransferDataPlane::buildSchedule(const std::vector<cost::TransferStep> &steps,
+                                 double setup_time, bool interleave) const
+{
+    cost::LinkScheduleOptions opts;
+    opts.interleave = interleave;
+    opts.startTime = executor_.now();
+    opts.setupTime = setup_time;
+    return scheduler_.build(steps, opts, busyUntil_);
+}
+
+bool
+TransferDataPlane::touchesBusyLink(
+    const std::vector<cost::TransferStep> &steps) const
+{
+    const double now = executor_.now();
+    auto busy = [&](const cost::LinkId &l) {
+        auto it = busyUntil_.find(l);
+        return it != busyUntil_.end() && it->second > now + 1e-12;
+    };
+    for (const auto &s : steps) {
+        for (const auto &t : s.transfers) {
+            if (t.bytes <= 0.0)
+                continue;
+            if (t.srcInstance == t.dstInstance) {
+                if (busy({cost::LinkType::Pcie, t.srcInstance}))
+                    return true;
+            } else if (busy({cost::LinkType::NicSend, t.srcInstance}) ||
+                       busy({cost::LinkType::NicRecv, t.dstInstance})) {
+                return true;
+            }
+        }
+        for (const auto &[inst, bytes] : s.coldLoads) {
+            if (bytes > 0.0 && busy({cost::LinkType::Disk, inst}))
+                return true;
+        }
+    }
+    return false;
+}
+
+TransferDataPlane::Result
+TransferDataPlane::preview(const std::vector<cost::TransferStep> &steps,
+                           double setup_time, bool interleave) const
+{
+    const double now = executor_.now();
+    const auto sched = buildSchedule(steps, setup_time, interleave);
+    Result out;
+    out.stepStart.reserve(sched.stepStart.size());
+    out.stepFinish.reserve(sched.stepFinish.size());
+    for (double s : sched.stepStart)
+        out.stepStart.push_back(s - now);
+    for (double f : sched.stepFinish)
+        out.stepFinish.push_back(f - now);
+    out.makespan = sched.makespan - now;
+    out.contended = touchesBusyLink(steps);
+    return out;
+}
+
+TransferDataPlane::Result
+TransferDataPlane::submit(const std::vector<cost::TransferStep> &steps,
+                          double setup_time, bool interleave,
+                          std::function<void()> on_done)
+{
+    const double now = executor_.now();
+    const auto sched = buildSchedule(steps, setup_time, interleave);
+
+    Result out;
+    out.stepStart.reserve(sched.stepStart.size());
+    out.stepFinish.reserve(sched.stepFinish.size());
+    for (double s : sched.stepStart)
+        out.stepStart.push_back(s - now);
+    for (double f : sched.stepFinish)
+        out.stepFinish.push_back(f - now);
+    out.makespan = sched.makespan - now;
+    out.contended = touchesBusyLink(steps);
+
+    // Commit: the schedule's link occupancy becomes the new busy state.
+    busyUntil_ = sched.linkBusyUntil;
+    prune();
+
+    ++submissions_;
+    if (out.contended)
+        ++contendedSubmissions_;
+    for (const auto &s : steps) {
+        for (const auto &t : s.transfers)
+            totalBytesScheduled_ += std::max(t.bytes, 0.0);
+        for (const auto &[inst, bytes] : s.coldLoads)
+            totalBytesScheduled_ += std::max(bytes, 0.0);
+    }
+
+    if (on_done)
+        executor_.scheduleAfter(std::max(out.makespan, 0.0),
+                                std::move(on_done));
+    return out;
+}
+
+double
+TransferDataPlane::submitColdLoad(
+    const std::vector<std::pair<int, double>> &loads,
+    std::function<void()> on_done)
+{
+    std::vector<cost::TransferStep> steps(1);
+    steps[0].coldLoads = loads;
+    const Result r =
+        submit(steps, /*setup_time=*/0.0, /*interleave=*/true,
+               std::move(on_done));
+    return r.makespan;
+}
+
+double
+TransferDataPlane::busyUntil(cost::LinkType type, int instance) const
+{
+    auto it = busyUntil_.find(cost::LinkId{type, instance});
+    const double now = executor_.now();
+    return it == busyUntil_.end() ? now : std::max(it->second, now);
+}
+
+void
+TransferDataPlane::prune()
+{
+    const double now = executor_.now();
+    for (auto it = busyUntil_.begin(); it != busyUntil_.end();) {
+        if (it->second <= now)
+            it = busyUntil_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace core
+} // namespace spotserve

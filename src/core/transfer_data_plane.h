@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The migration transfer data plane.
+ *
+ * Executes link schedules (cost::LinkSchedule) as events on the
+ * sim::Executor seam and keeps the fleet's per-link busy horizons across
+ * submissions, so concurrent migrations — several replicas reconfiguring
+ * in one churn window, or a baseline's cold weight loads — genuinely
+ * contend for shared NIC/PCIe/disk links: a second migration touching an
+ * instance whose ports are still draining is scheduled behind (or
+ * interleaved around) the first, in both the deterministic simulator and
+ * the wall-clock executor.
+ *
+ * Protocol: preview() quotes a schedule against the current link state
+ * without reserving anything (the §4.2 grace-deadline decision and the
+ * no-cache fallback both want quotes for plans they may discard);
+ * submit() builds the same schedule, reserves the links it occupies, and
+ * schedules a completion event at the makespan.  Both are deterministic:
+ * a preview followed by a submit in the same executor event returns the
+ * identical timeline.
+ */
+
+#ifndef SPOTSERVE_CORE_TRANSFER_DATA_PLANE_H
+#define SPOTSERVE_CORE_TRANSFER_DATA_PLANE_H
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "costmodel/link_schedule.h"
+#include "simcore/executor.h"
+
+namespace spotserve {
+namespace core {
+
+class TransferDataPlane
+{
+  public:
+    TransferDataPlane(sim::Executor &executor,
+                      const cost::CostParams &params);
+
+    /** A quoted or committed schedule, as offsets from now. */
+    struct Result
+    {
+        std::vector<double> stepStart;
+        std::vector<double> stepFinish;
+        /** Offset from now at which the last step's context has landed. */
+        double makespan = 0.0;
+        /** True when an already-busy link delayed part of the schedule. */
+        bool contended = false;
+    };
+
+    /**
+     * Quote @p steps against the current link state without reserving
+     * links.  @p setup_time is charged once at the front.
+     */
+    Result preview(const std::vector<cost::TransferStep> &steps,
+                   double setup_time, bool interleave = true) const;
+
+    /**
+     * Schedule @p steps now: reserve every link slice the schedule
+     * occupies and fire @p on_done (if any) at the makespan.
+     */
+    Result submit(const std::vector<cost::TransferStep> &steps,
+                  double setup_time, bool interleave = true,
+                  std::function<void()> on_done = {});
+
+    /**
+     * Convenience for the restart-style baselines: per-instance cold
+     * weight loads on the disk links, no setup.  Returns the makespan
+     * offset (equals bytes/diskBandwidth per instance when uncontended,
+     * i.e. exactly the closed-form cold-load time).
+     */
+    double submitColdLoad(const std::vector<std::pair<int, double>> &loads,
+                          std::function<void()> on_done = {});
+
+    /** Absolute time the given link is busy until (now if free). */
+    double busyUntil(cost::LinkType type, int instance) const;
+
+    /** Submissions executed (migrations + cold-load batches). @{ */
+    long submissions() const { return submissions_; }
+    /** Submissions that found at least one of their links busy. */
+    long contendedSubmissions() const { return contendedSubmissions_; }
+    double totalBytesScheduled() const { return totalBytesScheduled_; }
+    /** @} */
+
+  private:
+    cost::LinkScheduleResult
+    buildSchedule(const std::vector<cost::TransferStep> &steps,
+                  double setup_time, bool interleave) const;
+    bool touchesBusyLink(const std::vector<cost::TransferStep> &steps) const;
+    /** Drop horizons that have already passed (keeps the map bounded). */
+    void prune();
+
+    sim::Executor &executor_;
+    cost::LinkSchedule scheduler_;
+    std::map<cost::LinkId, double> busyUntil_;
+    long submissions_ = 0;
+    long contendedSubmissions_ = 0;
+    double totalBytesScheduled_ = 0.0;
+};
+
+} // namespace core
+} // namespace spotserve
+
+#endif // SPOTSERVE_CORE_TRANSFER_DATA_PLANE_H

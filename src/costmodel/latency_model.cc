@@ -207,9 +207,15 @@ LatencyModel::coldLoadTime(const par::ParallelConfig &config) const
 {
     // Every instance pulls the weight shards of its resident GPUs from
     // disk/S3 in parallel: gpusPerInstance shards of W/(P*M) bytes each.
+    return params_.engineRestartTime +
+           coldLoadBytesPerInstance(config) / params_.diskBandwidth;
+}
+
+double
+LatencyModel::coldLoadBytesPerInstance(const par::ParallelConfig &config) const
+{
     const double per_gpu = spec_.totalWeightBytes() / config.gpusPerPipeline();
-    const double per_instance = per_gpu * params_.gpusPerInstance;
-    return params_.engineRestartTime + per_instance / params_.diskBandwidth;
+    return per_gpu * params_.gpusPerInstance;
 }
 
 bool

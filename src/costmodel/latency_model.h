@@ -124,6 +124,15 @@ class LatencyModel
      */
     double coldLoadTime(const par::ParallelConfig &config) const;
 
+    /**
+     * Weight bytes one instance pulls from disk/S3 during a cold start
+     * (gpusPerInstance shards of W/(P*M) bytes).  coldLoadTime equals
+     * engineRestartTime + this / diskBandwidth; the baselines route the
+     * same bytes through the transfer data plane's disk links so
+     * successive restarts contend for them honestly.
+     */
+    double coldLoadBytesPerInstance(const par::ParallelConfig &config) const;
+
   private:
     /** True if a pipeline's GPUs span more than one instance. */
     bool pipelineCrossesInstances(const par::ParallelConfig &config) const;

@@ -1,0 +1,267 @@
+#include "costmodel/link_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spotserve {
+namespace cost {
+
+namespace {
+
+/** One schedulable work item: a wire transfer or a cold disk load. */
+struct Item
+{
+    int step = 0;
+    int index = 0; ///< transfer index, or cold-load index
+    bool coldLoad = false;
+    double remaining = 0.0;
+    double rate = 1.0;
+    LinkId links[2];
+    int numLinks = 0;
+
+    double firstStart = -1.0;
+    double finish = 0.0;
+    bool done = false;
+    /** Open slice being extended while the item keeps running. */
+    int openSlice = -1;
+};
+
+constexpr double kEps = 1e-12;
+
+} // namespace
+
+LinkSchedule::LinkSchedule(const CostParams &params) : params_(params) {}
+
+LinkScheduleResult
+LinkSchedule::build(const std::vector<TransferStep> &steps,
+                    const LinkScheduleOptions &options,
+                    const std::map<LinkId, double> &initial_busy) const
+{
+    LinkScheduleResult out;
+    const double t0 = options.startTime + options.setupTime;
+
+    // ------------------------------------------------------------------
+    // Flatten the steps into prioritised items.  Priority is (step, wire
+    // before disk, input order) — deterministic, and it is what makes an
+    // earlier step's transfers immune to later steps at every grant.
+    // ------------------------------------------------------------------
+    std::vector<Item> items;
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        for (std::size_t i = 0; i < steps[s].transfers.size(); ++i) {
+            const Transfer &t = steps[s].transfers[i];
+            if (t.bytes <= 0.0)
+                continue;
+            Item item;
+            item.step = static_cast<int>(s);
+            item.index = static_cast<int>(i);
+            item.remaining = t.bytes;
+            if (t.srcInstance == t.dstInstance) {
+                item.rate = params_.intraBandwidth;
+                item.links[0] = LinkId{LinkType::Pcie, t.srcInstance};
+                item.numLinks = 1;
+            } else {
+                item.rate = params_.interBandwidth;
+                item.links[0] = LinkId{LinkType::NicSend, t.srcInstance};
+                item.links[1] = LinkId{LinkType::NicRecv, t.dstInstance};
+                item.numLinks = 2;
+            }
+            items.push_back(item);
+        }
+        for (std::size_t i = 0; i < steps[s].coldLoads.size(); ++i) {
+            const auto &[inst, bytes] = steps[s].coldLoads[i];
+            if (bytes <= 0.0)
+                continue;
+            Item item;
+            item.step = static_cast<int>(s);
+            item.index = static_cast<int>(i);
+            item.coldLoad = true;
+            item.remaining = bytes;
+            item.rate = params_.diskBandwidth;
+            item.links[0] = LinkId{LinkType::Disk, inst};
+            item.numLinks = 1;
+            items.push_back(item);
+        }
+    }
+
+    // Per-step wire-item bookkeeping for the serialized barrier.
+    std::vector<int> wirePending(steps.size(), 0);
+    for (const Item &it : items) {
+        if (!it.coldLoad)
+            ++wirePending[static_cast<std::size_t>(it.step)];
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven preemptive list schedule.  At every event the running
+    // set is rebuilt from scratch in priority order; items already flat-
+    // tened in that order, so a plain scan grants links deterministically.
+    // ------------------------------------------------------------------
+    std::map<LinkId, double> busy = initial_busy; // external holds only
+    auto linkFreeAt = [&](const LinkId &l) {
+        auto it = busy.find(l);
+        return it == busy.end() ? -std::numeric_limits<double>::infinity()
+                                : it->second;
+    };
+
+    // A step's wire items are eligible once every earlier step's wire
+    // items completed (serialized mode); disk loads are always eligible —
+    // the legacy cursor overlapped them with the whole wire schedule.
+    auto eligible = [&](const Item &it) {
+        if (options.interleave || it.coldLoad)
+            return true;
+        for (int s = 0; s < it.step; ++s) {
+            if (wirePending[static_cast<std::size_t>(s)] > 0)
+                return false;
+        }
+        return true;
+    };
+
+    std::size_t doneCount = 0;
+    double t = t0;
+    // Never start before an externally-held link frees if that is the
+    // only work available; collect those horizons as candidate events.
+    while (doneCount < items.size()) {
+        // Rebuild the running set.
+        std::vector<LinkId> held;
+        std::vector<Item *> running;
+        for (Item &it : items) {
+            if (it.done || !eligible(it))
+                continue;
+            bool free = true;
+            for (int k = 0; k < it.numLinks; ++k) {
+                if (linkFreeAt(it.links[k]) > t + kEps ||
+                    std::find(held.begin(), held.end(), it.links[k]) !=
+                        held.end()) {
+                    free = false;
+                    break;
+                }
+            }
+            if (!free) {
+                // Preempted/blocked: close its open slice, if any.
+                it.openSlice = -1;
+                continue;
+            }
+            for (int k = 0; k < it.numLinks; ++k)
+                held.push_back(it.links[k]);
+            running.push_back(&it);
+        }
+
+        if (running.empty()) {
+            // Everything pending is blocked on externally-busy links
+            // (or, in serialized mode, on a barrier that resolves at a
+            // completion — impossible without running items).  Hop to the
+            // next external release.
+            double next = std::numeric_limits<double>::infinity();
+            for (const auto &[link, until] : busy) {
+                if (until > t + kEps)
+                    next = std::min(next, until);
+            }
+            if (!std::isfinite(next))
+                break; // defensive: nothing can ever run
+            t = next;
+            continue;
+        }
+
+        // Next event: earliest completion among running items or the
+        // earliest external link release (which may unblock a
+        // higher-priority item and preempt a running one).
+        double tNext = std::numeric_limits<double>::infinity();
+        for (const Item *it : running)
+            tNext = std::min(tNext, t + it->remaining / it->rate);
+        for (const auto &[link, until] : busy) {
+            if (until > t + kEps)
+                tNext = std::min(tNext, until);
+        }
+
+        // Advance every running item to tNext, extending open slices.
+        for (Item *it : running) {
+            if (it->firstStart < 0.0)
+                it->firstStart = t;
+            if (it->openSlice >= 0 &&
+                out.slices[static_cast<std::size_t>(it->openSlice)].finish >=
+                    t - kEps) {
+                LinkSlice &sl =
+                    out.slices[static_cast<std::size_t>(it->openSlice)];
+                sl.finish = tNext;
+                sl.bytes += (tNext - t) * it->rate;
+            } else {
+                LinkSlice sl;
+                sl.step = it->step;
+                sl.transfer = it->index;
+                sl.coldLoad = it->coldLoad;
+                sl.start = t;
+                sl.finish = tNext;
+                sl.bytes = (tNext - t) * it->rate;
+                sl.numLinks = it->numLinks;
+                for (int k = 0; k < it->numLinks; ++k)
+                    sl.links[k] = it->links[k];
+                it->openSlice = static_cast<int>(out.slices.size());
+                out.slices.push_back(sl);
+            }
+            const double span = it->remaining / it->rate;
+            if (t + span <= tNext + kEps * (1.0 + span)) {
+                // Completed at (numerically) this event.
+                it->remaining = 0.0;
+                it->done = true;
+                it->finish = tNext;
+                it->openSlice = -1;
+                if (!it->coldLoad)
+                    --wirePending[static_cast<std::size_t>(it->step)];
+                ++doneCount;
+            } else {
+                it->remaining -= (tNext - t) * it->rate;
+            }
+        }
+        t = tNext;
+    }
+
+    // ------------------------------------------------------------------
+    // Per-step start/finish and the busy horizons left behind.
+    // ------------------------------------------------------------------
+    out.stepStart.assign(steps.size(), t0);
+    out.stepFinish.assign(steps.size(), t0);
+    // Serialized mode: an idle step still waits behind its predecessors.
+    if (!options.interleave) {
+        double barrier = t0;
+        for (std::size_t s = 0; s < steps.size(); ++s) {
+            out.stepStart[s] = barrier;
+            out.stepFinish[s] = barrier;
+            for (const Item &it : items) {
+                if (static_cast<std::size_t>(it.step) == s && !it.coldLoad)
+                    barrier = std::max(barrier, it.finish);
+            }
+        }
+    }
+    for (const Item &it : items) {
+        const auto s = static_cast<std::size_t>(it.step);
+        if (it.firstStart >= 0.0) {
+            out.stepStart[s] = out.stepStart[s] == t0
+                                   ? it.firstStart
+                                   : std::min(out.stepStart[s],
+                                              it.firstStart);
+        }
+        out.stepFinish[s] = std::max(out.stepFinish[s], it.finish);
+    }
+    // An idle step's start must not precede setup nor exceed its finish.
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        out.stepStart[s] = std::min(std::max(out.stepStart[s], t0),
+                                    std::max(out.stepFinish[s], t0));
+        out.stepFinish[s] = std::max(out.stepFinish[s], out.stepStart[s]);
+    }
+
+    out.makespan = t0;
+    for (double f : out.stepFinish)
+        out.makespan = std::max(out.makespan, f);
+
+    out.linkBusyUntil = initial_busy;
+    for (const LinkSlice &sl : out.slices) {
+        for (int k = 0; k < sl.numLinks; ++k) {
+            double &until = out.linkBusyUntil[sl.links[k]];
+            until = std::max(until, sl.finish);
+        }
+    }
+    return out;
+}
+
+} // namespace cost
+} // namespace spotserve

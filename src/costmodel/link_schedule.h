@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Link-level transfer scheduling for context migration.
+ *
+ * The closed-form estimate in MigrationCostModel::transferTime charges a
+ * step by its most-loaded instance port and the planner's legacy cursor
+ * serializes whole steps — wrong in both directions: steps moving context
+ * between disjoint instance pairs could overlap, and two transfers sharing
+ * a port cannot actually run at full bandwidth together.  LinkSchedule
+ * decomposes the movement matrix honestly: every per-instance NIC send
+ * port, NIC receive port, PCIe bus and disk channel is a first-class
+ * unit-capacity link with its own bandwidth, and the schedule is a list of
+ * contention-free link slices — at any instant each link carries at most
+ * one transfer at the link's full rate.
+ *
+ * The scheduler is an event-driven preemptive list schedule: at every
+ * completion (or initial link-release) event the running set is rebuilt by
+ * scanning the unfinished transfers in (step, kind, index) priority order
+ * and granting a transfer all of its links when they are free.  A
+ * lower-priority transfer never delays a higher-priority one (it is
+ * preempted at the next event when the earlier step's transfer can run),
+ * which yields the key guarantee the planner and the bench gate rely on:
+ * scheduling the steps interleaved is never slower than scheduling them
+ * behind per-step barriers, and on single-pair/single-link topologies the
+ * makespan equals the closed-form port-bottleneck estimate exactly.
+ *
+ * Disk (cold weight load) slices never barrier: the legacy cursor already
+ * overlapped per-instance disk loads with the whole wire schedule, and the
+ * serialized mode here keeps that semantics so the two timelines stay
+ * comparable.
+ */
+
+#ifndef SPOTSERVE_COSTMODEL_LINK_SCHEDULE_H
+#define SPOTSERVE_COSTMODEL_LINK_SCHEDULE_H
+
+#include <map>
+#include <vector>
+
+#include "costmodel/migration_cost.h"
+
+namespace spotserve {
+namespace cost {
+
+/** The four per-instance link classes of the transfer data plane. */
+enum class LinkType
+{
+    NicSend, ///< inter-instance egress (interBandwidth)
+    NicRecv, ///< inter-instance ingress (interBandwidth)
+    Pcie,    ///< intra-instance moves (intraBandwidth)
+    Disk     ///< cold loads from disk/S3 (diskBandwidth)
+};
+
+/** One unit-capacity link: a port of one instance. */
+struct LinkId
+{
+    LinkType type = LinkType::NicSend;
+    int instance = 0;
+
+    bool operator<(const LinkId &o) const
+    {
+        if (type != o.type)
+            return static_cast<int>(type) < static_cast<int>(o.type);
+        return instance < o.instance;
+    }
+    bool operator==(const LinkId &o) const
+    {
+        return type == o.type && instance == o.instance;
+    }
+};
+
+/**
+ * One step of movement work handed to the scheduler: the migration
+ * planner's per-layer (or cache) transfer list plus the per-instance cold
+ * bytes that must come from disk because no live replica holds them.
+ */
+struct TransferStep
+{
+    /** Cache step (layer < 0) or model-context layer index; tag only. */
+    int layer = -1;
+    std::vector<Transfer> transfers;
+    /** (instance, bytes) cold loads riding this step's disk links. */
+    std::vector<std::pair<int, double>> coldLoads;
+};
+
+/**
+ * One contention-free occupancy interval: during [start, finish) the
+ * slice's transfer owns every one of its links exclusively and moves
+ * @c bytes at the links' full rate.  A preempted transfer appears as
+ * several slices.
+ */
+struct LinkSlice
+{
+    int step = 0;     ///< index into the input step list
+    int transfer = 0; ///< index into that step's transfers, or -1
+    bool coldLoad = false; ///< true: disk slice (transfer indexes coldLoads)
+    double start = 0.0;
+    double finish = 0.0;
+    double bytes = 0.0;
+    LinkId links[2];
+    int numLinks = 0;
+};
+
+/** A built schedule. */
+struct LinkScheduleResult
+{
+    std::vector<LinkSlice> slices;
+
+    /** First wire/disk activity of each step (eligibility time if idle). */
+    std::vector<double> stepStart;
+    /** When each step's context (wire + its cold loads) has landed. */
+    std::vector<double> stepFinish;
+
+    /** Latest finish over all steps (origin + setup when no work). */
+    double makespan = 0.0;
+
+    /** Per-link busy horizon after this schedule (absolute times). */
+    std::map<LinkId, double> linkBusyUntil;
+};
+
+/** Scheduler knobs. */
+struct LinkScheduleOptions
+{
+    /**
+     * true: steps interleave — a transfer runs as soon as its links free
+     * up, regardless of earlier steps still in flight elsewhere.
+     * false: per-step wire barrier — step k's wire transfers only become
+     * eligible once every earlier step's wire transfers completed (the
+     * legacy serialized-cursor semantics; disk loads stay overlapped).
+     */
+    bool interleave = true;
+
+    /** Schedule origin (absolute time the migration is submitted at). */
+    double startTime = 0.0;
+
+    /** Fixed setup charged once: no link works before startTime + setup. */
+    double setupTime = 0.0;
+};
+
+/** Builds contention-free link schedules for ordered transfer steps. */
+class LinkSchedule
+{
+  public:
+    explicit LinkSchedule(const CostParams &params);
+
+    /**
+     * Schedule @p steps over the link set, starting from the per-link
+     * busy horizons in @p initial_busy (absolute times; links absent from
+     * the map are free).  Pass the busy map of a previous result to make
+     * successive migrations contend for shared links.
+     */
+    LinkScheduleResult
+    build(const std::vector<TransferStep> &steps,
+          const LinkScheduleOptions &options = {},
+          const std::map<LinkId, double> &initial_busy = {}) const;
+
+    const CostParams &params() const { return params_; }
+
+  private:
+    CostParams params_;
+};
+
+} // namespace cost
+} // namespace spotserve
+
+#endif // SPOTSERVE_COSTMODEL_LINK_SCHEDULE_H

@@ -15,6 +15,14 @@ MigrationCostModel::transferTime(const std::vector<Transfer> &transfers) const
 {
     if (transfers.empty())
         return 0.0;
+    return params_.migrationSetupTime + wireTime(transfers);
+}
+
+double
+MigrationCostModel::wireTime(const std::vector<Transfer> &transfers) const
+{
+    if (transfers.empty())
+        return 0.0;
 
     std::unordered_map<int, double> egress;
     std::unordered_map<int, double> ingress;
@@ -40,10 +48,8 @@ MigrationCostModel::transferTime(const std::vector<Transfer> &transfers) const
     for (const auto &[inst, bytes] : local)
         pcie_bottleneck = std::max(pcie_bottleneck, bytes);
 
-    const double wire =
-        std::max(nic_bottleneck / params_.interBandwidth,
-                 pcie_bottleneck / params_.intraBandwidth);
-    return params_.migrationSetupTime + wire;
+    return std::max(nic_bottleneck / params_.interBandwidth,
+                    pcie_bottleneck / params_.intraBandwidth);
 }
 
 double

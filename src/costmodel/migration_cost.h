@@ -40,8 +40,17 @@ class MigrationCostModel
      * pipelining across distinct instance pairs, i.e. the bottleneck is
      * max over instances of bytes in / NIC, bytes out / NIC, and
      * intra-instance bytes / PCIe, plus the fixed setup cost.
+     * Exactly migrationSetupTime + wireTime(transfers).
      */
     double transferTime(const std::vector<Transfer> &transfers) const;
+
+    /**
+     * The port-bottleneck wire time alone, without the fixed setup cost —
+     * callers composing multi-step schedules (the migration planner, the
+     * link scheduler's screening comparison) charge setup exactly once
+     * themselves instead of subtracting it back out per step.
+     */
+    double wireTime(const std::vector<Transfer> &transfers) const;
 
     /** Total bytes crossing instance boundaries. */
     static double interInstanceBytes(const std::vector<Transfer> &transfers);

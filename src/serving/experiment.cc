@@ -1,5 +1,6 @@
 #include "serving/experiment.h"
 
+#include "core/spotserve_system.h"
 #include "simcore/simulation.h"
 
 namespace spotserve {
@@ -75,6 +76,12 @@ runExperimentOn(sim::Executor &executor, const model::ModelSpec &spec,
         result.peakConcurrentRequests = base->peakConcurrentRequests();
         result.evictions = base->evictionsTotal();
         result.evictedWorkSeconds = base->evictedWorkSeconds();
+    }
+    if (const auto *spot =
+            dynamic_cast<const core::SpotServeSystem *>(system.get())) {
+        result.migrationsCompleted = spot->migrationsCompleted();
+        result.migrationMakespanTotal = spot->totalMigrationMakespan();
+        result.contendedMigrations = spot->contendedMigrations();
     }
     return result;
 }

@@ -69,6 +69,17 @@ struct ExperimentResult
     long evictions = 0;
     double evictedWorkSeconds = 0.0;
 
+    /**
+     * Migration data-plane diagnostics (SpotServe systems only): plans
+     * executed, their cumulative end-to-end makespan, and how many found
+     * at least one of their links still busy from an earlier migration
+     * (fig8 serialized-wire ablation row).
+     * @{ */
+    int migrationsCompleted = 0;
+    double migrationMakespanTotal = 0.0;
+    long contendedMigrations = 0;
+    /** @} */
+
     /** USD per generated output token. */
     double costPerToken() const
     {

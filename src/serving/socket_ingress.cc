@@ -1,6 +1,7 @@
 #include "serving/socket_ingress.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -23,6 +24,13 @@ void closeFd(int fd)
 {
     if (fd >= 0)
         ::close(fd);
+}
+
+void setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 } // namespace
@@ -83,22 +91,33 @@ void SocketIngress::start()
 
     // Stream results back as the engine produces them.  The observers run
     // on the executor's driver thread; sendToRequest takes the client lock.
-    requests_.setCompletionObserver([this](const CompletionRecord &rec) {
+    // Each one checks the alive flag before touching `this`, so a callback
+    // racing stop() degrades to a no-op instead of a use-after-free.
+    observersAlive_ = std::make_shared<std::atomic<bool>>(true);
+    const auto alive = observersAlive_;
+    requests_.setCompletionObserver([this, alive](const CompletionRecord &rec) {
+        if (!alive->load())
+            return;
         std::ostringstream line;
         line << "done " << rec.id << ' ' << rec.latency << ' '
              << rec.restarts;
         sendToRequest(rec.id, line.str(), /*final_line=*/true);
     });
-    requests_.setRejectionObserver([this](wl::RequestId id) {
+    requests_.setRejectionObserver([this, alive](wl::RequestId id) {
+        if (!alive->load())
+            return;
         sendToRequest(id, "rejected " + std::to_string(id),
                       /*final_line=*/true);
     });
     if (baseSystem_ != nullptr) {
-        baseSystem_->setTokenObserver([this](const engine::ActiveRequest &r) {
-            std::ostringstream line;
-            line << "token " << r.request.id << ' ' << r.committedTokens;
-            sendToRequest(r.request.id, line.str(), /*final_line=*/false);
-        });
+        baseSystem_->setTokenObserver(
+            [this, alive](const engine::ActiveRequest &r) {
+                if (!alive->load())
+                    return;
+                std::ostringstream line;
+                line << "token " << r.request.id << ' ' << r.committedTokens;
+                sendToRequest(r.request.id, line.str(), /*final_line=*/false);
+            });
     }
 
     stopRequested_.store(false);
@@ -113,6 +132,24 @@ void SocketIngress::stop()
     stopRequested_.store(true);
     if (pollThread_.joinable())
         pollThread_.join();
+
+    // The observers installed in start() capture `this`; leaving them
+    // registered past stop() is a use-after-free once the ingress is
+    // destroyed.  Flip the kill switch first (any in-flight driver
+    // callback becomes a no-op), then detach them on the driver thread
+    // itself so the assignment serializes with a concurrent invocation.
+    // Raw pointers, not `this`: the detach event may run after this
+    // ingress is gone, but the manager/system are caller-owned.
+    if (observersAlive_)
+        observersAlive_->store(false);
+    RequestManager *req = &requests_;
+    BaseServingSystem *base = baseSystem_;
+    executor_.schedule(executor_.now(), [req, base] {
+        req->setCompletionObserver(nullptr);
+        req->setRejectionObserver(nullptr);
+        if (base != nullptr)
+            base->setTokenObserver(nullptr);
+    });
     {
         std::lock_guard<std::mutex> lk(clientsMutex_);
         for (auto &entry : clients_)
@@ -132,8 +169,20 @@ void SocketIngress::pollLoop()
         fds.push_back(pollfd{listenFd_, POLLIN, 0});
         {
             std::lock_guard<std::mutex> lk(clientsMutex_);
+            // Reap clients the driver thread marked dead (write error or
+            // outbox overflow) — only the poll thread closes fds.
+            std::vector<int> dead;
             for (const auto &entry : clients_)
-                fds.push_back(pollfd{entry.first, POLLIN, 0});
+                if (entry.second.dead)
+                    dead.push_back(entry.first);
+            for (int fd : dead)
+                closeClientLocked(fd);
+            for (const auto &entry : clients_) {
+                short events = POLLIN;
+                if (!entry.second.outbox.empty())
+                    events |= POLLOUT;
+                fds.push_back(pollfd{entry.first, events, 0});
+            }
         }
 
         const int ready =
@@ -145,13 +194,20 @@ void SocketIngress::pollLoop()
         if (fds[0].revents & POLLIN)
             acceptClient();
         for (std::size_t i = 1; i < fds.size(); ++i) {
-            if (fds[i].revents == 0)
+            const short revents = fds[i].revents;
+            if (revents == 0)
                 continue;
-            if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ||
-                !readClient(fds[i].fd)) {
-                std::lock_guard<std::mutex> lk(clientsMutex_);
+            bool drop = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+            if (!drop && (revents & POLLIN))
+                drop = !readClient(fds[i].fd);
+            std::lock_guard<std::mutex> lk(clientsMutex_);
+            auto it = clients_.find(fds[i].fd);
+            if (it == clients_.end())
+                continue;
+            if (!drop && (revents & POLLOUT))
+                flushClientLocked(it->second);
+            if (drop || it->second.dead)
                 closeClientLocked(fds[i].fd);
-            }
         }
     }
 }
@@ -163,6 +219,9 @@ void SocketIngress::acceptClient()
         return;
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Non-blocking: neither the poll thread nor the executor's driver
+    // thread may ever park inside send()/recv() on a peer's behalf.
+    setNonBlocking(fd);
     {
         std::lock_guard<std::mutex> lk(clientsMutex_);
         Client client;
@@ -176,8 +235,10 @@ bool SocketIngress::readClient(int fd)
 {
     char buf[1024];
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0)
-        return false; // peer closed (0) or error (<0)
+    if (n == 0)
+        return false; // peer closed
+    if (n < 0)
+        return errno == EAGAIN || errno == EWOULDBLOCK; // spurious wakeup
 
     // Pull the accumulated buffer out under the lock, parse outside it:
     // handleLine() injects into the executor and must not hold the client
@@ -285,19 +346,36 @@ wl::RequestId SocketIngress::injectRequest(int fd, int input_tokens,
 void SocketIngress::sendToFd(int fd, const std::string &line)
 {
     std::lock_guard<std::mutex> lk(clientsMutex_);
-    if (clients_.find(fd) == clients_.end())
+    auto it = clients_.find(fd);
+    if (it == clients_.end() || it->second.dead)
         return;
-    std::string wire = line;
-    wire.push_back('\n');
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-        const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
-                                 MSG_NOSIGNAL);
-        if (n <= 0) {
-            closeClientLocked(fd);
-            return;
+    Client &client = it->second;
+    client.outbox.append(line);
+    client.outbox.push_back('\n');
+    flushClientLocked(client);
+    if (!client.dead && client.outbox.size() > options_.maxOutboxBytes) {
+        // The peer stopped reading and the backlog bound is blown:
+        // disconnect it rather than buffer without limit.  The poll
+        // thread reaps the fd; routes die with the client.
+        client.dead = true;
+        clientsDroppedSlow_.fetch_add(1);
+    }
+}
+
+void SocketIngress::flushClientLocked(Client &client)
+{
+    while (!client.outbox.empty()) {
+        const ssize_t n =
+            ::send(client.fd, client.outbox.data(), client.outbox.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            client.outbox.erase(0, static_cast<std::size_t>(n));
+            continue;
         }
-        sent += static_cast<std::size_t>(n);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // socket buffer full: POLLOUT drains the rest
+        client.dead = true; // peer gone or hard error
+        return;
     }
 }
 

@@ -30,15 +30,21 @@
  * Threading: the poll thread owns accept/read/parse and only talks to the
  * executor through the thread-safe schedule() path; engine callbacks
  * (token/completion observers) run on the executor's driver thread and
- * write to client sockets under the ingress's client lock.  The executor
- * must therefore be a thread-safe implementation (WallClockExecutor) —
- * the deterministic Simulation is single-threaded and cannot take
- * concurrent injections.
+ * enqueue result lines under the ingress's client lock.  Client sockets
+ * are non-blocking: the driver thread never waits on a peer — lines the
+ * kernel will not take immediately park in a bounded per-client outbox
+ * the poll thread drains on POLLOUT, and a client that stops reading
+ * past Options::maxOutboxBytes is disconnected.  The executor must be a
+ * thread-safe implementation (WallClockExecutor) — the deterministic
+ * Simulation is single-threaded and cannot take concurrent injections.
  *
- * Lifetime: stop() (or the destructor) joins the poll thread and closes
- * every socket; registered observers then find no routes and degrade to
- * no-ops.  Destroy the ingress only once the executor has stopped firing
- * callbacks, since the observers are owned by the ingress.
+ * Lifetime: stop() (or the destructor) joins the poll thread, closes
+ * every socket, and detaches the three observers start() registered —
+ * an alive flag flipped before teardown makes any in-flight driver
+ * callback a no-op, and the detachment itself runs as an executor event
+ * so it serializes with the driver thread.  The RequestManager, system
+ * and executor must outlive the ingress only until that event has run
+ * (they are caller-owned; in practice they outlive the executor).
  */
 
 #ifndef SPOTSERVE_SERVING_SOCKET_INGRESS_H
@@ -46,6 +52,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -75,6 +82,15 @@ class SocketIngress
         int pollIntervalMs = 50;
         /** Protocol guard: longest accepted request line. */
         std::size_t maxLineBytes = 4096;
+        /**
+         * Per-client outbound buffer cap.  Completion/token lines are
+         * queued here when the client's socket buffer is full and
+         * drained by the poll thread on POLLOUT; a client that stops
+         * reading past this bound is disconnected rather than allowed
+         * to block the executor's driver thread (see
+         * clientsDroppedSlow()).
+         */
+        std::size_t maxOutboxBytes = 256 * 1024;
     };
 
     /**
@@ -107,12 +123,21 @@ class SocketIngress
     long connectionsAccepted() const { return connectionsAccepted_.load(); }
     long requestsInjected() const { return requestsInjected_.load(); }
     long protocolErrors() const { return protocolErrors_.load(); }
+    /** Clients disconnected for not draining their result stream. */
+    long clientsDroppedSlow() const { return clientsDroppedSlow_.load(); }
 
   private:
     struct Client
     {
         int fd = -1;
-        std::string inbox; ///< partial-line accumulation buffer
+        std::string inbox;  ///< partial-line accumulation buffer
+        std::string outbox; ///< result lines awaiting a writable socket
+        /**
+         * Set by whichever thread hit a fatal condition (write error,
+         * outbox overflow); the poll thread — the only fd owner —
+         * closes and reaps on its next iteration.
+         */
+        bool dead = false;
     };
 
     void pollLoop();
@@ -124,8 +149,16 @@ class SocketIngress
     /** Inject one parsed request; returns its assigned id. */
     wl::RequestId injectRequest(int fd, int input_tokens, int output_tokens,
                                 int output_cap);
-    /** Write a line (newline appended) to @p fd; drops on dead sockets. */
+    /**
+     * Queue a line (newline appended) for @p fd and flush as much as the
+     * socket accepts without blocking.  Never blocks: the caller may be
+     * the executor's driver thread, and a stalled client must not stall
+     * the engine.  Marks the client dead on write error or outbox
+     * overflow.
+     */
     void sendToFd(int fd, const std::string &line);
+    /** Drain @p client's outbox with non-blocking writes. */
+    void flushClientLocked(Client &client);
     /** Route a line to whichever client issued request @p id. */
     void sendToRequest(wl::RequestId id, const std::string &line,
                        bool final_line);
@@ -153,6 +186,16 @@ class SocketIngress
     std::atomic<long> connectionsAccepted_{0};
     std::atomic<long> requestsInjected_{0};
     std::atomic<long> protocolErrors_{0};
+    std::atomic<long> clientsDroppedSlow_{0};
+
+    /**
+     * Kill switch captured (by shared_ptr) by the three observers
+     * installed in start().  stop() flips it before anything else, so a
+     * driver-thread callback racing the teardown degrades to a no-op
+     * instead of dereferencing a dying ingress; the observers themselves
+     * are then detached on the driver thread (see stop()).
+     */
+    std::shared_ptr<std::atomic<bool>> observersAlive_;
 };
 
 } // namespace serving

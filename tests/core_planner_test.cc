@@ -276,19 +276,23 @@ TEST_F(PlannerFixture, ScaleInFindsPeerSources)
 
 TEST_F(PlannerFixture, StepEventScheduleIsConsistent)
 {
-    // The per-step event schedule (startOffset/finishOffset) must agree
-    // with the duration chain the serving system times migrations by:
-    // wire starts serialize, finishes are monotone, stageReady matches
-    // the latest finishing step of each stage, and durations telescope to
-    // totalDuration.
+    // Serialized-cursor ablation (linkSchedule off): the per-step event
+    // schedule (startOffset/finishOffset) must agree with the legacy
+    // duration chain — wire starts serialize, finishes are monotone,
+    // stageReady matches the latest finishing step of each stage, and
+    // durations telescope to totalDuration.
     par::ParallelConfig old_cfg{2, 2, 8, 8};
     par::ParallelConfig new_cfg{2, 3, 4, 8};
     makeInstances(8);
     const auto snap = packedSnapshot(old_cfg, 600.0);
     const auto mapping = mapper.map(snap, new_cfg, instances, {600.0, 600.0});
+    PlannerOptions serialized;
+    serialized.linkSchedule = false;
     const auto plan =
-        planner.plan(snap, mapping, new_cfg, {600.0, 600.0});
+        planner.plan(snap, mapping, new_cfg, {600.0, 600.0}, serialized);
     ASSERT_FALSE(plan.steps.empty());
+    EXPECT_FALSE(plan.linkScheduled);
+    EXPECT_DOUBLE_EQ(plan.serializedDuration, plan.totalDuration);
 
     double prev_start = kParams.migrationSetupTime;
     double prev_finish = kParams.migrationSetupTime;
@@ -313,6 +317,91 @@ TEST_F(PlannerFixture, StepEventScheduleIsConsistent)
     EXPECT_NEAR(sum, plan.totalDuration, 1e-6);
     for (int p = 0; p < new_cfg.pp; ++p)
         EXPECT_GE(plan.stageReady[p] + 1e-9, stage_latest[p]);
+}
+
+TEST_F(PlannerFixture, LinkScheduledPlanBeatsOrMatchesSerializedCursor)
+{
+    // Default (link-scheduled) timing: step finishes need not be
+    // monotone — disjoint instance pairs overlap — but every finish
+    // stays inside totalDuration, stageReady still tracks the latest
+    // finishing step of each stage, the per-replica resumes stay causal,
+    // and the adopted makespan never exceeds the serialized-cursor
+    // estimate the ablation would have charged.
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg, 600.0);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {600.0, 600.0});
+    const auto plan = planner.plan(snap, mapping, new_cfg, {600.0, 600.0});
+    ASSERT_FALSE(plan.steps.empty());
+
+    PlannerOptions serialized;
+    serialized.linkSchedule = false;
+    const auto legacy =
+        planner.plan(snap, mapping, new_cfg, {600.0, 600.0}, serialized);
+
+    EXPECT_DOUBLE_EQ(plan.serializedDuration, legacy.totalDuration);
+    EXPECT_LE(plan.totalDuration, plan.serializedDuration + 1e-9);
+    // This transition has two replicas exchanging context over disjoint
+    // NIC pairs: interleaving must genuinely beat the serial cursor.
+    EXPECT_LT(plan.totalDuration, plan.serializedDuration - 1e-6);
+    EXPECT_TRUE(plan.linkScheduled);
+
+    std::vector<double> stage_latest(new_cfg.pp,
+                                     kParams.migrationSetupTime);
+    const par::Topology topo(new_cfg, spec.numLayers());
+    for (const auto &s : plan.steps) {
+        EXPECT_GE(s.startOffset, kParams.migrationSetupTime - 1e-9);
+        EXPECT_GE(s.finishOffset, s.startOffset - 1e-9);
+        EXPECT_LE(s.finishOffset, plan.totalDuration + 1e-9);
+        if (!s.isCache()) {
+            const int p = topo.stageOfLayer(s.layer);
+            stage_latest[p] = std::max(stage_latest[p], s.finishOffset);
+        }
+    }
+    for (int p = 0; p < new_cfg.pp; ++p)
+        EXPECT_NEAR(plan.stageReady[p], stage_latest[p], 1e-9);
+    for (int d = 0; d < new_cfg.dp; ++d) {
+        EXPECT_GE(plan.pipelineResume[d],
+                  kParams.migrationSetupTime - 1e-9);
+        EXPECT_LE(plan.pipelineResume[d], plan.totalDuration + 1e-9);
+    }
+    // Identical byte accounting in both modes: timing is the only thing
+    // the scheduler changes.
+    EXPECT_DOUBLE_EQ(plan.movedModelBytes, legacy.movedModelBytes);
+    EXPECT_DOUBLE_EQ(plan.movedCacheBytes, legacy.movedCacheBytes);
+    EXPECT_DOUBLE_EQ(plan.reusedBytes, legacy.reusedBytes);
+}
+
+TEST_F(PlannerFixture, RetimeShiftsResumesWithStepFinishes)
+{
+    // retime() re-derives every timing field from external step finishes
+    // (what the transfer data plane feeds back after scheduling against
+    // busy links): shifting all finishes by a constant shifts
+    // totalDuration and every resume by at most that constant, and
+    // keeps stageReady consistent.
+    par::ParallelConfig old_cfg{2, 2, 8, 8};
+    par::ParallelConfig new_cfg{2, 3, 4, 8};
+    makeInstances(8);
+    const auto snap = packedSnapshot(old_cfg, 600.0);
+    const auto mapping = mapper.map(snap, new_cfg, instances, {600.0, 600.0});
+    auto plan = planner.plan(snap, mapping, new_cfg, {600.0, 600.0});
+    ASSERT_FALSE(plan.steps.empty());
+    const double base_total = plan.totalDuration;
+    const double base_resume = plan.resumeOffset;
+
+    const double shift = 2.5;
+    std::vector<double> starts, finishes;
+    for (const auto &s : plan.steps) {
+        starts.push_back(s.startOffset + shift);
+        finishes.push_back(s.finishOffset + shift);
+    }
+    planner.retime(plan, new_cfg, PlannerOptions{}, starts, finishes);
+    EXPECT_NEAR(plan.totalDuration, base_total + shift, 1e-9);
+    EXPECT_GE(plan.resumeOffset, base_resume - 1e-9);
+    EXPECT_LE(plan.resumeOffset, base_resume + shift + 1e-9);
+    for (int d = 0; d < new_cfg.dp; ++d)
+        EXPECT_LE(plan.pipelineResume[d], plan.totalDuration + 1e-9);
 }
 
 TEST_F(PlannerFixture, PlanBothMatchesTwoSeparatePasses)

@@ -13,11 +13,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <future>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/availability_trace.h"
@@ -32,13 +35,17 @@ namespace {
 class LineClient
 {
   public:
-    explicit LineClient(int port)
+    /** @param rcvbufBytes shrink the receive window (slow-reader tests). */
+    explicit LineClient(int port, int rcvbufBytes = 0)
     {
         fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         EXPECT_GE(fd_, 0);
         timeval tv{};
         tv.tv_sec = 20; // generous: CI machines stall
         ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        if (rcvbufBytes > 0)
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbufBytes,
+                         sizeof(rcvbufBytes));
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -93,6 +100,8 @@ class LineClient
         }
     }
 
+    int fd() const { return fd_; }
+
   private:
     int fd_ = -1;
     std::string buffer_;
@@ -128,17 +137,23 @@ class IngressFixture : public ::testing::Test
         fleet_->loadTrace(trace);
 
         ingress_ = std::make_unique<serving::SocketIngress>(
-            *executor_, *system_, *requests_);
+            *executor_, *system_, *requests_, ingressOptions());
         ingress_->start();
         ASSERT_GT(ingress_->boundPort(), 0);
         executor_->start();
+    }
+
+    virtual serving::SocketIngress::Options ingressOptions() const
+    {
+        return {};
     }
 
     void TearDown() override
     {
         // Front door first (no new arrivals), then the driver; the
         // ingress object (observer owner) is destroyed after both.
-        ingress_->stop();
+        if (ingress_)
+            ingress_->stop();
         executor_->stop();
     }
 
@@ -243,6 +258,83 @@ TEST_F(IngressFixture, ConcurrentClientsGetTheirOwnStreams)
     EXPECT_EQ(ingress_->connectionsAccepted(), 2);
     EXPECT_EQ(ingress_->requestsInjected(), 2);
     EXPECT_EQ(requests_->completedCount(), 2);
+}
+
+TEST_F(IngressFixture, StopAndDestroyWhileGenerationsDrain)
+{
+    LineClient client(ingress_->boundPort());
+    client.sendLine("gen 512 200");
+    EXPECT_EQ(client.readLine().substr(0, 6), "queued");
+
+    // Tear the front door down mid-generation and destroy it.  The
+    // executor keeps committing tokens and finally the completion: the
+    // observers the ingress registered must by then be detached (or
+    // no-op'd by the alive flag), not left dangling into freed memory —
+    // the CI sanitizer jobs run this under TSan.
+    ingress_->stop();
+    ingress_.reset();
+
+    auto completedOnDriver = [this] {
+        std::promise<long> done;
+        executor_->schedule(executor_->now(), [this, &done] {
+            done.set_value(requests_->completedCount());
+        });
+        return done.get_future().get();
+    };
+    for (int i = 0; i < 800 && completedOnDriver() < 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_EQ(completedOnDriver(), 1);
+}
+
+/** Same server, but with a deliberately tiny per-client outbox bound. */
+class SlowReaderFixture : public IngressFixture
+{
+  protected:
+    serving::SocketIngress::Options ingressOptions() const override
+    {
+        serving::SocketIngress::Options options;
+        options.maxOutboxBytes = 512;
+        return options;
+    }
+};
+
+TEST_F(SlowReaderFixture, SlowReaderIsDisconnectedWithoutStallingTheEngine)
+{
+    // A client that issues work and then never reads its result stream.
+    // The small receive window makes the kernel-side buffering run out
+    // quickly; once the bounded outbox overflows too, the ingress must
+    // disconnect the client rather than block the executor's driver
+    // thread inside send() (the regression this test pins).
+    LineClient slow(ingress_->boundPort(), /*rcvbufBytes=*/2048);
+    slow.sendLine("gen 512 50");
+
+    // Junk lines each draw an error response, inflating the outbound
+    // stream without the test having to wait for generated tokens.
+    const std::string wire = std::string(63, 'x') + "\n";
+    bool peer_closed = false;
+    for (int batch = 0;
+         batch < 4000 && !peer_closed && ingress_->clientsDroppedSlow() == 0;
+         ++batch) {
+        for (int i = 0; i < 100; ++i) {
+            if (::send(slow.fd(), wire.data(), wire.size(), MSG_NOSIGNAL) <
+                0) {
+                peer_closed = true; // already reaped — also a pass
+                break;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (int i = 0; i < 200 && ingress_->clientsDroppedSlow() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_EQ(ingress_->clientsDroppedSlow(), 1);
+
+    // The driver thread never parked on the stalled socket: a healthy
+    // client still gets served end to end.
+    LineClient healthy(ingress_->boundPort());
+    healthy.sendLine("gen 128 2");
+    const auto lines = healthy.readUntil("done");
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back().substr(0, 4), "done");
 }
 
 } // namespace
