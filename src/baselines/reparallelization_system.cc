@@ -23,6 +23,7 @@ ReparallelizationSystem::ReparallelizationSystem(
     setPrefillChunkTokens(options_.prefillChunkTokens);
     setKvAdmissionMode(options_.kvAdmissionMode);
     setKvBlockTokens(options_.kvBlockTokens);
+    setPrefixSharing(options_.prefixSharing);
     sim_.scheduleAfter(options_.workloadCheckInterval,
                        [this] { workloadTick(); });
 }

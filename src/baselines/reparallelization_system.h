@@ -52,6 +52,9 @@ struct ReparallelizationOptions
     /** Tokens per KV block (paged accounting; 1 = token-granular). */
     int kvBlockTokens = 16;
 
+    /** Prefix sharing + copy-on-write (same engine setting as SpotServe). */
+    bool prefixSharing = true;
+
     core::ControllerOptions controller{};
 };
 

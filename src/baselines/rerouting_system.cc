@@ -24,6 +24,18 @@ ReroutingSystem::ReroutingSystem(sim::Executor &executor,
     setPrefillChunkTokens(options_.prefillChunkTokens);
     setKvAdmissionMode(options_.kvAdmissionMode);
     setKvBlockTokens(options_.kvBlockTokens);
+    setPrefixSharing(options_.prefixSharing);
+}
+
+long
+ReroutingSystem::bestPrefixDiscount(const engine::ActiveRequest &head) const
+{
+    long best = 0;
+    for (const auto &s : slots_) {
+        if (s->pipeline)
+            best = std::max(best, s->pipeline->prefixQuoteBlocks(head));
+    }
+    return best;
 }
 
 std::string
@@ -229,7 +241,8 @@ ReroutingSystem::dispatchSlots()
                                          s->pipeline->freeKvBlocks(),
                                          s->pipeline->kvAdmissionMode(),
                                          s->pipeline->kvBudgetBlocks(),
-                                         s->pipeline->kvBlockTokens());
+                                         s->pipeline->kvBlockTokens(),
+                                         s->pipeline->kvStore());
         if (batch.empty())
             return;
         s->pipeline->startBatch(std::move(batch));

@@ -53,6 +53,9 @@ struct ReroutingOptions
     /** Tokens per KV block (paged accounting; 1 = token-granular). */
     int kvBlockTokens = 16;
 
+    /** Prefix sharing + copy-on-write (same engine setting as SpotServe). */
+    bool prefixSharing = true;
+
     core::ControllerOptions controller{};
 };
 
@@ -88,6 +91,9 @@ class ReroutingSystem : public serving::BaseServingSystem
     void onPipelineIdle(engine::InferencePipeline &pipeline) override;
     void handleArrival(const wl::Request &request) override;
     void dispatchPending() override { dispatchSlots(); }
+    /** Rerouting keeps its pipelines in slots, not the deployment. */
+    long bestPrefixDiscount(
+        const engine::ActiveRequest &head) const override;
 
   private:
     /** One independent inference pipeline over whole instances. */

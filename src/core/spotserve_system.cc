@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "simcore/logging.h"
 
@@ -36,6 +38,7 @@ SpotServeSystem::SpotServeSystem(sim::Executor &executor,
     setPrefillChunkTokens(options_.prefillChunkTokens);
     setKvAdmissionMode(options_.kvAdmissionMode);
     setKvBlockTokens(options_.kvBlockTokens);
+    setPrefixSharing(options_.prefixSharing);
     // The KV budget must deduct the same migration reserve the
     // feasibility check assumed (naive double-buffering when the
     // memory-optimised planner is ablated).
@@ -432,7 +435,10 @@ SpotServeSystem::pipelineCacheTokens() const
     for (std::size_t d = 0; d < dep.pipelines.size(); ++d) {
         if (!dep.pipelines[d])
             continue;
-        tokens[d] = static_cast<double>(dep.pipelines[d]->kvTokensHeld());
+        // Physical (deduplicated) tokens: the KV bytes a migration must
+        // actually move; equals the logical sum without prefix sharing.
+        tokens[d] =
+            static_cast<double>(dep.pipelines[d]->kvTokensHeldPhysical());
     }
     return tokens;
 }
@@ -898,12 +904,31 @@ SpotServeSystem::startMigration()
             const long budget = replicaKvBudgetBlocks(pm.target);
             const int blk = effectiveKvBlockTokens(pm.target);
             const engine::KvAdmissionMode mode = kvAdmissionMode();
+            // With prefix sharing the inheriting replica holds (and the
+            // migration transfers) each complete shared prefix block
+            // once for the whole cohort: later members carrying a
+            // (class, level) pair an earlier kept member already brought
+            // are not charged for it again.  The store re-attaches the
+            // inherited batch with exactly this dedup, so the trim
+            // matches what the replica will really hold.
+            std::set<std::pair<int, long>> cohort_levels;
             long charged = 0;
             std::size_t keep = 0;
             while (keep < recovered.size() &&
                    static_cast<int>(keep) < pm.target.batch) {
-                const long charge =
-                    recovered[keep].kvChargedBlocks(mode, blk);
+                const auto &r = recovered[keep];
+                long charge = r.kvChargedBlocks(mode, blk);
+                if (prefixSharing() && r.request.prefixId >= 0) {
+                    const long shared = std::min<long>(
+                        r.kvTokensHeld(), r.request.prefixLen);
+                    for (long l = 0; l < shared / blk; ++l) {
+                        if (!cohort_levels
+                                 .insert({r.request.prefixId, l})
+                                 .second)
+                            --charge; // block already carried by cohort
+                    }
+                    charge = std::max(charge, 0L);
+                }
                 if (budget != engine::kUnboundedKvBlocks &&
                     charged + charge > budget)
                     break;

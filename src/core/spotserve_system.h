@@ -105,6 +105,16 @@ struct SpotServeOptions
     int kvBlockTokens = 16;
 
     /**
+     * Block-level prefix sharing with copy-on-write
+     * (engine::KvBlockStore): each replica deduplicates shared prompt
+     * prefixes, full prefix hits skip the matched prefill compute, and
+     * admission charges the post-prefix-hit physical demand.  Disable to
+     * reproduce the scalar per-request block accounting bit-for-bit (the
+     * ablation; also arithmetically identical on prefix-free workloads).
+     */
+    bool prefixSharing = true;
+
+    /**
      * Expected workload rate used to size the very first deployment (the
      * arrival-rate estimator has no history at t=0); subsequent decisions
      * use max(estimate, designArrivalRate) only while no deployment

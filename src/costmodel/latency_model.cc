@@ -165,6 +165,19 @@ LatencyModel::mixedIterTime(const par::ParallelConfig &config,
 }
 
 double
+LatencyModel::prefillSavedTime(const par::ParallelConfig &config,
+                               int matched_tokens) const
+{
+    // The dual of recomputeTime's mid-prefill branch: a prefix-cache hit
+    // skips exactly the prefill of the matched tokens (the per-chunk
+    // committed-prefix re-reads still happen for the *remaining* input
+    // and are priced by mixedIterTime as usual).
+    if (matched_tokens <= 0)
+        return 0.0;
+    return prefillTime(config, matched_tokens);
+}
+
+double
 LatencyModel::execLatency(const par::ParallelConfig &config,
                           const SeqSpec &seq) const
 {

@@ -70,6 +70,16 @@ class LatencyModel
                        int input_len) const;
 
     /**
+     * Prefill compute a prefix-cache hit skips: the cost of prefilling
+     * the @p matched_tokens shared-prefix tokens whose KV was found
+     * resident at admission.  The saved-work diagnostic the engine
+     * accumulates per hit (savedPrefillSeconds) — the dual of
+     * recomputeTime, which prices the same tokens when a cache is lost.
+     */
+    double prefillSavedTime(const par::ParallelConfig &config,
+                            int matched_tokens) const;
+
+    /**
      * Latency of one continuous-batching iteration that mixes the prefill
      * of @p prefill_batch newly admitted requests (longest input
      * @p input_len) with one decode step for @p decode_batch incumbent

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "workload/request.h"
 
@@ -118,6 +119,31 @@ struct ActiveRequest
      */
     int predictedOutputTokens = 0;
 
+    /**
+     * Physical KV block ids this request holds references on, one per
+     * block level (level k covers tokens [k*B, (k+1)*B)), owned by the
+     * pipeline's KvBlockStore.  Empty when the pipeline runs without
+     * prefix sharing (scalar block counters remain the source of truth)
+     * or whenever the request holds no cache.  Never travels across
+     * pipelines: release() clears it and the inheriting replica's store
+     * rebuilds it (deduplicating shared prefix levels) at attach.
+     */
+    std::vector<int> kvBlockIds;
+
+    /**
+     * Prefix tokens satisfied from the store's radix index at attach
+     * (prefill compute for these tokens was skipped).  Diagnostic;
+     * 0 when the request missed or sharing is off.
+     */
+    int sharedPrefixTokens = 0;
+
+    /**
+     * The last entry of kvBlockIds is a shared partial tail block written
+     * by another request: the first token this request appends past the
+     * shared prefix copies that block (copy-on-write) before writing.
+     */
+    bool kvTailShared = false;
+
     /** All output tokens generated? */
     bool done() const { return committedTokens >= request.outputLen; }
 
@@ -208,6 +234,9 @@ struct ActiveRequest
         committedTokens = 0;
         prefillTokens = 0;
         prefilled = false;
+        kvBlockIds.clear();
+        sharedPrefixTokens = 0;
+        kvTailShared = false;
         ++restarts;
     }
 };

@@ -83,6 +83,13 @@ InferencePipeline::InferencePipeline(sim::Executor &executor,
             throw std::invalid_argument(
                 "InferencePipeline: need low <= high <= budget watermarks");
     }
+    if (batching_.prefixSharing) {
+        // The store's physical capacity IS the block budget: prefix
+        // sharing may never let resident blocks exceed what admission
+        // promised (allocation throws instead of over-committing).
+        store_ = std::make_unique<KvBlockStore>(budgetBlocks_,
+                                                batching_.kvBlockTokens);
+    }
 }
 
 InferencePipeline::~InferencePipeline()
@@ -115,13 +122,25 @@ InferencePipeline::startBatch(std::vector<ActiveRequest> batch)
     // (stateful recovery, §4): such requests resume decoding directly;
     // partially-prefilled ones resume from their last committed chunk and
     // the rest run their prefill first.
-    for (auto &r : batch_)
+    for (auto &r : batch_) {
         normalizeProgress(r);
+        attachToStore(r);
+    }
     if (kvBlocksCharged() > budgetBlocks_)
         throw std::invalid_argument(
             "InferencePipeline::startBatch: batch exceeds the KV budget");
     observeBoundary();
     scheduleStep();
+}
+
+void
+InferencePipeline::attachToStore(ActiveRequest &r)
+{
+    if (!store_)
+        return;
+    const int matched = store_->attach(r);
+    if (matched > 0)
+        savedPrefillSeconds_ += latency_.prefillSavedTime(config_, matched);
 }
 
 void
@@ -178,19 +197,37 @@ InferencePipeline::kvBlocksHeld() const
 long
 InferencePipeline::kvBlocksReserved() const
 {
+    const int blk = batching_.kvBlockTokens;
+    if (store_) {
+        // Physical form: resident live blocks (shared levels counted
+        // once) plus each request's worst-case future growth — the
+        // levels it has yet to allocate and the pending CoW copy.
+        long reserved = store_->liveBlocks();
+        for (const auto &r : batch_)
+            reserved += r.kvPeakBlocks(blk) - r.kvBlocksHeld(blk) +
+                        store_->pendingCowBlocks(r);
+        return reserved;
+    }
     long reserved = 0;
     for (const auto &r : batch_)
-        reserved += r.kvPeakBlocks(batching_.kvBlockTokens);
+        reserved += r.kvPeakBlocks(blk);
     return reserved;
 }
 
 long
 InferencePipeline::kvBlocksCharged() const
 {
+    const int blk = batching_.kvBlockTokens;
+    if (store_) {
+        long charged = store_->liveBlocks();
+        for (const auto &r : batch_)
+            charged += r.kvChargedBlocks(batching_.kvAdmissionMode, blk) -
+                       r.kvBlocksHeld(blk) + store_->pendingCowBlocks(r);
+        return charged;
+    }
     long charged = 0;
     for (const auto &r : batch_)
-        charged += r.kvChargedBlocks(batching_.kvAdmissionMode,
-                                     batching_.kvBlockTokens);
+        charged += r.kvChargedBlocks(batching_.kvAdmissionMode, blk);
     return charged;
 }
 
@@ -264,6 +301,14 @@ InferencePipeline::takeBatch()
     if (executing())
         throw std::logic_error(
             "InferencePipeline::takeBatch: pipeline still executing");
+    if (store_) {
+        // Block ids are meaningless outside this pipeline's store: drop
+        // the references (committed progress is untouched) and let the
+        // inheriting replica's store rebuild — deduplicating shared
+        // prefix levels — at attach.
+        for (auto &r : batch_)
+            store_->release(r);
+    }
     return std::exchange(batch_, {});
 }
 
@@ -317,10 +362,28 @@ InferencePipeline::enforceKvPressure()
     };
     auto scan = [&] {
         Scan s;
+        std::vector<const ActiveRequest *> victims;
         for (std::size_t i = 0; i < batch_.size(); ++i) {
-            if (gone[i])
+            if (gone[i]) {
+                if (store_)
+                    victims.push_back(&batch_[i]);
                 continue;
+            }
             const ActiveRequest &r = batch_[i];
+            if (store_) {
+                // Physical growth: new block levels plus the pending
+                // tail CoW copy; the held count comes from the store's
+                // refcount arithmetic below (shared levels once).
+                if (r.prefilled) {
+                    s.anyDecoder = true;
+                    s.decodeGrowth += store_->projectedGrowthBlocks(r, 1);
+                } else {
+                    s.anyPrefiller = true;
+                    s.prefillGrowth +=
+                        store_->projectedGrowthBlocks(r, prefillChunkFor(r));
+                }
+                continue;
+            }
             const long cur = r.kvBlocksHeld(blk);
             s.held += cur;
             if (r.prefilled) {
@@ -334,6 +397,12 @@ InferencePipeline::enforceKvPressure()
                                 blk) -
                     cur;
             }
+        }
+        if (store_) {
+            // A block frees only when every live reference belongs to a
+            // victim: shared prefix blocks survive partial evictions, so
+            // evicting one sharer relieves exactly its sole blocks.
+            s.held = store_->liveBlocksExcluding(victims);
         }
         return s;
     };
@@ -403,8 +472,21 @@ InferencePipeline::enforceKvPressure()
         const Scan s = scan();
         if (pressure(s) <= budget)
             break;
-        if (next >= order.size())
-            break; // only the protected oldest remains
+        if (next >= order.size()) {
+            // Only the protected oldest remains.  Without sharing,
+            // admission rejects any head whose worst-case peak exceeds
+            // the replica budget, so this is unreachable.  A head
+            // admitted into a prefix-sharing discount, however, can
+            // outgrow the budget alone once its co-sharers leave —
+            // evict it too rather than overflow physical memory (it
+            // re-admits under the storm guard's full-peak charge).
+            if (store_ && !gone[oldest]) {
+                gone[oldest] = true;
+                evicted.push_back(batch_[oldest]);
+                continue;
+            }
+            break;
+        }
         gone[order[next]] = true;
         evicted.push_back(batch_[order[next]]);
         ++next;
@@ -430,6 +512,14 @@ InferencePipeline::enforceKvPressure()
         }
         batch_ = std::move(survivors);
         evictions_ += static_cast<long>(evicted.size());
+        if (store_) {
+            // Drop the victims' references now, before the final yield
+            // decision re-scans the store: their sole blocks free,
+            // shared prefix blocks stay (cached once the last sharer
+            // leaves, reclaimed LRU only under allocation pressure).
+            for (auto &e : evicted)
+                store_->release(e);
+        }
     }
     // Final yield decision over the surviving batch: this is the flag the
     // upcoming scheduleStep honours.
@@ -528,12 +618,21 @@ InferencePipeline::onBoundary()
         ++itersExecuted_;
         tokensCommitted_ += decoded;
     }
+    if (store_) {
+        // Extend every request's physical blocks over the tokens that
+        // just committed: first divergence past a shared tail fires the
+        // CoW copy, freshly completed prefix levels publish to the index.
+        for (auto &r : batch_)
+            store_->commitProgress(r);
+    }
 
     // Requests leave the batch individually on completion.
     std::vector<ActiveRequest> still_running;
     still_running.reserve(batch_.size());
     for (auto &r : batch_) {
         if (r.done()) {
+            if (store_)
+                store_->release(r);
             if (callbacks_.onRequestComplete)
                 callbacks_.onRequestComplete(r);
         } else {
@@ -597,6 +696,7 @@ InferencePipeline::admitNewWork()
             throw std::invalid_argument(
                 "InferencePipeline: admitted already-finished request");
         normalizeProgress(r);
+        attachToStore(r);
         batch_.push_back(std::move(r));
         ++admittedMidBatch_;
     }

@@ -22,11 +22,13 @@
 
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "costmodel/latency_model.h"
 #include "costmodel/memory_model.h"
 #include "engine/active_request.h"
+#include "engine/kv_block_store.h"
 #include "simcore/executor.h"
 
 namespace spotserve {
@@ -94,6 +96,18 @@ struct BatchingOptions
      */
     long kvHighWatermarkBlocks = 0;
     long kvLowWatermarkBlocks = 0;
+
+    /**
+     * Block-level prefix sharing + copy-on-write: the pipeline owns a
+     * refcounted KvBlockStore, requests hold physical block-id sequences
+     * (deduplicated across shared prefixes, published to a radix index as
+     * prefix levels commit), admission and watermark eviction charge
+     * *physical* blocks, full prefix hits skip the matched prefill
+     * compute, and divergence from a shared partial tail copies the
+     * split block.  false (the ablation) keeps the PR 5 scalar block
+     * counters bit-for-bit; serving systems default it on.
+     */
+    bool prefixSharing = false;
 };
 
 /**
@@ -269,6 +283,60 @@ class InferencePipeline
     /** Steps in which prefill chunks yielded to decode (watermark). */
     long prefillYields() const { return prefillYields_; }
 
+    /**
+     * The prefix-sharing block store (nullptr when prefixSharing is off
+     * and the scalar counters remain the source of truth).
+     */
+    const KvBlockStore *kvStore() const { return store_.get(); }
+
+    /**
+     * Admission quote: matched-and-live shared prefix blocks the given
+     * (unattached) request would reference instead of allocating.  The
+     * serving layers subtract this from the scalar block charge; 0
+     * without a store.
+     */
+    long prefixQuoteBlocks(const ActiveRequest &r) const
+    {
+        return store_ ? store_->quoteSharedBlocks(r) : 0;
+    }
+
+    /**
+     * Physical (deduplicated) blocks the live batch holds: the store's
+     * live blocks, or the scalar count when sharing is off.  This — not
+     * the logical per-request sum — is what the budget bounds.
+     */
+    long kvPhysicalBlocksHeld() const
+    {
+        return store_ ? store_->liveBlocks() : kvBlocksHeld();
+    }
+
+    /**
+     * Token-space view of the physical holding, for migration volume:
+     * shared blocks transfer once, so the bytes a snapshot moves are
+     * bounded by the physical blocks, not the logical token sum.
+     */
+    long kvTokensHeldPhysical() const
+    {
+        if (!store_)
+            return kvTokensHeld();
+        return std::min(kvTokensHeld(),
+                        store_->liveBlocks() *
+                            static_cast<long>(batching_.kvBlockTokens));
+    }
+
+    /** Attaches that matched prefix tokens from the store's index. */
+    long prefixHits() const { return store_ ? store_->prefixHits() : 0; }
+    /** Prefix tokens whose prefill compute was skipped, total. */
+    long prefixMatchedTokens() const
+    {
+        return store_ ? store_->prefixMatchedTokens() : 0;
+    }
+    /** Copy-on-write block copies performed on divergence. */
+    long cowCopies() const { return store_ ? store_->cowCopies() : 0; }
+    /** Prefill seconds skipped thanks to prefix hits (LatencyModel-
+     *  costed diagnostic). */
+    double savedPrefillSeconds() const { return savedPrefillSeconds_; }
+
   private:
     /** Size, cost and schedule the next iteration over the live batch. */
     void scheduleStep();
@@ -281,6 +349,9 @@ class InferencePipeline
     int prefillChunkFor(const ActiveRequest &r) const;
     /** Recompute prefilled/prefillTokens consistency on (re)entry. */
     static void normalizeProgress(ActiveRequest &r);
+    /** Give @p r its physical blocks (prefix hits skip prefill compute
+     *  and are costed into savedPrefillSeconds_).  No-op without store. */
+    void attachToStore(ActiveRequest &r);
     /** Fire the onBoundary observer. */
     void observeBoundary();
     /**
@@ -305,6 +376,9 @@ class InferencePipeline
     BatchingOptions batching_;
     /** floor(kvBudgetTokens / kvBlockTokens); the enforced budget. */
     long budgetBlocks_ = kUnboundedKvBlocks;
+    /** Physical block pool + prefix index (only with prefixSharing). */
+    std::unique_ptr<KvBlockStore> store_;
+    double savedPrefillSeconds_ = 0.0;
 
     PipelinePhase phase_ = PipelinePhase::Idle;
     std::vector<ActiveRequest> batch_;

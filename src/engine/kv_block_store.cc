@@ -1,0 +1,406 @@
+#include "engine/kv_block_store.h"
+
+#include <stdexcept>
+
+namespace spotserve {
+namespace engine {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Content key of full block level @p level of prefix class @p cls: the
+ *  synthetic workload's prefix tokens are a pure function of (class,
+ *  position), so hashing (class, level, block size) is the chain hash of
+ *  the whole token prefix up to this level. */
+std::uint64_t
+fullKey(int cls, int level, int block_tokens)
+{
+    std::uint64_t h = mix(kFnvBasis, 0x66756c6cULL); // "full"
+    h = mix(h, static_cast<std::uint64_t>(cls));
+    h = mix(h, static_cast<std::uint64_t>(block_tokens));
+    return mix(h, static_cast<std::uint64_t>(level));
+}
+
+/** Key of the partial tail [level*B, prefix_len) of class @p cls.  Keyed
+ *  on the declared length too: clients may declare different lengths for
+ *  the same class and only identical tails may be shared. */
+std::uint64_t
+tailKeyOf(int cls, int level, int prefix_len, int block_tokens)
+{
+    std::uint64_t h = mix(kFnvBasis, 0x7461696cULL); // "tail"
+    h = mix(h, static_cast<std::uint64_t>(cls));
+    h = mix(h, static_cast<std::uint64_t>(block_tokens));
+    h = mix(h, static_cast<std::uint64_t>(level));
+    return mix(h, static_cast<std::uint64_t>(prefix_len));
+}
+
+} // namespace
+
+KvBlockStore::KvBlockStore(long capacity_blocks, int block_tokens)
+    : capacityBlocks_(capacity_blocks), blockTokens_(block_tokens)
+{
+    if (block_tokens < 1)
+        throw std::invalid_argument("KvBlockStore: block_tokens must be >= 1");
+    if (capacity_blocks < 0)
+        throw std::invalid_argument("KvBlockStore: negative capacity");
+}
+
+int
+KvBlockStore::shareLimitTokens(const ActiveRequest &r) const
+{
+    if (r.request.prefixId < 0 || r.request.prefixLen <= 0)
+        return 0;
+    return std::min(r.request.prefixLen, r.request.inputLen);
+}
+
+KvBlockStore::Match
+KvBlockStore::matchPrefix(const ActiveRequest &r) const
+{
+    Match m;
+    const int cls = r.request.prefixId;
+    const int limit = shareLimitTokens(r);
+    if (cls < 0 || limit <= 0)
+        return m;
+    const int full_max = limit / blockTokens_;
+    for (int k = 0; k < full_max; ++k) {
+        auto it = fullIndex_.find(fullKey(cls, k, blockTokens_));
+        if (it == fullIndex_.end())
+            break;
+        ++m.fullLevels;
+        if (blocks_[it->second].refs > 0)
+            ++m.liveLevels;
+    }
+    m.tokens = m.fullLevels * blockTokens_;
+    const int p = r.request.prefixLen;
+    if (m.fullLevels == full_max && p == limit && p % blockTokens_ != 0) {
+        auto it = tailIndex_.find(tailKeyOf(cls, full_max, p, blockTokens_));
+        // Only live donors: reviving a cached tail just to CoW it one
+        // boundary later would cost a block more than recomputing.
+        if (it != tailIndex_.end() && blocks_[it->second].refs > 0) {
+            m.tailBlock = it->second;
+            m.tokens = p;
+        }
+    }
+    return m;
+}
+
+long
+KvBlockStore::quoteSharedBlocks(const ActiveRequest &r) const
+{
+    return matchPrefix(r).liveLevels;
+}
+
+int
+KvBlockStore::allocate()
+{
+    if (freeList_.empty() && capacityBlocks_ != kUnboundedKvBlocks &&
+        physicalBlocks() >= capacityBlocks_) {
+        reclaimOneCached(); // frees exactly one block or throws
+    }
+    int id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        blocks_.emplace_back();
+        id = static_cast<int>(blocks_.size()) - 1;
+    }
+    Block &b = blocks_[id];
+    b = Block{};
+    b.refs = 1;
+    b.lastHit = ++clock_;
+    ++liveBlocks_;
+    ++liveRefs_;
+    return id;
+}
+
+void
+KvBlockStore::reclaimOneCached()
+{
+    int victim = -1;
+    for (int id = 0; id < static_cast<int>(blocks_.size()); ++id) {
+        const Block &b = blocks_[id];
+        if (b.freed || b.refs > 0)
+            continue;
+        if (victim < 0 || b.lastHit < blocks_[victim].lastHit)
+            victim = id;
+    }
+    if (victim < 0) {
+        // Every resident block is live: the admission/watermark layers
+        // above promised this could not happen.  Surface the accounting
+        // bug instead of silently over-allocating.
+        throw std::logic_error(
+            "KvBlockStore: allocation exceeds the physical block budget");
+    }
+    Block &b = blocks_[victim];
+    if (b.indexed)
+        fullIndex_.erase(b.indexKey);
+    if (b.tailDonor)
+        tailIndex_.erase(b.tailKey);
+    b = Block{};
+    b.freed = true;
+    freeList_.push_back(victim);
+    --cachedBlocks_;
+    ++cachedReclaims_;
+}
+
+void
+KvBlockStore::takeRef(int id)
+{
+    Block &b = blocks_[id];
+    if (b.refs == 0) {
+        --cachedBlocks_;
+        ++liveBlocks_;
+    }
+    ++b.refs;
+    ++liveRefs_;
+    b.lastHit = ++clock_;
+}
+
+void
+KvBlockStore::dropRef(int id, wl::RequestId releaser)
+{
+    Block &b = blocks_[id];
+    if (b.refs <= 0)
+        throw std::logic_error("KvBlockStore: refcount underflow");
+    --b.refs;
+    --liveRefs_;
+    b.lastHit = ++clock_;
+    if (b.writer == releaser)
+        b.writer = wl::kInvalidRequest; // immutable once its writer leaves
+    if (b.refs > 0)
+        return;
+    --liveBlocks_;
+    if (b.indexed || b.tailDonor) {
+        // Shared content stays resident as cached: evicted last, LRU,
+        // only when an allocation actually needs the room.
+        ++cachedBlocks_;
+        return;
+    }
+    b = Block{};
+    b.freed = true;
+    freeList_.push_back(id);
+}
+
+int
+KvBlockStore::attach(ActiveRequest &r)
+{
+    if (!r.kvBlockIds.empty())
+        throw std::logic_error("KvBlockStore: request already attached");
+    const long held = r.kvTokensHeld();
+    if (held > 0) {
+        // Carried progress (migration / inherited batch): rebuild the
+        // block sequence, deduplicating shared prefix levels so each
+        // shared block materializes once per replica.
+        const long levels = kvBlocksFor(held, blockTokens_);
+        const int limit = shareLimitTokens(r);
+        const int cls = r.request.prefixId;
+        for (long k = 0; k < levels; ++k) {
+            const long end = (k + 1) * blockTokens_;
+            const bool complete = held >= end;
+            const bool in_prefix = end <= limit;
+            if (complete && in_prefix) {
+                const std::uint64_t key =
+                    fullKey(cls, static_cast<int>(k), blockTokens_);
+                auto it = fullIndex_.find(key);
+                if (it != fullIndex_.end()) {
+                    takeRef(it->second);
+                    r.kvBlockIds.push_back(it->second);
+                    ++carryDedupBlocks_;
+                    continue;
+                }
+                const int id = allocate();
+                blocks_[id].indexed = true;
+                blocks_[id].indexKey = key;
+                fullIndex_[key] = id;
+                r.kvBlockIds.push_back(id);
+                continue;
+            }
+            const int id = allocate();
+            blocks_[id].writer = r.request.id;
+            r.kvBlockIds.push_back(id);
+        }
+        maybeRegisterTail(r);
+        return 0;
+    }
+    const Match m = matchPrefix(r);
+    const int cls = r.request.prefixId;
+    for (int k = 0; k < m.fullLevels; ++k) {
+        const int id = fullIndex_.at(fullKey(cls, k, blockTokens_));
+        takeRef(id);
+        r.kvBlockIds.push_back(id);
+    }
+    if (m.tailBlock >= 0) {
+        takeRef(m.tailBlock);
+        r.kvBlockIds.push_back(m.tailBlock);
+        r.kvTailShared = true;
+    }
+    r.prefillTokens = m.tokens;
+    r.prefilled = r.prefillTokens >= r.request.inputLen;
+    r.sharedPrefixTokens = m.tokens;
+    if (m.tokens > 0) {
+        ++prefixHits_;
+        prefixMatchedTokens_ += m.tokens;
+    }
+    return m.tokens;
+}
+
+void
+KvBlockStore::promoteCompletedLevels(const ActiveRequest &r)
+{
+    const int limit = shareLimitTokens(r);
+    if (limit <= 0)
+        return;
+    const long held = r.kvTokensHeld();
+    const long prefix_levels =
+        std::min<long>(static_cast<long>(r.kvBlockIds.size()),
+                       limit / blockTokens_);
+    for (long k = 0; k < prefix_levels; ++k) {
+        const int id = r.kvBlockIds[static_cast<std::size_t>(k)];
+        Block &b = blocks_[id];
+        if (b.indexed || b.writer != r.request.id)
+            continue;
+        if (held < (k + 1) * blockTokens_)
+            break; // level not fully committed yet
+        const std::uint64_t key =
+            fullKey(r.request.prefixId, static_cast<int>(k), blockTokens_);
+        if (fullIndex_.count(key))
+            continue; // someone published this level first; stay private
+        b.indexed = true;
+        b.indexKey = key;
+        b.writer = wl::kInvalidRequest; // full: nobody appends here again
+        fullIndex_[key] = id;
+    }
+}
+
+void
+KvBlockStore::maybeRegisterTail(const ActiveRequest &r)
+{
+    const int cls = r.request.prefixId;
+    const int p = r.request.prefixLen;
+    if (cls < 0 || p <= 0 || p > r.request.inputLen ||
+        p % blockTokens_ == 0)
+        return;
+    if (r.kvTokensHeld() < p)
+        return;
+    const int level = p / blockTokens_;
+    if (level >= static_cast<int>(r.kvBlockIds.size()))
+        return;
+    const int id = r.kvBlockIds[static_cast<std::size_t>(level)];
+    if (blocks_[id].writer != r.request.id)
+        return; // shared or foreign block: not ours to donate
+    const std::uint64_t key = tailKeyOf(cls, level, p, blockTokens_);
+    if (tailIndex_.count(key))
+        return;
+    blocks_[id].tailDonor = true;
+    blocks_[id].tailKey = key;
+    tailIndex_[key] = id;
+}
+
+void
+KvBlockStore::commitProgress(ActiveRequest &r)
+{
+    const long held = r.kvTokensHeld();
+    if (r.kvTailShared && held > r.sharedPrefixTokens) {
+        // First append past the shared tail: copy-on-write the split
+        // block so the donor's continuation is untouched.
+        const int old_id = r.kvBlockIds.back();
+        const int new_id = allocate();
+        blocks_[new_id].writer = r.request.id;
+        r.kvBlockIds.back() = new_id;
+        dropRef(old_id, r.request.id);
+        r.kvTailShared = false;
+        ++cowCopies_;
+    }
+    promoteCompletedLevels(r);
+    const long target = kvBlocksFor(held, blockTokens_);
+    const int limit = shareLimitTokens(r);
+    const int cls = r.request.prefixId;
+    for (long k = static_cast<long>(r.kvBlockIds.size()); k < target; ++k) {
+        const long end = (k + 1) * blockTokens_;
+        if (held >= end && end <= limit) {
+            // A freshly completed in-prefix level: if the index already
+            // holds it (published by a concurrent classmate), dedup the
+            // physical pages even though the compute already happened.
+            const std::uint64_t key =
+                fullKey(cls, static_cast<int>(k), blockTokens_);
+            auto it = fullIndex_.find(key);
+            if (it != fullIndex_.end()) {
+                takeRef(it->second);
+                r.kvBlockIds.push_back(it->second);
+                continue;
+            }
+            const int id = allocate();
+            blocks_[id].indexed = true;
+            blocks_[id].indexKey = key;
+            fullIndex_[key] = id;
+            r.kvBlockIds.push_back(id);
+            continue;
+        }
+        const int id = allocate();
+        blocks_[id].writer = r.request.id;
+        r.kvBlockIds.push_back(id);
+    }
+    maybeRegisterTail(r);
+}
+
+void
+KvBlockStore::release(ActiveRequest &r)
+{
+    for (int id : r.kvBlockIds)
+        dropRef(id, r.request.id);
+    r.kvBlockIds.clear();
+    r.kvTailShared = false;
+}
+
+long
+KvBlockStore::pendingCowBlocks(const ActiveRequest &r) const
+{
+    return r.kvTailShared ? 1 : 0;
+}
+
+long
+KvBlockStore::projectedGrowthBlocks(const ActiveRequest &r,
+                                    long add_tokens) const
+{
+    if (add_tokens <= 0)
+        return 0;
+    const long held = r.kvTokensHeld();
+    const long levels = kvBlocksFor(held + add_tokens, blockTokens_) -
+                        kvBlocksFor(held, blockTokens_);
+    return levels + pendingCowBlocks(r);
+}
+
+long
+KvBlockStore::liveBlocksExcluding(
+    const std::vector<const ActiveRequest *> &gone) const
+{
+    std::unordered_map<int, int> drops;
+    for (const ActiveRequest *r : gone) {
+        if (!r)
+            continue;
+        for (int id : r->kvBlockIds)
+            ++drops[id];
+    }
+    long out = liveBlocks_;
+    for (const auto &kv : drops) {
+        if (blocks_[kv.first].refs == kv.second)
+            --out; // all live refs belong to victims: block frees
+    }
+    return out;
+}
+
+} // namespace engine
+} // namespace spotserve

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Refcounted physical KV block store with radix prefix sharing and
+ * copy-on-write.
+ *
+ * PR 5 made KV memory block-granular but kept per-request scalar
+ * counters: two requests whose prompts start with the same system prompt
+ * or few-shot template pay for those blocks twice.  This store gives
+ * blocks *identity* — a per-replica pool of physical block ids with
+ * refcounts, a free list, and a prefix index in the paged-attention +
+ * prefix-caching lineage (vLLM's radix/trie prefix cache): block level k
+ * of prefix class c always holds the same tokens, so its content key is
+ * the chain hash of (class, 0..k) and a lookup walks levels from 0,
+ * stopping at the first miss — exactly a radix descent, with the chain
+ * hash standing in for the edge labels.
+ *
+ * Sharing semantics
+ *  - A *full* block (all block_tokens tokens inside the shared prefix)
+ *    is published to the index when its last token commits; later
+ *    requests of the same class take a reference instead of allocating,
+ *    and skip the prefill compute for those tokens.
+ *  - The *partial tail* of a prefix (prefixLen % block_tokens != 0)
+ *    lives in a mixed block: its writer keeps appending its own private
+ *    tokens after the shared ones.  That block is registered as a tail
+ *    donor; a sharer may reference it (KV reads of a strict prefix of a
+ *    block are sound — slots beyond the shared ones are simply not
+ *    read), but the first token the sharer *appends* diverges from the
+ *    donor's continuation and triggers copy-on-write of the split block.
+ *  - Releasing the last reference on an indexed block does not free it:
+ *    the block stays resident as *cached* (still physical, still warm)
+ *    and is reclaimed LRU over last-hit time only when allocation needs
+ *    room — so shared prefix blocks are evicted last.
+ *
+ * Accounting (the identity the serving layers rely on): the pipeline's
+ * charged demand is liveBlocks() plus each request's future growth
+ * (charged − held levels, plus one pending CoW copy), and the admission
+ * quote for a waiting request discounts exactly the matched full blocks
+ * that are currently *live* — those are already inside liveBlocks(), so
+ * the sum of quotes never under-counts physical demand and the
+ * budget-overflow throw stays a real invariant.  Cached (zero-ref) hits
+ * still skip prefill compute but are charged: reviving them consumes
+ * budget again.
+ */
+
+#ifndef SPOTSERVE_ENGINE_KV_BLOCK_STORE_H
+#define SPOTSERVE_ENGINE_KV_BLOCK_STORE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/active_request.h"
+
+namespace spotserve {
+namespace engine {
+
+/** Per-replica refcounted physical-block pool with prefix sharing. */
+class KvBlockStore
+{
+  public:
+    /**
+     * @param capacity_blocks physical blocks this replica may ever hold
+     *        (live + cached); kUnboundedKvBlocks disables the cap.
+     * @param block_tokens    tokens per block (post effectiveKvBlockTokens).
+     */
+    KvBlockStore(long capacity_blocks, int block_tokens);
+
+    int blockTokens() const { return blockTokens_; }
+    long capacityBlocks() const { return capacityBlocks_; }
+
+    /**
+     * Admission quote: how many of @p r's prefix blocks are matched by
+     * the index *and currently live* (referenced by a resident request).
+     * The serving layers subtract this from the scalar charge — live
+     * matches are already counted in liveBlocks(), so the discounted
+     * charge is exactly the marginal physical demand.  Cached matches
+     * are excluded (reviving them re-consumes budget).
+     */
+    long quoteSharedBlocks(const ActiveRequest &r) const;
+
+    /**
+     * Give @p r its physical blocks.  Fresh requests (no held tokens)
+     * walk the radix index: matched prefix tokens are granted without
+     * compute (prefillTokens/sharedPrefixTokens are set; a full-input
+     * hit marks the request prefilled).  Requests arriving with held
+     * tokens (migrated-in / inherited batches) rebuild their block
+     * sequence, taking references on already-resident shared prefix
+     * levels instead of allocating — each shared block materializes once
+     * per replica no matter how many inheritors carry it.
+     *
+     * @return prefix tokens newly matched from the index (0 for carries).
+     */
+    int attach(ActiveRequest &r);
+
+    /**
+     * Extend @p r's blocks to cover its committed tokens; call at every
+     * iteration boundary after progress commits.  Fires copy-on-write
+     * when the request first appends past a shared tail block, publishes
+     * freshly completed prefix levels to the index, and registers the
+     * request as tail donor for its class when eligible.
+     */
+    void commitProgress(ActiveRequest &r);
+
+    /**
+     * Drop all of @p r's references (completion, eviction, or batch
+     * handoff).  Zero-ref indexed/donor blocks become cached; private
+     * blocks return to the free list.  Clears r.kvBlockIds only —
+     * committed progress is untouched (migration keeps it; restarts go
+     * through resetForRestart as before).
+     */
+    void release(ActiveRequest &r);
+
+    /** 1 while r's tail block is shared and a CoW copy is still pending
+     *  (every live request eventually appends, so the copy is certain). */
+    long pendingCowBlocks(const ActiveRequest &r) const;
+
+    /**
+     * Physical blocks appending @p add_tokens to @p r may allocate:
+     * new levels plus the pending tail copy.  An upper bound — shared
+     * hits on freshly completed levels can only allocate less.
+     */
+    long projectedGrowthBlocks(const ActiveRequest &r, long add_tokens) const;
+
+    /**
+     * liveBlocks() after hypothetically releasing every request in
+     * @p gone: a block is freed only when *all* its live references
+     * belong to victims, so shared prefix blocks survive any partial
+     * eviction — the refcount arithmetic the watermark scan uses.
+     */
+    long
+    liveBlocksExcluding(const std::vector<const ActiveRequest *> &gone) const;
+
+    /** Blocks with at least one live reference. */
+    long liveBlocks() const { return liveBlocks_; }
+    /** Zero-ref indexed/donor blocks kept warm for future hits. */
+    long cachedBlocks() const { return cachedBlocks_; }
+    /** Total resident physical blocks (live + cached) — never exceeds
+     *  capacityBlocks(). */
+    long physicalBlocks() const { return liveBlocks_ + cachedBlocks_; }
+    /** Sum of all live references (leak check: must equal the summed
+     *  kvBlockIds sizes of resident requests). */
+    long totalLiveRefs() const { return liveRefs_; }
+
+    /** Attaches that matched at least one prefix token. */
+    long prefixHits() const { return prefixHits_; }
+    /** Prefix tokens whose prefill compute was skipped, total. */
+    long prefixMatchedTokens() const { return prefixMatchedTokens_; }
+    /** Copy-on-write block copies performed. */
+    long cowCopies() const { return cowCopies_; }
+    /** Cached blocks reclaimed (LRU) to make room for allocations. */
+    long cachedReclaims() const { return cachedReclaims_; }
+    /** Shared prefix blocks deduplicated while re-attaching carried
+     *  requests (each counted block was transferred/allocated once
+     *  instead of per-inheritor). */
+    long carryDedupBlocks() const { return carryDedupBlocks_; }
+
+  private:
+    struct Block
+    {
+        int refs = 0;
+        long lastHit = 0;
+        std::uint64_t indexKey = 0;
+        std::uint64_t tailKey = 0;
+        bool indexed = false;
+        bool tailDonor = false;
+        bool freed = false;
+        wl::RequestId writer = wl::kInvalidRequest;
+    };
+
+    struct Match
+    {
+        int fullLevels = 0;  ///< consecutive resident full levels from 0
+        int liveLevels = 0;  ///< of those, how many have refs > 0
+        int tailBlock = -1;  ///< live tail-donor block id, or -1
+        int tokens = 0;      ///< prefix tokens covered by the match
+    };
+
+    /** Shared full levels of r's class usable by r: (k+1)*B fits inside
+     *  both the declared prefix and r's own prompt. */
+    int shareLimitTokens(const ActiveRequest &r) const;
+    Match matchPrefix(const ActiveRequest &r) const;
+
+    int allocate();
+    void reclaimOneCached();
+    void takeRef(int id);
+    void dropRef(int id, wl::RequestId releaser);
+    void maybeRegisterTail(const ActiveRequest &r);
+    void promoteCompletedLevels(const ActiveRequest &r);
+
+    std::vector<Block> blocks_;
+    std::vector<int> freeList_;
+    /** chain hash of (class, levels 0..k) -> block id holding level k. */
+    std::unordered_map<std::uint64_t, int> fullIndex_;
+    /** tail hash of (class, tail level, prefixLen) -> donor block id. */
+    std::unordered_map<std::uint64_t, int> tailIndex_;
+
+    long capacityBlocks_;
+    int blockTokens_;
+    long clock_ = 0;
+
+    long liveBlocks_ = 0;
+    long cachedBlocks_ = 0;
+    long liveRefs_ = 0;
+    long prefixHits_ = 0;
+    long prefixMatchedTokens_ = 0;
+    long cowCopies_ = 0;
+    long cachedReclaims_ = 0;
+    long carryDedupBlocks_ = 0;
+};
+
+} // namespace engine
+} // namespace spotserve
+
+#endif // SPOTSERVE_ENGINE_KV_BLOCK_STORE_H

@@ -25,9 +25,17 @@ BaseServingSystem::rejectUnservableHeads(long budget_blocks, int block_tokens)
 {
     long rejected = 0;
     while (budget_blocks != engine::kUnboundedKvBlocks &&
-           !requests_.pendingEmpty() &&
-           requests_.pending().front().kvPeakBlocks(block_tokens) >
-               budget_blocks) {
+           !requests_.pendingEmpty()) {
+        const engine::ActiveRequest &head = requests_.pending().front();
+        // A head that fits *because* of prefix sharing is servable: its
+        // physical peak shrinks by the matched-and-live shared blocks
+        // some replica already holds.  Restarted heads stay undiscounted
+        // (the eviction-storm guard — they must fit worst case alone).
+        const long discount = (prefixSharing_ && head.restarts == 0)
+                                  ? bestPrefixDiscount(head)
+                                  : 0;
+        if (head.kvPeakBlocks(block_tokens) - discount <= budget_blocks)
+            break;
         // Even an empty replica cannot host this request: reject it
         // rather than letting it head-block the strict-FIFO queue.
         const wl::RequestId id = requests_.rejectHead();
@@ -38,6 +46,19 @@ BaseServingSystem::rejectUnservableHeads(long budget_blocks, int block_tokens)
         ++rejected;
     }
     return rejected;
+}
+
+long
+BaseServingSystem::bestPrefixDiscount(const engine::ActiveRequest &head) const
+{
+    long best = 0;
+    if (!deployment_)
+        return best;
+    for (const auto &p : deployment_->pipelines) {
+        if (p)
+            best = std::max(best, p->prefixQuoteBlocks(head));
+    }
+    return best;
 }
 
 void
@@ -198,11 +219,32 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
             return admitAtBoundary(p, free_slots);
         };
     }
-    cb.onBoundary = [this](const engine::InferencePipeline &p) {
+    // Prefix-sharing counters are monotone per pipeline; harvest them as
+    // deltas against a per-pipeline last-seen snapshot so totals survive
+    // pipeline teardown (migrations rebuild pipelines constantly).
+    struct PrefixSeen
+    {
+        long hits = 0;
+        long tokens = 0;
+        long cows = 0;
+        double saved = 0.0;
+    };
+    auto seen = std::make_shared<PrefixSeen>();
+    cb.onBoundary = [this, seen](const engine::InferencePipeline &p) {
         peakKvHeldTokens_ = std::max(peakKvHeldTokens_, p.kvTokensHeld());
         peakKvReservedTokens_ =
             std::max(peakKvReservedTokens_, p.kvTokensReserved());
         peakKvHeldBlocks_ = std::max(peakKvHeldBlocks_, p.kvBlocksHeld());
+        peakKvPhysicalBlocks_ =
+            std::max(peakKvPhysicalBlocks_, p.kvPhysicalBlocksHeld());
+        prefixHitsTotal_ += p.prefixHits() - seen->hits;
+        seen->hits = p.prefixHits();
+        prefixMatchedTokensTotal_ += p.prefixMatchedTokens() - seen->tokens;
+        seen->tokens = p.prefixMatchedTokens();
+        cowCopiesTotal_ += p.cowCopies() - seen->cows;
+        seen->cows = p.cowCopies();
+        savedPrefillSecondsTotal_ += p.savedPrefillSeconds() - seen->saved;
+        seen->saved = p.savedPrefillSeconds();
         peakConcurrentRequests_ = std::max(
             peakConcurrentRequests_, static_cast<int>(p.batch().size()));
         if (kvObserver_)
@@ -228,6 +270,7 @@ BaseServingSystem::makePipeline(const par::ParallelConfig &config, int index)
     batching.kvBudgetTokens = replicaKvBudget(config);
     batching.kvBlockTokens = kvBlockTokens_;
     batching.prefillChunkTokens = prefillChunkTokens_;
+    batching.prefixSharing = prefixSharing_;
     batching.kvAdmissionMode = kvAdmissionMode_;
     if (kvBudgetAdmission_ &&
         kvAdmissionMode_ == engine::KvAdmissionMode::Optimistic) {
@@ -338,19 +381,33 @@ BaseServingSystem::dispatchAll()
             break;
         // Least-loaded replica with a free slot AND enough KV headroom
         // for the FIFO head; stop only when the head fits no replica
-        // (strict head-blocking — nothing slips past it).
+        // (strict head-blocking — nothing slips past it).  With prefix
+        // sharing each replica quotes its own discount for the head
+        // (matched-and-live shared blocks it already holds), and the
+        // replica offering the biggest discount wins — colocating the
+        // head with its prefix both frees budget and skips prefill.
+        // All quotes are zero without sharing, reducing the selection to
+        // the plain least-loaded rule.
         const long head_charge = requests_.headKvCharge(mode, blk);
+        const engine::ActiveRequest &head = requests_.pending().front();
+        std::vector<long> quote(ready.size(), 0);
+        if (prefixSharing_ && head.restarts == 0) {
+            for (std::size_t i = 0; i < ready.size(); ++i)
+                quote[i] = ready[i]->prefixQuoteBlocks(head);
+        }
         int best = -1;
         for (int i = 0; i < static_cast<int>(ready.size()); ++i) {
             if (static_cast<int>(batches[i].size()) >=
                 deployment_->config.batch)
                 continue;
             if (budget != engine::kUnboundedKvBlocks &&
-                charged[i] + head_charge > budget)
+                charged[i] + head_charge - quote[i] > budget)
                 continue;
-            if (best < 0 || batches[i].size() < batches[best].size() ||
-                (batches[i].size() == batches[best].size() &&
-                 charged[i] < charged[best])) {
+            if (best < 0 || quote[i] > quote[best] ||
+                (quote[i] == quote[best] &&
+                 (batches[i].size() < batches[best].size() ||
+                  (batches[i].size() == batches[best].size() &&
+                   charged[i] < charged[best])))) {
                 best = i;
             }
         }
@@ -359,10 +416,12 @@ BaseServingSystem::dispatchAll()
         const long headroom = budget == engine::kUnboundedKvBlocks
                                   ? engine::kUnboundedKvBlocks
                                   : budget - charged[best];
-        auto got = requests_.nextBatch(1, headroom, mode, budget, blk);
+        auto got = requests_.nextBatch(1, headroom, mode, budget, blk,
+                                       ready[best]->kvStore());
         if (got.empty())
             break;
-        charged[best] += got.front().kvChargedBlocks(mode, blk);
+        charged[best] += std::max(
+            0L, got.front().kvChargedBlocks(mode, blk) - quote[best]);
         batches[best].push_back(std::move(got.front()));
     }
     for (std::size_t i = 0; i < ready.size(); ++i) {
@@ -435,7 +494,11 @@ BaseServingSystem::snapshotContext() const
             const auto &p = deployment_->pipelines[d];
             if (!p)
                 continue;
-            const double tokens = static_cast<double>(p->kvTokensHeld());
+            // Physical (deduplicated) tokens: with prefix sharing the KV
+            // bytes a migration must move are the store's live blocks,
+            // not the per-request logical sum.
+            const double tokens =
+                static_cast<double>(p->kvTokensHeldPhysical());
             if (tokens <= 0.0)
                 continue;
             for (par::GpuId g :
@@ -541,7 +604,8 @@ BaseServingSystem::admitAtBoundary(engine::InferencePipeline &pipeline,
     auto admitted = requests_.admitAtBoundary(slots, pipeline.freeKvBlocks(),
                                               pipeline.kvAdmissionMode(),
                                               pipeline.kvBudgetBlocks(),
-                                              pipeline.kvBlockTokens());
+                                              pipeline.kvBlockTokens(),
+                                              pipeline.kvStore());
     // The asking pipeline is mid-boundary (not idle), so dispatchAll only
     // touches the others.
     if (idle_others > 0 && !requests_.pendingEmpty())

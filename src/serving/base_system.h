@@ -79,8 +79,24 @@ class BaseServingSystem : public ServingSystem
     long peakKvReservedTokens() const { return peakKvReservedTokens_; }
     /** Largest KV holding any replica reached at a boundary, in whole
      *  KV blocks (per-request ceil rounding — what a paged allocator
-     *  would really have handed out). */
+     *  would really have handed out).  Logical: shared prefix blocks
+     *  count once per referencing request. */
     long peakKvHeldBlocks() const { return peakKvHeldBlocks_; }
+    /** Largest *physical* (deduplicated) block holding any replica
+     *  reached at a boundary.  Equals peakKvHeldBlocks without prefix
+     *  sharing; strictly smaller whenever prefixes were shared. */
+    long peakKvPhysicalBlocks() const { return peakKvPhysicalBlocks_; }
+    /** Prefix-cache hits across all pipelines (attaches that matched). */
+    long prefixHitsTotal() const { return prefixHitsTotal_; }
+    /** Prefix tokens whose prefill compute was skipped, total. */
+    long prefixMatchedTokensTotal() const { return prefixMatchedTokensTotal_; }
+    /** Copy-on-write block copies across all pipelines. */
+    long cowCopiesTotal() const { return cowCopiesTotal_; }
+    /** Prefill seconds skipped thanks to prefix hits (LatencyModel). */
+    double savedPrefillSecondsTotal() const
+    {
+        return savedPrefillSecondsTotal_;
+    }
     /** Largest live batch any replica reached at a boundary (requests). */
     int peakConcurrentRequests() const { return peakConcurrentRequests_; }
     /** Requests evicted by optimistic admission across all pipelines. */
@@ -250,6 +266,18 @@ class BaseServingSystem : public ServingSystem
     int kvBlockTokens() const { return kvBlockTokens_; }
 
     /**
+     * Block-level prefix sharing + copy-on-write (engine::KvBlockStore):
+     * each replica holds shared prompt prefixes once, full prefix hits
+     * skip the matched prefill compute, and every admission path quotes
+     * the post-prefix-hit physical demand.  Off reproduces the PR 5
+     * scalar block accounting bit-for-bit (the ablation); the serving
+     * systems' option structs default it on.  Takes effect for pipelines
+     * built after the call.
+     */
+    void setPrefixSharing(bool enabled) { prefixSharing_ = enabled; }
+    bool prefixSharing() const { return prefixSharing_; }
+
+    /**
      * How admission charges requests against the KV budget (takes effect
      * for pipelines built after the call).  Optimistic (default) charges
      * held + predicted tokens and relies on watermark eviction; Reserve
@@ -300,10 +328,20 @@ class BaseServingSystem : public ServingSystem
      * Drop queue heads whose worst-case KV (in blocks of
      * @p block_tokens) exceeds @p budget_blocks (they can never be
      * served by any replica of the active configuration, so leaving them
-     * would head-block the strict-FIFO queue forever).  Returns how many
-     * were rejected.
+     * would head-block the strict-FIFO queue forever).  With prefix
+     * sharing, the peak is discounted by the best matched-and-live quote
+     * any replica offers (bestPrefixDiscount): a head that fits *because*
+     * of sharing is not rejected.  Returns how many were rejected.
      */
     long rejectUnservableHeads(long budget_blocks, int block_tokens);
+
+    /**
+     * Best prefix-sharing admission quote (matched-and-live shared
+     * blocks) any live replica offers @p head.  The default scans the
+     * deployment's pipelines; systems with their own pipeline pools
+     * (rerouting slots) override.  0 without sharing.
+     */
+    virtual long bestPrefixDiscount(const engine::ActiveRequest &head) const;
 
     /** Build a pipeline wired to this system's callbacks. */
     std::unique_ptr<engine::InferencePipeline>
@@ -327,6 +365,7 @@ class BaseServingSystem : public ServingSystem
     int prefillChunkTokens_ = 0;
     int kvBlockTokens_ = 16;
     bool memOptReserve_ = true;
+    bool prefixSharing_ = false;
     engine::KvAdmissionMode kvAdmissionMode_ =
         engine::KvAdmissionMode::Optimistic;
     std::function<void(const engine::InferencePipeline &)> kvObserver_;
@@ -334,6 +373,11 @@ class BaseServingSystem : public ServingSystem
     long peakKvHeldTokens_ = 0;
     long peakKvReservedTokens_ = 0;
     long peakKvHeldBlocks_ = 0;
+    long peakKvPhysicalBlocks_ = 0;
+    long prefixHitsTotal_ = 0;
+    long prefixMatchedTokensTotal_ = 0;
+    long cowCopiesTotal_ = 0;
+    double savedPrefillSecondsTotal_ = 0.0;
     int peakConcurrentRequests_ = 0;
     long evictionsTotal_ = 0;
     double evictedWorkSeconds_ = 0.0;

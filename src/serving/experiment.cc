@@ -73,6 +73,11 @@ runExperimentOn(sim::Executor &executor, const model::ModelSpec &spec,
         result.peakKvReservedTokens = base->peakKvReservedTokens();
         result.peakKvHeldTokens = base->peakKvHeldTokens();
         result.peakKvHeldBlocks = base->peakKvHeldBlocks();
+        result.peakKvPhysicalBlocks = base->peakKvPhysicalBlocks();
+        result.prefixHits = base->prefixHitsTotal();
+        result.prefixMatchedTokens = base->prefixMatchedTokensTotal();
+        result.cowCopies = base->cowCopiesTotal();
+        result.savedPrefillSeconds = base->savedPrefillSecondsTotal();
         result.peakConcurrentRequests = base->peakConcurrentRequests();
         result.evictions = base->evictionsTotal();
         result.evictedWorkSeconds = base->evictedWorkSeconds();

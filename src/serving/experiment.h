@@ -60,6 +60,23 @@ struct ExperimentResult
      *  equals peakKvHeldTokens when kvBlockTokens = 1). */
     long peakKvHeldBlocks = 0;
 
+    /** Largest *physical* (deduplicated) block holding any replica
+     *  reached at a boundary.  Equals peakKvHeldBlocks without prefix
+     *  sharing; strictly smaller whenever prompt prefixes were shared. */
+    long peakKvPhysicalBlocks = 0;
+
+    /**
+     * Prefix-sharing diagnostics (KvBlockStore): attaches that matched a
+     * cached prefix, prefix tokens whose prefill compute was skipped,
+     * copy-on-write block copies, and the prefill seconds the hits saved
+     * (LatencyModel::prefillSavedTime).  All zero with sharing off.
+     * @{ */
+    long prefixHits = 0;
+    long prefixMatchedTokens = 0;
+    long cowCopies = 0;
+    double savedPrefillSeconds = 0.0;
+    /** @} */
+
     /** Largest live batch any replica reached at a boundary (requests) —
      *  the admitted concurrency the Reserve/Optimistic ablation compares. */
     int peakConcurrentRequests = 0;

@@ -65,20 +65,29 @@ RequestManager::stampPrediction(engine::ActiveRequest &request,
 std::vector<engine::ActiveRequest>
 RequestManager::popAdmissible(int max_count, long kv_budget,
                               engine::KvAdmissionMode mode,
-                              long replica_budget, int block_tokens)
+                              long replica_budget, int block_tokens,
+                              const engine::KvBlockStore *store)
 {
     std::vector<engine::ActiveRequest> batch;
     long remaining = kv_budget;
     while (!pending_.empty() && static_cast<int>(batch.size()) < max_count) {
         engine::ActiveRequest &head = pending_.front();
         stampPrediction(head, mode);
+        // Prefix-sharing discount: matched-and-live shared blocks are
+        // already resident (and already inside the pipeline's charged
+        // total), so the head's marginal demand shrinks by that many
+        // blocks.  Restarted heads stay undiscounted (storm guard).
+        const long discount = (store != nullptr && head.restarts == 0)
+                                  ? store->quoteSharedBlocks(head)
+                                  : 0;
         // Unservable whatever its optimistic charge: head-block until a
         // rejection site drops it.
         if (replica_budget != engine::kUnboundedKvBlocks &&
-            head.kvPeakBlocks(block_tokens) > replica_budget)
+            head.kvPeakBlocks(block_tokens) - discount > replica_budget)
             break;
         if (remaining != engine::kUnboundedKvBlocks) {
-            const long charge = head.kvChargedBlocks(mode, block_tokens);
+            const long charge = std::max(
+                0L, head.kvChargedBlocks(mode, block_tokens) - discount);
             if (charge > remaining)
                 break; // strict FIFO: nothing may slip past the head
             remaining -= charge;
@@ -92,19 +101,20 @@ RequestManager::popAdmissible(int max_count, long kv_budget,
 std::vector<engine::ActiveRequest>
 RequestManager::nextBatch(int max_size, long kv_budget,
                           engine::KvAdmissionMode mode, long replica_budget,
-                          int block_tokens)
+                          int block_tokens, const engine::KvBlockStore *store)
 {
     return popAdmissible(max_size, kv_budget, mode, replica_budget,
-                         block_tokens);
+                         block_tokens, store);
 }
 
 std::vector<engine::ActiveRequest>
 RequestManager::admitAtBoundary(int free_slots, long free_kv,
                                 engine::KvAdmissionMode mode,
-                                long replica_budget, int block_tokens)
+                                long replica_budget, int block_tokens,
+                                const engine::KvBlockStore *store)
 {
     auto admitted = popAdmissible(free_slots, free_kv, mode, replica_budget,
-                                  block_tokens);
+                                  block_tokens, store);
     midBatchAdmissions_ += static_cast<long>(admitted.size());
     return admitted;
 }

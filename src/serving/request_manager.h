@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/active_request.h"
+#include "engine/kv_block_store.h"
 #include "serving/output_predictor.h"
 #include "simcore/executor.h"
 #include "simcore/stats.h"
@@ -79,12 +80,19 @@ class RequestManager
      * Only fresh/restarted/mid-prefill work lives in the queue (committed
      * decode progress == 0); recovered batches are handed to pipelines
      * directly by the serving systems.
+     *
+     * When the target replica runs a prefix-sharing block store, pass it
+     * as @p store: each pop quotes the *post-prefix-hit* physical demand
+     * (the scalar charge minus the head's matched-and-live shared
+     * blocks), so a request that fits because of sharing is neither
+     * head-blocked nor rejected.
      */
     std::vector<engine::ActiveRequest>
     nextBatch(int max_size, long kv_budget = engine::kUnboundedKvBlocks,
               engine::KvAdmissionMode mode = engine::KvAdmissionMode::Reserve,
               long replica_budget = engine::kUnboundedKvBlocks,
-              int block_tokens = 1);
+              int block_tokens = 1,
+              const engine::KvBlockStore *store = nullptr);
 
     /**
      * Iteration-level scheduler (continuous batching): pack a live batch
@@ -102,13 +110,15 @@ class RequestManager
                     engine::KvAdmissionMode mode =
                         engine::KvAdmissionMode::Reserve,
                     long replica_budget = engine::kUnboundedKvBlocks,
-                    int block_tokens = 1);
+                    int block_tokens = 1,
+                    const engine::KvBlockStore *store = nullptr);
 
     /**
      * KV blocks (of @p block_tokens tokens; 1 = tokens) the queue head
      * would be charged under @p mode (stamping a fresh prediction on it
      * first).  Used by idle-batch formation to pick a replica with
-     * enough headroom before popping.
+     * enough headroom before popping.  The scalar (undiscounted) charge:
+     * dispatch subtracts each candidate replica's own prefix quote.
      * @pre the queue is not empty.
      */
     long headKvCharge(engine::KvAdmissionMode mode, int block_tokens = 1);
@@ -227,11 +237,20 @@ class RequestManager
      * shared pop, not only at the heads the call sites inspect, because
      * a multi-request pop exposes new heads mid-call.  All budgets and
      * charges are in KV blocks of @p block_tokens tokens (1 = tokens).
+     *
+     * With a prefix-sharing @p store, both the peak and the charge are
+     * discounted by the head's matched-and-live shared blocks — those
+     * blocks are already resident and counted in the pipeline's charged
+     * total, so the discounted value is the request's exact marginal
+     * physical demand (sound even in Reserve mode: the shared blocks
+     * stay referenced for the request's whole lifetime).  Restarted
+     * heads get no discount, extending the storm guard: a just-evicted
+     * request re-admits only into genuine worst-case headroom.
      */
     std::vector<engine::ActiveRequest>
     popAdmissible(int max_count, long kv_budget,
                   engine::KvAdmissionMode mode, long replica_budget,
-                  int block_tokens);
+                  int block_tokens, const engine::KvBlockStore *store);
 
     /** Stamp a fresh predictor estimate on @p request (Optimistic). */
     void stampPrediction(engine::ActiveRequest &request,

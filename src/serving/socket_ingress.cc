@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -290,19 +291,73 @@ void SocketIngress::handleLine(int fd, const std::string &line)
         int input = 0;
         int output = 0;
         int cap = 0;
+        int prefix_id = -1;
+        int prefix_len = 0;
         if (!(in >> input >> output) || input <= 0 || output <= 0) {
             protocolErrors_.fetch_add(1);
             sendToFd(fd, "error usage: gen <input_tokens> <output_tokens> "
-                         "[<output_cap>]");
+                         "[<output_cap>] [prefix=<id>[:<len>]]");
             return;
         }
-        in >> cap; // optional; stays 0 when absent
+        // Remaining tokens in any order: a bare integer is the output
+        // cap, `prefix=<id>[:<len>]` declares a shared prompt-prefix
+        // class (bare id means the whole input is the class prefix).
+        // Malformed fields are protocol errors but never fatal: the
+        // connection stays up for the client's next line.
+        std::string tok;
+        while (in >> tok) {
+            if (tok.rfind("prefix=", 0) == 0) {
+                std::size_t consumed = 0;
+                const std::string spec = tok.substr(7);
+                const std::size_t colon = spec.find(':');
+                try {
+                    prefix_id = std::stoi(spec, &consumed);
+                    if (colon == std::string::npos) {
+                        prefix_len = input; // whole input is the prefix
+                        if (consumed != spec.size())
+                            throw std::invalid_argument(spec);
+                    } else {
+                        if (consumed != colon)
+                            throw std::invalid_argument(spec);
+                        prefix_len =
+                            std::stoi(spec.substr(colon + 1), &consumed);
+                        if (consumed != spec.size() - colon - 1)
+                            throw std::invalid_argument(spec);
+                    }
+                } catch (const std::exception &) {
+                    protocolErrors_.fetch_add(1);
+                    sendToFd(fd, "error bad prefix field (want "
+                                 "prefix=<id>[:<len>]): " +
+                                     tok);
+                    return;
+                }
+                if (prefix_id < 0 || prefix_len <= 0) {
+                    protocolErrors_.fetch_add(1);
+                    sendToFd(fd,
+                             "error prefix id must be >= 0 and len >= 1");
+                    return;
+                }
+                prefix_len = std::min(prefix_len, input);
+            } else {
+                try {
+                    std::size_t consumed = 0;
+                    cap = std::stoi(tok, &consumed);
+                    if (consumed != tok.size())
+                        throw std::invalid_argument(tok);
+                } catch (const std::exception &) {
+                    protocolErrors_.fetch_add(1);
+                    sendToFd(fd, "error bad field: " + tok);
+                    return;
+                }
+            }
+        }
         if (cap != 0 && cap < output) {
             protocolErrors_.fetch_add(1);
             sendToFd(fd, "error output_cap must be >= output_tokens");
             return;
         }
-        const wl::RequestId id = injectRequest(fd, input, output, cap);
+        const wl::RequestId id =
+            injectRequest(fd, input, output, cap, prefix_id, prefix_len);
         sendToFd(fd, "queued " + std::to_string(id));
         return;
     }
@@ -312,7 +367,8 @@ void SocketIngress::handleLine(int fd, const std::string &line)
 }
 
 wl::RequestId SocketIngress::injectRequest(int fd, int input_tokens,
-                                           int output_tokens, int output_cap)
+                                           int output_tokens, int output_cap,
+                                           int prefix_id, int prefix_len)
 {
     const wl::RequestId id =
         static_cast<wl::RequestId>(nextRequestId_.fetch_add(1));
@@ -326,6 +382,8 @@ wl::RequestId SocketIngress::injectRequest(int fd, int input_tokens,
     request.inputLen = input_tokens;
     request.outputLen = output_tokens;
     request.outputCap = output_cap;
+    request.prefixId = prefix_id;
+    request.prefixLen = prefix_len;
 
     // The arrival timestamp is stamped on the driver thread right before
     // the system sees the request, so latency is measured from the moment

@@ -148,7 +148,8 @@ class SocketIngress
     void handleLine(int fd, const std::string &line);
     /** Inject one parsed request; returns its assigned id. */
     wl::RequestId injectRequest(int fd, int input_tokens, int output_tokens,
-                                int output_cap);
+                                int output_cap, int prefix_id = -1,
+                                int prefix_len = 0);
     /**
      * Queue a line (newline appended) for @p fd and flush as much as the
      * socket accepts without blocking.  Never blocks: the caller may be

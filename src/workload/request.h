@@ -44,6 +44,21 @@ struct Request
      * worst-case KV reservations are pessimistic by the difference.
      */
     int outputCap = 0;
+
+    /**
+     * Shared-prefix class this request's prompt starts with (-1 = none).
+     * All requests with the same prefixId begin with the same prefixLen
+     * tokens — a shared system prompt or few-shot template — so a
+     * prefix-sharing KV allocator can hold those tokens once per replica
+     * and skip their prefill for every hit after the first
+     * (wl::withSharedPrefixes stamps these; the ingress protocol carries
+     * them as `prefix=<id>[:<len>]`).
+     */
+    int prefixId = -1;
+
+    /** Tokens of the shared prefix (0 when prefixId == -1; always
+     *  <= inputLen — the prefix is a *prefix of this prompt*). */
+    int prefixLen = 0;
 };
 
 } // namespace wl

@@ -1,5 +1,6 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -78,6 +79,77 @@ capOutputs(Workload &workload, int output_cap, int min_actual,
         r.outputCap = output_cap;
         r.outputLen = static_cast<int>(rng.uniformInt(min_actual, max_actual));
     }
+}
+
+void
+withSharedPrefixes(Workload &workload,
+                   const std::vector<PrefixClass> &classes, sim::Rng &rng,
+                   double no_prefix_weight, bool prepend)
+{
+    if (classes.empty())
+        throw std::invalid_argument(
+            "withSharedPrefixes: need at least one class");
+    double total = no_prefix_weight;
+    for (const auto &c : classes) {
+        if (c.tokens < 1)
+            throw std::invalid_argument(
+                "withSharedPrefixes: class tokens must be >= 1");
+        if (c.weight < 0.0)
+            throw std::invalid_argument(
+                "withSharedPrefixes: class weight must be >= 0");
+        total += c.weight;
+    }
+    if (no_prefix_weight < 0.0 || total <= 0.0)
+        throw std::invalid_argument("withSharedPrefixes: bad weights");
+    for (auto &r : workload) {
+        double u = rng.uniform() * total - no_prefix_weight;
+        if (u < 0.0) {
+            r.prefixId = -1;
+            r.prefixLen = 0;
+            continue;
+        }
+        int cls = static_cast<int>(classes.size()) - 1;
+        for (int i = 0; i < static_cast<int>(classes.size()); ++i) {
+            u -= classes[i].weight;
+            if (u < 0.0) {
+                cls = i;
+                break;
+            }
+        }
+        r.prefixId = cls;
+        if (prepend) {
+            r.inputLen += classes[cls].tokens;
+            r.prefixLen = classes[cls].tokens;
+        } else {
+            r.prefixLen = std::min(classes[cls].tokens, r.inputLen);
+        }
+    }
+}
+
+void
+withSystemPrompt(Workload &workload, int prompt_tokens)
+{
+    if (prompt_tokens < 1)
+        throw std::invalid_argument(
+            "withSystemPrompt: prompt tokens must be >= 1");
+    for (auto &r : workload) {
+        r.prefixId = 0;
+        r.prefixLen = prompt_tokens;
+        r.inputLen += prompt_tokens;
+    }
+}
+
+void
+withFewShotPrefixes(Workload &workload, int num_classes, int class_tokens,
+                    sim::Rng &rng)
+{
+    if (num_classes < 1)
+        throw std::invalid_argument(
+            "withFewShotPrefixes: need at least one class");
+    std::vector<PrefixClass> classes(
+        static_cast<std::size_t>(num_classes),
+        PrefixClass{class_tokens, 1.0});
+    withSharedPrefixes(workload, classes, rng);
 }
 
 double

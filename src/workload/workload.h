@@ -55,6 +55,47 @@ Workload fluctuating(const std::function<double(sim::SimTime)> &rate_at,
 void capOutputs(Workload &workload, int output_cap, int min_actual,
                 int max_actual, sim::Rng &rng);
 
+/**
+ * One shared-prefix class: a distinct prompt prefix @p tokens tokens
+ * long, drawn by requests with probability proportional to @p weight
+ * (system prompts, few-shot templates, multi-turn conversation stems).
+ */
+struct PrefixClass
+{
+    int tokens = 0;
+    double weight = 1.0;
+};
+
+/**
+ * Stamp a shared-prefix structure onto @p workload: each request draws
+ * one of @p classes (weighted), or no prefix with relative weight
+ * @p no_prefix_weight.  With @p prepend (default) the class prefix is
+ * new prompt text: inputLen grows by the class's tokens, modelling a
+ * template attached in front of the user turn.  Without it the prefix is
+ * declared *within* the existing prompt (prefixLen =
+ * min(class tokens, inputLen)), leaving lengths — and therefore every
+ * latency and KV figure with sharing off — untouched.
+ */
+void withSharedPrefixes(Workload &workload,
+                        const std::vector<PrefixClass> &classes,
+                        sim::Rng &rng, double no_prefix_weight = 0.0,
+                        bool prepend = true);
+
+/**
+ * Preset: every request shares one system prompt of @p prompt_tokens
+ * tokens prepended to its input (the single-class limit — maximum
+ * sharing opportunity).
+ */
+void withSystemPrompt(Workload &workload, int prompt_tokens);
+
+/**
+ * Preset: @p num_classes few-shot templates of @p class_tokens tokens
+ * each, drawn uniformly per request and prepended (the multi-tenant
+ * template mix).
+ */
+void withFewShotPrefixes(Workload &workload, int num_classes,
+                         int class_tokens, sim::Rng &rng);
+
 /** Empirical mean arrival rate of a workload over its span. */
 double meanRate(const Workload &workload, sim::SimTime duration);
 

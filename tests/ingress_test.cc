@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cluster/availability_trace.h"
+#include "serving/base_system.h"
 #include "serving/presets.h"
 #include "serving/socket_ingress.h"
 #include "simcore/wallclock_executor.h"
@@ -225,6 +226,39 @@ TEST_F(IngressFixture, MalformedLinesGetErrorsWithoutKillingTheSession)
     EXPECT_EQ(lines.back().substr(0, 4), "done");
     EXPECT_GE(ingress_->protocolErrors(), 3);
     EXPECT_EQ(ingress_->requestsInjected(), 1);
+}
+
+TEST_F(IngressFixture, PrefixDeclarationsFlowThroughAndBadOnesAreNonFatal)
+{
+    LineClient client(ingress_->boundPort());
+
+    // Malformed prefix declarations are protocol errors, not
+    // disconnects: the session keeps serving afterwards.
+    client.sendLine("gen 64 2 prefix=x");
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+    client.sendLine("gen 64 2 prefix=0:-3");
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+    client.sendLine("gen 64 2 prefix=-1:16");
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+    client.sendLine("gen 64 2 prefix=0:16trailing");
+    EXPECT_EQ(client.readLine().substr(0, 5), "error");
+    EXPECT_GE(ingress_->protocolErrors(), 4);
+
+    // Two classmates declaring the same 32-token prefix: both complete,
+    // and the second one's prefill hits the first one's published blocks
+    // — proving the declaration crossed the wire into the engine.
+    client.sendLine("gen 64 2 prefix=0:32");
+    EXPECT_EQ(client.readUntil("done").back().substr(0, 4), "done");
+    client.sendLine("gen 64 2 prefix=0:32");
+    EXPECT_EQ(client.readUntil("done").back().substr(0, 4), "done");
+    auto *base = dynamic_cast<serving::BaseServingSystem *>(system_.get());
+    ASSERT_NE(base, nullptr);
+    EXPECT_GE(base->prefixHitsTotal(), 1);
+
+    // Bare prefix=<id> declares the whole prompt as the class prefix.
+    client.sendLine("gen 64 2 prefix=1");
+    EXPECT_EQ(client.readUntil("done").back().substr(0, 4), "done");
+    EXPECT_EQ(ingress_->requestsInjected(), 3);
 }
 
 TEST_F(IngressFixture, ConcurrentClientsGetTheirOwnStreams)

@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Refcounted paged-KV block store: radix prefix sharing + copy-on-write.
+ *
+ * Store unit tests pin the refcount/index semantics (full-block sharing,
+ * partial-tail donation with CoW on divergence, cached-block LRU reclaim,
+ * carry dedup for migrated-in batches).  The system-level matrix runs
+ * SpotServe over the churn trace with shared-prefix workloads in both
+ * admission modes, asserting at every boundary of every replica that the
+ * *physical* (deduplicated) block holding fits the block budget and that
+ * no reference leaks (the store's live refs equal the batch's block-id
+ * holdings).  The ablation pin replays a prefix-free experiment with
+ * sharing on and off and demands byte-identical results — sharing
+ * default-on must reproduce the scalar (PR 5) accounting exactly when no
+ * prefixes exist to share.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include <stdexcept>
+
+#include "cluster/trace_library.h"
+#include "core/spotserve_system.h"
+#include "costmodel/memory_model.h"
+#include "engine/inference_pipeline.h"
+#include "engine/kv_block_store.h"
+#include "model/model_spec.h"
+#include "serving/experiment.h"
+#include "serving/request_manager.h"
+#include "simcore/simulation.h"
+#include "workload/workload.h"
+
+namespace spotserve {
+namespace {
+
+const cost::CostParams kParams = cost::CostParams::awsG4dn();
+
+/** Same CI hook as memory_admission_test: SPOTSERVE_TEST_KV_BLOCK_TOKENS
+ *  reruns the whole binary at another block granularity. */
+int
+testBlockTokens()
+{
+    if (const char *env = std::getenv("SPOTSERVE_TEST_KV_BLOCK_TOKENS")) {
+        const int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    return 16;
+}
+
+engine::ActiveRequest
+makeActive(wl::RequestId id, int input_len, int output_len, int prefix_id,
+           int prefix_len)
+{
+    engine::ActiveRequest r;
+    r.request.id = id;
+    r.request.inputLen = input_len;
+    r.request.outputLen = output_len;
+    r.request.prefixId = prefix_id;
+    r.request.prefixLen = prefix_len;
+    return r;
+}
+
+/** Commit @p r's progress up to @p prefill input and @p output tokens
+ *  and extend its blocks, as a pipeline boundary would. */
+void
+commitTo(engine::KvBlockStore &store, engine::ActiveRequest &r, int prefill,
+         int output)
+{
+    r.prefillTokens = prefill;
+    r.prefilled = r.prefillTokens >= r.request.inputLen;
+    r.committedTokens = output;
+    store.commitProgress(r);
+}
+
+// ---------------------------------------------------------------------
+// Store unit tests
+// ---------------------------------------------------------------------
+
+TEST(KvBlockStoreTest, FullBlockSharingRefcountsAndCaching)
+{
+    engine::KvBlockStore store(/*capacity=*/100, /*block_tokens=*/16);
+
+    // First writer of class 0: no match, computes everything, publishes
+    // the two complete prefix levels on commit.
+    auto a = makeActive(1, /*input=*/64, /*output=*/8, /*prefix_id=*/0,
+                        /*prefix_len=*/32);
+    EXPECT_EQ(store.quoteSharedBlocks(a), 0);
+    EXPECT_EQ(store.attach(a), 0);
+    commitTo(store, a, 64, 0);
+    EXPECT_EQ(store.liveBlocks(), 4);
+    EXPECT_EQ(store.totalLiveRefs(), 4);
+    EXPECT_EQ(store.prefixHits(), 0);
+
+    // Classmate: both prefix levels are live -> quoted, matched without
+    // compute; its non-prefix levels stay private.
+    auto b = makeActive(2, 64, 8, 0, 32);
+    EXPECT_EQ(store.quoteSharedBlocks(b), 2);
+    EXPECT_EQ(store.attach(b), 32);
+    EXPECT_EQ(b.prefillTokens, 32);
+    EXPECT_EQ(b.sharedPrefixTokens, 32);
+    EXPECT_EQ(store.prefixHits(), 1);
+    EXPECT_EQ(store.prefixMatchedTokens(), 32);
+    EXPECT_EQ(store.liveBlocks(), 4); // shared levels counted once
+    EXPECT_EQ(store.totalLiveRefs(), 6);
+    commitTo(store, b, 64, 0);
+    EXPECT_EQ(store.liveBlocks(), 6);
+    ASSERT_EQ(b.kvBlockIds.size(), 4u);
+    EXPECT_EQ(a.kvBlockIds[0], b.kvBlockIds[0]);
+    EXPECT_EQ(a.kvBlockIds[1], b.kvBlockIds[1]);
+    EXPECT_NE(a.kvBlockIds[2], b.kvBlockIds[2]);
+
+    // Releasing one sharer keeps the shared levels live; releasing both
+    // demotes them to cached (warm, still physical) instead of freeing.
+    store.release(a);
+    EXPECT_EQ(store.liveBlocks(), 4);
+    EXPECT_EQ(store.cachedBlocks(), 0);
+    store.release(b);
+    EXPECT_EQ(store.liveBlocks(), 0);
+    EXPECT_EQ(store.cachedBlocks(), 2);
+    EXPECT_EQ(store.totalLiveRefs(), 0);
+
+    // A cached hit still skips the compute but is NOT quoted: reviving
+    // the blocks consumes budget again, so admission must charge them.
+    auto c = makeActive(3, 64, 8, 0, 32);
+    EXPECT_EQ(store.quoteSharedBlocks(c), 0);
+    EXPECT_EQ(store.attach(c), 32);
+    EXPECT_EQ(store.prefixHits(), 2);
+    EXPECT_EQ(store.liveBlocks(), 2);
+    EXPECT_EQ(store.cachedBlocks(), 0);
+    store.release(c);
+}
+
+TEST(KvBlockStoreTest, PartialTailCopyOnWriteAtDivergence)
+{
+    engine::KvBlockStore store(100, 16);
+
+    // prefixLen 24 = one full level + an 8-token tail inside block 1.
+    auto a = makeActive(1, /*input=*/40, /*output=*/8, 0, /*prefix_len=*/24);
+    store.attach(a);
+    commitTo(store, a, 40, 0); // 3 blocks; level 1 becomes the tail donor
+    EXPECT_EQ(store.liveBlocks(), 3);
+
+    // The sharer references the donor's tail (reading a strict prefix of
+    // a block is sound) and is granted the whole 24-token prefix.
+    auto b = makeActive(2, /*input=*/50, 8, 0, 24);
+    EXPECT_EQ(store.quoteSharedBlocks(b), 1); // full levels only
+    EXPECT_EQ(store.attach(b), 24);
+    EXPECT_TRUE(b.kvTailShared);
+    EXPECT_EQ(store.pendingCowBlocks(b), 1);
+    EXPECT_EQ(store.liveBlocks(), 3);
+
+    // First append past the shared prefix diverges from the donor's
+    // continuation: exactly one copy-on-write, then growth is private.
+    commitTo(store, b, 50, 0);
+    EXPECT_EQ(store.cowCopies(), 1);
+    EXPECT_FALSE(b.kvTailShared);
+    EXPECT_EQ(store.pendingCowBlocks(b), 0);
+    ASSERT_EQ(b.kvBlockIds.size(), 4u); // ceil(50/16)
+    EXPECT_EQ(a.kvBlockIds[0], b.kvBlockIds[0]);
+    EXPECT_NE(a.kvBlockIds[1], b.kvBlockIds[1]); // the copied split block
+    commitTo(store, b, 50, 8);
+    EXPECT_EQ(store.cowCopies(), 1); // never a second copy
+    store.release(a);
+    store.release(b);
+    EXPECT_EQ(store.totalLiveRefs(), 0);
+}
+
+TEST(KvBlockStoreTest, CachedBlocksReclaimedLruAndLiveOveruseThrows)
+{
+    engine::KvBlockStore store(/*capacity=*/4, 16);
+
+    // Two classes fill the capacity with cached prefix blocks.
+    auto a = makeActive(1, 32, 8, 0, 32);
+    store.attach(a);
+    commitTo(store, a, 32, 0);
+    store.release(a); // class 0 levels cached (older)
+    auto b = makeActive(2, 32, 8, 1, 32);
+    store.attach(b);
+    commitTo(store, b, 32, 0);
+    store.release(b); // class 1 levels cached (newer)
+    EXPECT_EQ(store.cachedBlocks(), 4);
+    EXPECT_EQ(store.physicalBlocks(), 4);
+
+    // A third class needs room: the LRU (class 0) blocks are reclaimed,
+    // the warmer class 1 survives.
+    auto c = makeActive(3, 32, 8, 2, 32);
+    store.attach(c);
+    commitTo(store, c, 32, 0);
+    EXPECT_EQ(store.cachedReclaims(), 2);
+    EXPECT_LE(store.physicalBlocks(), 4);
+    auto d0 = makeActive(4, 32, 8, 0, 32);
+    EXPECT_EQ(store.quoteSharedBlocks(d0), 0); // class 0 evicted
+    auto d1 = makeActive(5, 32, 8, 1, 32);
+    store.attach(d1); // class 1 still matches (cached revival)
+    EXPECT_EQ(d1.prefillTokens, 32);
+    store.release(c);
+    store.release(d1);
+
+    // When every resident block is live, exceeding the capacity is an
+    // accounting bug upstream and must throw, not over-allocate.
+    engine::KvBlockStore tight(/*capacity=*/2, 16);
+    auto big = makeActive(6, 48, 8, -1, 0);
+    tight.attach(big);
+    big.prefillTokens = 48;
+    EXPECT_THROW(tight.commitProgress(big), std::logic_error);
+}
+
+TEST(KvBlockStoreTest, CarriedBatchesDeduplicateSharedLevels)
+{
+    engine::KvBlockStore store(100, 16);
+
+    // Two migrated-in classmates arrive with committed progress (the
+    // inherited-batch path): each shared prefix level materializes once
+    // on the inheriting replica, later carriers take references.
+    auto a = makeActive(1, 64, 8, 0, 32);
+    a.prefillTokens = 64;
+    EXPECT_EQ(store.attach(a), 0); // carries never count as prefix hits
+    EXPECT_EQ(store.liveBlocks(), 4);
+    auto b = makeActive(2, 64, 8, 0, 32);
+    b.prefillTokens = 64;
+    EXPECT_EQ(store.attach(b), 0);
+    EXPECT_EQ(store.carryDedupBlocks(), 2);
+    EXPECT_EQ(store.liveBlocks(), 6); // 2 shared + 2+2 private
+    EXPECT_EQ(store.prefixHits(), 0);
+    EXPECT_EQ(a.kvBlockIds[0], b.kvBlockIds[0]);
+    EXPECT_EQ(a.kvBlockIds[1], b.kvBlockIds[1]);
+    store.release(a);
+    store.release(b);
+    EXPECT_EQ(store.totalLiveRefs(), 0);
+}
+
+// ---------------------------------------------------------------------
+// System-level invariant matrix
+// ---------------------------------------------------------------------
+
+using cluster::AvailabilityTrace;
+using cluster::InstanceType;
+using cluster::TraceEvent;
+using cluster::TraceEventKind;
+
+/** Join 8, preempt one, join one, preempt another: the standard
+ *  migration-churn backdrop the admission suites use. */
+AvailabilityTrace
+churnTrace()
+{
+    return AvailabilityTrace(
+        "churn", 1200.0,
+        {TraceEvent{0.0, TraceEventKind::Join, InstanceType::Spot, 8},
+         TraceEvent{300.0, TraceEventKind::PreemptNotice, InstanceType::Spot,
+                    1},
+         TraceEvent{500.0, TraceEventKind::Join, InstanceType::Spot, 1},
+         TraceEvent{800.0, TraceEventKind::PreemptNotice, InstanceType::Spot,
+                    1}});
+}
+
+struct PrefixInvariantResult
+{
+    long checks = 0;
+    long violations = 0;
+    long refLeaks = 0;
+    long prefixHits = 0;
+    long cowCopies = 0;
+    int migrations = 0;
+    long completed = 0;
+    long arrived = 0;
+};
+
+/**
+ * Run SpotServe with prefix sharing over the churn trace, asserting at
+ * every boundary of every replica:
+ *  - physical (deduplicated) blocks held fit the block budget — the
+ *    CI-gated invariant;
+ *  - the store's resident blocks fit its capacity and its live refs
+ *    equal the batch's block-id holdings exactly (zero leaked refs; an
+ *    empty batch therefore implies zero live blocks);
+ *  - logical holdings fit the budget too (sharing only tightens).
+ */
+PrefixInvariantResult
+runPrefixSystemInvariant(const wl::Workload &workload, int chunk_tokens,
+                         engine::KvAdmissionMode mode, int block_tokens)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const auto trace = churnTrace();
+    const cost::SeqSpec seq{};
+    const cost::MemoryModel mem(spec, kParams);
+
+    sim::Simulation sim;
+    cluster::InstanceManager instances(sim, kParams);
+    serving::RequestManager requests(sim);
+    core::SpotServeOptions options;
+    options.designArrivalRate = 0.35;
+    options.prefillChunkTokens = chunk_tokens;
+    options.kvAdmissionMode = mode;
+    options.kvBlockTokens = block_tokens;
+    options.prefixSharing = true;
+    core::SpotServeSystem system(sim, instances, requests, spec, kParams,
+                                 seq, options);
+
+    PrefixInvariantResult out;
+    system.setKvObserver([&](const engine::InferencePipeline &p) {
+        ++out.checks;
+        const long budget_blocks =
+            mem.kvBudgetBlocks(p.config(), block_tokens);
+        if (p.kvPhysicalBlocksHeld() > budget_blocks)
+            ++out.violations;
+        if (p.kvBlocksHeld() > budget_blocks)
+            ++out.violations;
+        if (const engine::KvBlockStore *store = p.kvStore()) {
+            if (store->capacityBlocks() != engine::kUnboundedKvBlocks &&
+                store->physicalBlocks() > store->capacityBlocks())
+                ++out.violations;
+            long held_refs = 0;
+            for (const auto &r : p.batch())
+                held_refs += static_cast<long>(r.kvBlockIds.size());
+            if (held_refs != store->totalLiveRefs())
+                ++out.refLeaks;
+            if (p.batch().empty() && store->liveBlocks() != 0)
+                ++out.refLeaks;
+        }
+    });
+
+    instances.setListener(&system);
+    instances.loadTrace(trace);
+    for (const auto &req : workload) {
+        sim.schedule(req.arrival,
+                     [&system, req] { system.onRequestArrival(req); });
+    }
+    sim.run(trace.duration() + 900.0);
+
+    out.prefixHits = system.prefixHitsTotal();
+    out.cowCopies = system.cowCopiesTotal();
+    out.migrations = system.migrationsCompleted();
+    out.completed = requests.completedCount();
+    out.arrived = requests.arrivedCount();
+    return out;
+}
+
+TEST(PrefixSystemTest, PhysicalBlocksAndRefsInvariantAcrossChurnMatrix)
+{
+    // Poisson, spike and long-input early-stopping workloads — each with
+    // a shared-prefix mix whose class length is deliberately NOT a block
+    // multiple, so full-level sharing, tail donation and CoW all fire —
+    // across preemption-driven migrations, in both admission modes.
+    const cost::SeqSpec seq{};
+    const int blk = testBlockTokens();
+    auto poisson = [&] {
+        sim::Rng rng(71);
+        auto w = wl::stationaryPoisson(0.3, 900.0, seq, rng);
+        wl::capOutputs(w, /*cap=*/512, /*min=*/16, /*max=*/128, rng);
+        wl::withSharedPrefixes(w, {{200, 1.0}, {88, 1.0}}, rng,
+                               /*no_prefix_weight=*/0.5);
+        return w;
+    };
+    auto spike = [&] {
+        sim::Rng rng(72);
+        auto w = wl::fluctuating(
+            [](sim::SimTime t) {
+                return (t >= 300.0 && t < 420.0) ? 1.2 : 0.2;
+            },
+            1.0, 900.0, seq, rng);
+        wl::capOutputs(w, 512, 16, 128, rng);
+        wl::withSystemPrompt(w, /*prompt_tokens=*/152);
+        return w;
+    };
+    auto longInput = [&] {
+        sim::Rng rng(73);
+        auto w = wl::stationaryPoisson(0.25, 900.0, seq, rng);
+        wl::capOutputs(w, 512, 16, 128, rng);
+        const int lens[] = {512, 1024, 2048};
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i].inputLen = lens[i % 3];
+        wl::withFewShotPrefixes(w, /*num_classes=*/3, /*class_tokens=*/168,
+                                rng);
+        return w;
+    };
+
+    int variant = 0;
+    for (const auto &make : {std::function<wl::Workload()>(poisson),
+                             std::function<wl::Workload()>(spike),
+                             std::function<wl::Workload()>(longInput)}) {
+        const auto workload = make();
+        for (int chunk : {0, 256}) {
+            for (const auto mode : {engine::KvAdmissionMode::Reserve,
+                                    engine::KvAdmissionMode::Optimistic}) {
+                const auto r =
+                    runPrefixSystemInvariant(workload, chunk, mode, blk);
+                EXPECT_EQ(r.violations, 0)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode) << " blk " << blk;
+                EXPECT_EQ(r.refLeaks, 0)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode) << " blk " << blk;
+                EXPECT_GT(r.checks, 0);
+                EXPECT_GT(r.prefixHits, 0)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode);
+                EXPECT_GE(r.migrations, 2); // initial + preemption-driven
+                EXPECT_EQ(r.completed, r.arrived)
+                    << "workload " << variant << " chunk " << chunk
+                    << " mode " << engine::toString(mode) << " blk " << blk;
+            }
+        }
+        ++variant;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation pin and sharing win (experiment level)
+// ---------------------------------------------------------------------
+
+serving::ExperimentResult
+runSpotServe(const wl::Workload &workload, bool prefix_sharing)
+{
+    const auto spec = model::ModelSpec::gpt20b();
+    const cost::SeqSpec seq{};
+    serving::SystemFactory factory =
+        [&](sim::Executor &exec, cluster::InstanceManager &inst,
+            serving::RequestManager &req) {
+            core::SpotServeOptions options;
+            options.designArrivalRate = 0.35;
+            options.prefixSharing = prefix_sharing;
+            return std::make_unique<core::SpotServeSystem>(
+                exec, inst, req, spec, kParams, seq, options);
+        };
+    return serving::runExperiment(spec, kParams, churnTrace(), workload,
+                                  factory);
+}
+
+TEST(PrefixAblationTest, SharingOffAndOnIdenticalOnPrefixFreeWorkload)
+{
+    // The ablation contract both ways at once: with no prefixes in the
+    // workload, the store matches nothing, so sharing ON must reproduce
+    // the scalar (PR 5) accounting byte for byte — same completions,
+    // same per-request timings, same restarts, same peaks.  This is the
+    // pin that lets the serving systems default sharing on.
+    sim::Rng rng(81);
+    auto w = wl::stationaryPoisson(0.3, 600.0, cost::SeqSpec{}, rng);
+    wl::capOutputs(w, 512, 16, 128, rng);
+
+    const auto off = runSpotServe(w, false);
+    const auto on = runSpotServe(w, true);
+    EXPECT_EQ(on.completed, off.completed);
+    EXPECT_EQ(on.rejected, off.rejected);
+    EXPECT_EQ(on.evictions, off.evictions);
+    EXPECT_EQ(on.peakKvHeldBlocks, off.peakKvHeldBlocks);
+    EXPECT_EQ(on.peakKvHeldTokens, off.peakKvHeldTokens);
+    EXPECT_EQ(on.prefixHits, 0);
+    EXPECT_EQ(on.cowCopies, 0);
+    EXPECT_EQ(on.savedPrefillSeconds, 0.0);
+    // Physical equals logical when nothing is shared.
+    EXPECT_EQ(on.peakKvPhysicalBlocks, on.peakKvHeldBlocks);
+    ASSERT_EQ(on.perRequest.size(), off.perRequest.size());
+    for (std::size_t i = 0; i < on.perRequest.size(); ++i) {
+        EXPECT_EQ(on.perRequest[i].id, off.perRequest[i].id);
+        EXPECT_EQ(on.perRequest[i].arrival, off.perRequest[i].arrival);
+        EXPECT_EQ(on.perRequest[i].latency, off.perRequest[i].latency);
+        EXPECT_EQ(on.perRequest[i].restarts, off.perRequest[i].restarts);
+    }
+}
+
+TEST(PrefixAblationTest, SharingWinsOnSharedPrefixWorkload)
+{
+    // On a workload dominated by few-shot templates, sharing must hit
+    // (skipping real prefill seconds), deduplicate physical blocks below
+    // the logical holding, and never complete fewer requests than the
+    // scalar baseline at the same budget.
+    sim::Rng rng(82);
+    auto w = wl::stationaryPoisson(0.3, 600.0, cost::SeqSpec{}, rng);
+    wl::capOutputs(w, 512, 16, 128, rng);
+    wl::withFewShotPrefixes(w, /*num_classes=*/2, /*class_tokens=*/256, rng);
+
+    const auto off = runSpotServe(w, false);
+    const auto on = runSpotServe(w, true);
+    EXPECT_GT(on.prefixHits, 0);
+    EXPECT_GT(on.prefixMatchedTokens, 0);
+    EXPECT_GT(on.savedPrefillSeconds, 0.0);
+    EXPECT_LT(on.peakKvPhysicalBlocks, on.peakKvHeldBlocks);
+    EXPECT_LT(on.peakKvPhysicalBlocks, off.peakKvPhysicalBlocks);
+    EXPECT_GE(on.completed, off.completed);
+    EXPECT_EQ(off.prefixHits, 0);
+    EXPECT_EQ(off.peakKvPhysicalBlocks, off.peakKvHeldBlocks);
+}
+
+// ---------------------------------------------------------------------
+// Workload decorators
+// ---------------------------------------------------------------------
+
+TEST(PrefixWorkloadTest, SharedPrefixDecorators)
+{
+    const cost::SeqSpec seq{};
+    sim::Rng rng(91);
+    auto w = wl::stationaryPoisson(0.5, 300.0, seq, rng);
+    const int base_input = w.front().inputLen;
+
+    auto prepended = w;
+    wl::withSharedPrefixes(prepended, {{100, 3.0}, {60, 1.0}}, rng,
+                           /*no_prefix_weight=*/1.0);
+    int with_prefix = 0;
+    int cls_counts[2] = {0, 0};
+    for (std::size_t i = 0; i < prepended.size(); ++i) {
+        const auto &r = prepended[i];
+        if (r.prefixId < 0) {
+            EXPECT_EQ(r.prefixLen, 0);
+            EXPECT_EQ(r.inputLen, base_input);
+            continue;
+        }
+        ++with_prefix;
+        ASSERT_GE(r.prefixId, 0);
+        ASSERT_LT(r.prefixId, 2);
+        ++cls_counts[r.prefixId];
+        const int expect_len = r.prefixId == 0 ? 100 : 60;
+        EXPECT_EQ(r.prefixLen, expect_len);
+        EXPECT_EQ(r.inputLen, base_input + expect_len); // prepended text
+    }
+    // Weights 3:1:1 over ~150 requests: every bucket is populated and
+    // class 0 dominates class 1.
+    EXPECT_GT(with_prefix, 0);
+    EXPECT_LT(with_prefix, static_cast<int>(prepended.size()));
+    EXPECT_GT(cls_counts[0], cls_counts[1]);
+
+    // In-place declaration leaves lengths untouched (the sharing-off run
+    // over such a workload is the *same* workload).
+    auto inplace = w;
+    wl::withSharedPrefixes(inplace, {{1000, 1.0}}, rng, 0.0,
+                           /*prepend=*/false);
+    for (std::size_t i = 0; i < inplace.size(); ++i) {
+        EXPECT_EQ(inplace[i].inputLen, w[i].inputLen);
+        EXPECT_EQ(inplace[i].prefixLen,
+                  std::min(1000, w[i].inputLen)); // clamped to the prompt
+    }
+
+    // Presets.
+    auto sys = w;
+    wl::withSystemPrompt(sys, 128);
+    for (const auto &r : sys) {
+        EXPECT_EQ(r.prefixId, 0);
+        EXPECT_EQ(r.prefixLen, 128);
+    }
+    auto few = w;
+    wl::withFewShotPrefixes(few, 4, 96, rng);
+    for (const auto &r : few) {
+        EXPECT_GE(r.prefixId, 0);
+        EXPECT_LT(r.prefixId, 4);
+        EXPECT_EQ(r.prefixLen, 96);
+    }
+    EXPECT_THROW(wl::withSharedPrefixes(few, {}, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(wl::withSharedPrefixes(few, {{0, 1.0}}, rng),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace spotserve
