@@ -74,6 +74,13 @@ writeJson(const std::string &path, const std::vector<JsonRow> &rows)
            << ", \"migration_makespan_total_s\": "
            << r.migrationMakespanTotal
            << ", \"contended_migrations\": " << r.contendedMigrations
+           << ", \"unfinished\": " << r.unfinished
+           << ", \"hard_preemptions\": " << r.hardPreemptions
+           << ", \"migration_aborts\": " << r.migrationAborts
+           << ", \"migration_retries\": " << r.migrationRetries
+           << ", \"requests_recovered\": " << r.requestsRecovered
+           << ", \"salvaged_blocks\": " << r.salvagedBlocks
+           << ", \"live_kv_refs\": " << r.liveKvRefsAtEnd
            << ", \"cost_usd\": " << r.costUsd << "}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -521,6 +528,113 @@ main(int argc, char **argv)
             }
             keep(trace.name(), "SpotServe-noPrefix", r_off);
             keep(trace.name(), "SpotServe-prefix", r_on);
+        }
+        // Resilience ablation: the same stack on a hostile variant of
+        // the trace — half the preemption notices become zero-notice
+        // kills — plus a seeded fault plan that shoots a migration
+        // source while its transfer schedule is in flight.  Recovery on
+        // (salvage landed blocks, re-plan with backoff) is compared
+        // against the abort-and-cold-restart ablation
+        // (faultRecovery=false).  Gates: both runs conserve every
+        // request (arrived == completed + rejected, nothing unfinished,
+        // no leaked KV refs), and recovery strictly beats cold restart
+        // in churn-window completions.
+        {
+            const auto hostile = cluster::hardenPreemptions(trace, 0.5, 13);
+            cluster::FaultPlan plan;
+            plan.seed = 13;
+            cluster::FaultEvent kill;
+            // Armed over the first noticed-preemption reconfig window
+            // (notice at t=120, grace 30): that migration keeps most
+            // replicas in place, so shooting its source while transfers
+            // are in flight is exactly the case where keep-serving
+            // recovery and cold restart diverge.  A tight patience stops
+            // the kill from deferring into a later full-remap migration
+            // where nothing is kept and both paths degenerate to the
+            // same rebuild.
+            kill.time = 130.0;
+            kill.patience = 30.0;
+            kill.kind = cluster::FaultEvent::Kind::KillMigrationSource;
+            plan.events.push_back(kill);
+            serving::ExperimentOptions fault_opts;
+            fault_opts.faultPlan = &plan;
+            auto run_recovery = [&](bool on) {
+                core::SpotServeOptions o;
+                o.designArrivalRate = 0.55;
+                o.faultRecovery = on;
+                return serving::runExperiment(
+                    spec, params, hostile, workload,
+                    presets::spotServeFactory(spec, params, seq, o),
+                    fault_opts);
+            };
+            const auto r_rec = run_recovery(true);
+            const auto r_cold = run_recovery(false);
+
+            // Churn windows anchored on the recovery run's
+            // reconfigurations (the spans the faults disrupt).
+            std::vector<double> windows;
+            for (std::size_t i = 1; i < r_rec.configHistory.size(); ++i)
+                windows.push_back(r_rec.configHistory[i].time);
+            auto in_window = [&windows](double t) {
+                for (double w : windows) {
+                    if (t >= w - 5.0 && t < w + 90.0)
+                        return true;
+                }
+                return false;
+            };
+            auto window_goodput = [&](const serving::ExperimentResult &r) {
+                long goodput = 0;
+                for (const auto &c : r.perRequest) {
+                    if (in_window(c.arrival + c.latency))
+                        ++goodput;
+                }
+                return goodput;
+            };
+            const long g_rec = window_goodput(r_rec);
+            const long g_cold = window_goodput(r_cold);
+            std::printf("  hostile trace %s (hard kills %d, migration "
+                        "kill armed):\n",
+                        hostile.name().c_str(),
+                        hostile.totalHardPreemptions());
+            auto resilience_row = [](const char *label,
+                                     const serving::ExperimentResult &r) {
+                std::printf("  %-18s avg %7.2f  P99 %7.2f  done %ld/%ld  "
+                            "aborts %ld  retries %ld  recovered %ld  "
+                            "salvaged %ld blk  restarted %ld\n",
+                            label, r.latencies.mean(),
+                            r.latencies.percentile(99), r.completed,
+                            r.arrived, r.migrationAborts,
+                            r.migrationRetries, r.requestsRecovered,
+                            r.salvagedBlocks, r.restartedRequeues);
+            };
+            resilience_row("SpotServe-recovery", r_rec);
+            resilience_row("SpotServe-coldRestart", r_cold);
+            std::printf("  churn-window completions: recovery %ld vs cold "
+                        "restart %ld (%+ld)\n",
+                        g_rec, g_cold, g_rec - g_cold);
+            for (const auto *r : {&r_rec, &r_cold}) {
+                if (r->arrived != r->completed + r->rejected ||
+                    r->unfinished != 0) {
+                    std::printf("  FAIL: requests lost under faults "
+                                "(%ld arrived, %ld completed, %ld "
+                                "rejected, %ld unfinished)\n",
+                                r->arrived, r->completed, r->rejected,
+                                r->unfinished);
+                    exit_code = 1;
+                }
+                if (r->liveKvRefsAtEnd != 0) {
+                    std::printf("  FAIL: %ld KV block refs leaked\n",
+                                r->liveKvRefsAtEnd);
+                    exit_code = 1;
+                }
+            }
+            if (g_rec <= g_cold) {
+                std::printf("  FAIL: recovery did not beat cold restart "
+                            "in churn-window completions\n");
+                exit_code = 1;
+            }
+            keep(trace.name(), "SpotServe-recovery", r_rec);
+            keep(trace.name(), "SpotServe-coldRestart", r_cold);
         }
         const double spot_p99 = results[0].latencies.percentile(99);
         std::printf("  SpotServe improvement: P99 %.2fx vs Repar, "

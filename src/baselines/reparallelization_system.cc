@@ -50,6 +50,9 @@ ReparallelizationSystem::onPreemptionNotice(const cluster::Instance &,
 void
 ReparallelizationSystem::onInstancePreempted(const cluster::Instance &inst)
 {
+    // Abort any restart cold load streaming toward the dead instance so
+    // its disk-link reservations do not throttle the next restart.
+    dataPlane_.failInstance(inst.id());
     forgetInstance(inst.id());
     scheduleEval();
 }

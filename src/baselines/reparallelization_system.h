@@ -82,6 +82,8 @@ class ReparallelizationSystem : public serving::BaseServingSystem
 
     /** The disk-link data plane cold weight loads run through. */
     const core::TransferDataPlane &dataPlane() const { return dataPlane_; }
+    /** Mutable data plane access (fault injection hooks). */
+    core::TransferDataPlane &dataPlaneMutable() { return dataPlane_; }
 
   private:
     enum class Phase

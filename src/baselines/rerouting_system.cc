@@ -100,6 +100,10 @@ ReroutingSystem::onPreemptionNotice(const cluster::Instance &, sim::SimTime)
 void
 ReroutingSystem::onInstancePreempted(const cluster::Instance &inst)
 {
+    // Rerouting gets no notice: the death is always abrupt, so any cold
+    // load still streaming toward the instance is lost and its link
+    // reservations must not keep throttling surviving slots.
+    dataPlane_.failInstance(inst.id());
     forgetInstance(inst.id());
     lastRole_.erase(inst.id());
     pool_.erase(std::remove(pool_.begin(), pool_.end(), inst.id()),

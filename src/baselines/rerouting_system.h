@@ -87,6 +87,9 @@ class ReroutingSystem : public serving::BaseServingSystem
     /** Currently online pipelines. */
     int onlinePipelines() const;
 
+    /** Mutable data plane access (fault injection hooks). */
+    core::TransferDataPlane &dataPlaneMutable() { return dataPlane_; }
+
   protected:
     void onPipelineIdle(engine::InferencePipeline &pipeline) override;
     void handleArrival(const wl::Request &request) override;

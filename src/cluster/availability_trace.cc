@@ -18,10 +18,17 @@ AvailabilityTrace::AvailabilityTrace(std::string name, sim::SimTime duration,
                 "AvailabilityTrace: event outside [0, duration]");
         if (e.count <= 0)
             throw std::invalid_argument("AvailabilityTrace: bad event count");
-        if (e.kind == TraceEventKind::PreemptNotice &&
+        if ((e.kind == TraceEventKind::PreemptNotice ||
+             e.kind == TraceEventKind::HardPreempt) &&
             e.type != InstanceType::Spot) {
             throw std::invalid_argument(
                 "AvailabilityTrace: only spot instances get preempted");
+        }
+        if (e.noticeOverride >= 0.0 &&
+            e.kind != TraceEventKind::PreemptNotice) {
+            throw std::invalid_argument(
+                "AvailabilityTrace: noticeOverride only applies to "
+                "PreemptNotice events");
         }
     }
     std::stable_sort(events_.begin(), events_.end(),
@@ -60,10 +67,14 @@ AvailabilityTrace::series(sim::SimTime dt, sim::SimTime grace_period) const
           case TraceEventKind::Join:
             deltas.push_back({e.time, e.type, e.count});
             break;
-          case TraceEventKind::PreemptNotice:
-            deltas.push_back({e.time + grace_period, e.type, -e.count});
+          case TraceEventKind::PreemptNotice: {
+            const sim::SimTime grace =
+                e.noticeOverride >= 0.0 ? e.noticeOverride : grace_period;
+            deltas.push_back({e.time + grace, e.type, -e.count});
             break;
+          }
           case TraceEventKind::Release:
+          case TraceEventKind::HardPreempt:
             deltas.push_back({e.time, e.type, -e.count});
             break;
         }
@@ -94,7 +105,20 @@ AvailabilityTrace::totalPreemptions() const
 {
     int n = 0;
     for (const auto &e : events_) {
-        if (e.kind == TraceEventKind::PreemptNotice)
+        if (e.kind == TraceEventKind::PreemptNotice ||
+            e.kind == TraceEventKind::HardPreempt) {
+            n += e.count;
+        }
+    }
+    return n;
+}
+
+int
+AvailabilityTrace::totalHardPreemptions() const
+{
+    int n = 0;
+    for (const auto &e : events_) {
+        if (e.kind == TraceEventKind::HardPreempt)
             n += e.count;
     }
     return n;

@@ -1,0 +1,57 @@
+#include "cluster/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simcore/rng.h"
+
+namespace spotserve {
+namespace cluster {
+
+FaultPlan
+FaultPlan::chaos(std::uint64_t seed, sim::SimTime horizon, int hard_kills,
+                 int migration_kills, int link_faults)
+{
+    if (horizon <= 120.0)
+        throw std::invalid_argument("FaultPlan::chaos: horizon too short");
+    sim::Rng rng(seed);
+    FaultPlan plan;
+    plan.seed = seed;
+    const double lo = 60.0, hi = horizon - 60.0;
+
+    for (int k = 0; k < hard_kills; ++k) {
+        FaultEvent e;
+        e.time = rng.uniform(lo, hi);
+        e.kind = FaultEvent::Kind::HardPreempt;
+        e.count = 1;
+        plan.events.push_back(e);
+    }
+    for (int k = 0; k < migration_kills; ++k) {
+        FaultEvent e;
+        e.time = rng.uniform(lo, hi);
+        e.kind = k % 2 == 0 ? FaultEvent::Kind::KillMigrationSource
+                            : FaultEvent::Kind::KillMigrationTarget;
+        plan.events.push_back(e);
+    }
+    for (int k = 0; k < link_faults; ++k) {
+        FaultEvent e;
+        e.time = rng.uniform(lo, hi);
+        if (k % 2 == 0) {
+            e.kind = FaultEvent::Kind::LinkBlackout;
+            e.duration = rng.uniform(2.0, 20.0);
+        } else {
+            e.kind = FaultEvent::Kind::LinkDegrade;
+            e.factor = rng.uniform(0.1, 0.6);
+        }
+        plan.events.push_back(e);
+    }
+
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.time < b.time;
+                     });
+    return plan;
+}
+
+} // namespace cluster
+} // namespace spotserve

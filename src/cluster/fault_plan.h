@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Declarative fault schedules for chaos testing.
+ *
+ * A FaultPlan is a deterministic, seeded list of faults to inject into a
+ * running experiment, beyond what the availability trace announces: spot
+ * instances dying with zero notice, an instance killed specifically while
+ * a migration's transfer schedule is in flight, and link-level faults
+ * (blackouts and stragglers whose realized bandwidth falls below the
+ * LinkSchedule quote).  sim::FaultInjector replays the plan on the
+ * executor seam; an empty plan is byte-identical to no injector at all.
+ */
+
+#ifndef SPOTSERVE_CLUSTER_FAULT_PLAN_H
+#define SPOTSERVE_CLUSTER_FAULT_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/sim_time.h"
+
+namespace spotserve {
+namespace cluster {
+
+/** One injected fault. */
+struct FaultEvent
+{
+    enum class Kind
+    {
+        /** Kill @c count running spot instances with zero notice. */
+        HardPreempt,
+        /**
+         * Kill an instance that is currently a *source* of an in-flight
+         * transfer schedule (mid-migration death).  If no transfer is in
+         * flight at @c time, the injector re-checks every
+         * @c retryInterval seconds for up to @c patience seconds, then
+         * falls back to a plain hard preemption so the fault never
+         * silently disappears.
+         */
+        KillMigrationSource,
+        /** As above, but kill a transfer destination / cold-load target. */
+        KillMigrationTarget,
+        /** Instance's links carry no traffic for @c duration seconds. */
+        LinkBlackout,
+        /**
+         * Instance's links deliver @c factor (0 < factor < 1) of their
+         * quoted bandwidth for the remaining in-flight schedules.
+         */
+        LinkDegrade,
+    };
+
+    sim::SimTime time = 0.0;
+    Kind kind = Kind::HardPreempt;
+    int count = 1;           ///< HardPreempt victims.
+    int instance = -1;       ///< Explicit victim; -1 picks at fire time.
+    double duration = 0.0;   ///< LinkBlackout length (seconds).
+    double factor = 0.5;     ///< LinkDegrade bandwidth fraction.
+    double patience = 120.0; ///< Kill* deferral window (seconds).
+    double retryInterval = 1.0;
+};
+
+/** A deterministic schedule of faults plus the victim-choice seed. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+    std::uint64_t seed = 2024;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Seeded random chaos schedule over [60, horizon - 60]: @p hard_kills
+     * unannounced preemptions, @p migration_kills mid-migration deaths
+     * (alternating source/target), and @p link_faults blackout/straggler
+     * events.  The same seed always yields the same plan.
+     */
+    static FaultPlan chaos(std::uint64_t seed, sim::SimTime horizon,
+                           int hard_kills, int migration_kills,
+                           int link_faults);
+};
+
+} // namespace cluster
+} // namespace spotserve
+
+#endif // SPOTSERVE_CLUSTER_FAULT_PLAN_H

@@ -30,8 +30,14 @@ InstanceManager::loadTrace(const AvailabilityTrace &trace)
             }
             break;
           case TraceEventKind::PreemptNotice:
+            sim_.schedule(event.time, [this, count = event.count,
+                                       grace = event.noticeOverride] {
+                firePreemptNotice(count, grace);
+            });
+            break;
+          case TraceEventKind::HardPreempt:
             sim_.schedule(event.time, [this, count = event.count] {
-                firePreemptNotice(count);
+                hardPreempt(count);
             });
             break;
           case TraceEventKind::Release:
@@ -219,8 +225,10 @@ InstanceManager::fireReady(InstanceId id)
 }
 
 void
-InstanceManager::firePreemptNotice(int count)
+InstanceManager::firePreemptNotice(int count, double grace_override)
 {
+    const double grace =
+        grace_override >= 0.0 ? grace_override : params_.gracePeriod;
     for (int k = 0; k < count; ++k) {
         // The cloud reclaims arbitrary spare capacity: draw the victim
         // uniformly among running spot instances (seeded, reproducible).
@@ -237,13 +245,54 @@ InstanceManager::firePreemptNotice(int count)
         }
         Instance *victim = candidates[victimRng_.uniformInt(
             0, static_cast<std::int64_t>(candidates.size()) - 1)];
-        const sim::SimTime preempt_at = sim_.now() + params_.gracePeriod;
+        const sim::SimTime preempt_at = sim_.now() + grace;
         victim->markGrace(sim_.now(), preempt_at);
         if (listener_)
             listener_->onPreemptionNotice(*victim, preempt_at);
         sim_.schedule(preempt_at,
                       [this, id = victim->id()] { firePreempt(id); });
     }
+}
+
+std::vector<InstanceId>
+InstanceManager::hardPreempt(int count)
+{
+    std::vector<InstanceId> victims;
+    for (int k = 0; k < count; ++k) {
+        std::vector<Instance *> candidates;
+        for (const auto &inst : instances_) {
+            if (inst->type() == InstanceType::Spot &&
+                inst->state() == InstanceState::Running) {
+                candidates.push_back(inst.get());
+            }
+        }
+        if (candidates.empty()) {
+            sim::logWarn("hard preemption with no running spot instance");
+            break;
+        }
+        Instance *victim = candidates[victimRng_.uniformInt(
+            0, static_cast<std::int64_t>(candidates.size()) - 1)];
+        victims.push_back(victim->id());
+        hardPreemptInstance(victim->id());
+    }
+    return victims;
+}
+
+bool
+InstanceManager::hardPreemptInstance(InstanceId id)
+{
+    Instance *inst = const_cast<Instance *>(get(id));
+    if (!inst || !inst->usable())
+        return false;
+    // No notice: the listener learns of the death only after the fact.
+    // An instance already in its grace period simply dies early.
+    inst->markPreempted(sim_.now());
+    ++hardPreemptions_;
+    sim::logDebug("t=" + std::to_string(sim_.now()) + " " + inst->str() +
+                  " hard-preempted (no notice)");
+    if (listener_)
+        listener_->onInstancePreempted(*inst);
+    return true;
 }
 
 void

@@ -86,6 +86,25 @@ class InstanceManager
     /** Release one specific instance. */
     void releaseInstance(InstanceId id);
 
+    /**
+     * Kill @p count running spot instances with no notice at all: the
+     * listener sees onInstancePreempted without a preceding
+     * onPreemptionNotice.  Victims are drawn from the same seeded RNG as
+     * noticed preemptions.  Returns the victims actually killed.
+     */
+    std::vector<InstanceId> hardPreempt(int count);
+
+    /**
+     * Kill one specific instance immediately (mid-migration fault
+     * injection).  Usable instances die unannounced; instances already in
+     * their grace period die early.  Returns false if the instance does
+     * not exist or is already gone.
+     */
+    bool hardPreemptInstance(InstanceId id);
+
+    /** Unannounced kills fired so far (trace + injector). */
+    long hardPreemptions() const { return hardPreemptions_; }
+
     /** Lookup (valid for the lifetime of the manager). */
     const Instance *get(InstanceId id) const;
 
@@ -121,7 +140,7 @@ class InstanceManager
   private:
     Instance &create(InstanceType type, sim::SimTime ready_time);
     void fireReady(InstanceId id);
-    void firePreemptNotice(int count);
+    void firePreemptNotice(int count, double grace_override = -1.0);
     void firePreempt(InstanceId id);
     void fireRelease(InstanceType type, int count);
     double billedSeconds(const Instance &inst, sim::SimTime now) const;
@@ -131,6 +150,7 @@ class InstanceManager
     ClusterListener *listener_ = nullptr;
     std::vector<std::unique_ptr<Instance>> instances_;
     sim::Rng victimRng_;
+    long hardPreemptions_ = 0;
 };
 
 } // namespace cluster

@@ -1,7 +1,11 @@
 #include "cluster/trace_library.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
+
+#include "simcore/rng.h"
 
 namespace spotserve {
 namespace cluster {
@@ -184,6 +188,41 @@ std::vector<AvailabilityTrace>
 figure5Traces()
 {
     return {traceAS(), traceBS(), traceASPlusO(), traceBSPlusO()};
+}
+
+AvailabilityTrace
+hardenPreemptions(const AvailabilityTrace &trace, double fraction,
+                  std::uint64_t seed)
+{
+    fraction = std::max(0.0, std::min(1.0, fraction));
+    std::vector<TraceEvent> events = trace.events();
+    std::vector<std::size_t> notices;
+    for (std::size_t i = 0; i < events.size(); ++i)
+        if (events[i].kind == TraceEventKind::PreemptNotice)
+            notices.push_back(i);
+
+    const auto harden = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(notices.size())));
+    // Seeded partial Fisher-Yates: the first `harden` entries of the
+    // shuffled index list are the victims, so the same (trace, fraction,
+    // seed) always hardens the same notices.
+    sim::Rng rng(seed);
+    for (std::size_t i = 0; i + 1 < notices.size() && i < harden; ++i) {
+        const auto j = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(notices.size()) - 1));
+        std::swap(notices[i], notices[j]);
+    }
+    for (std::size_t i = 0; i < harden && i < notices.size(); ++i) {
+        TraceEvent &e = events[notices[i]];
+        e.kind = TraceEventKind::HardPreempt;
+        e.noticeOverride = -1.0;
+    }
+
+    const int percent = static_cast<int>(std::llround(fraction * 100.0));
+    return AvailabilityTrace(trace.name() + "#hard" +
+                                 std::to_string(percent),
+                             trace.duration(), std::move(events));
 }
 
 } // namespace cluster

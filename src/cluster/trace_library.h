@@ -19,6 +19,7 @@
 #ifndef SPOTSERVE_CLUSTER_TRACE_LIBRARY_H
 #define SPOTSERVE_CLUSTER_TRACE_LIBRARY_H
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/availability_trace.h"
@@ -61,6 +62,18 @@ AvailabilityTrace traceFig8B();
 
 /** The four Figure 5 traces in presentation order. */
 std::vector<AvailabilityTrace> figure5Traces();
+
+/**
+ * Hostile variant of @p trace for the resilience experiments: a seeded
+ * subset of its PreemptNotice events — @p fraction of them, rounded to
+ * nearest, chosen deterministically from @p seed — becomes HardPreempt
+ * (the provider kills the instances with no warning at the moment the
+ * notice would have arrived).  fraction 0 returns the trace unchanged;
+ * fraction 1 hardens every notice.  The returned trace is named
+ * "<name>#hard<percent>".
+ */
+AvailabilityTrace hardenPreemptions(const AvailabilityTrace &trace,
+                                    double fraction, std::uint64_t seed);
 
 } // namespace cluster
 } // namespace spotserve

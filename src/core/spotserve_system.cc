@@ -78,8 +78,16 @@ SpotServeSystem::onPreemptionNotice(const cluster::Instance &instance,
 void
 SpotServeSystem::onInstancePreempted(const cluster::Instance &instance)
 {
+    // An unannounced (hard) death is the only one the migration plan did
+    // not see coming: announced victims die exactly when the §4.2
+    // deadline fallback modeled, so their in-flight schedules keep their
+    // committed timeline; a hard kill voids every in-flight transfer the
+    // victim still carries and fires the plans' failure callbacks.
+    const bool unannounced = notices_.find(instance.id()) == notices_.end();
     notices_.erase(instance.id());
     forgetInstance(instance.id());
+    if (unannounced)
+        dataPlane_.failInstance(instance.id());
 
     // Normal path: the grace-period migration already moved everything
     // off the victim.  The checks below handle the fault-tolerance cases
@@ -122,6 +130,10 @@ SpotServeSystem::onInstancePreempted(const cluster::Instance &instance)
 void
 SpotServeSystem::onInstanceReleased(const cluster::Instance &instance)
 {
+    // A noticed instance can be released before its preemption fires (or
+    // the trace can revoke capacity another way); the stale notice would
+    // otherwise pin every later reconfiguration to a dead deadline.
+    notices_.erase(instance.id());
     forgetInstance(instance.id());
     if ((phase_ == Phase::Serving || phase_ == Phase::Planning) &&
         hasDeployment() && meshUsesInstance(instance.id())) {
@@ -179,9 +191,27 @@ SpotServeSystem::decide(int instances, double alpha) const
 }
 
 void
+SpotServeSystem::pruneStaleNotices()
+{
+    // Defensive sweep behind the event-driven erasures: any notice whose
+    // instance is not actually awaiting preemption (dead, released, or
+    // somehow running again) must not bound planning deadlines.
+    for (auto it = notices_.begin(); it != notices_.end();) {
+        const auto *inst = instances_.get(it->first);
+        if (!inst ||
+            inst->state() != cluster::InstanceState::GracePeriod) {
+            it = notices_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
 SpotServeSystem::evaluate()
 {
     evalScheduled_ = false;
+    pruneStaleNotices();
     if (phase_ == Phase::Planning) {
         // A planning pass is in flight; it re-reads the fleet state when
         // it commits, so this trigger is already covered.
@@ -729,6 +759,8 @@ SpotServeSystem::startMigration()
         return;
     phase_ = Phase::Migrating;
     auto &pm = *pending_;
+    const long fault_epoch = ++migrationEpoch_;
+    pm.failedReplica.assign(pm.target.dp, false);
 
     bool any_kept = false;
     for (int od : pm.keptOldPipeline) {
@@ -960,10 +992,28 @@ SpotServeSystem::startMigration()
 
     // Commit the schedule: the data plane reserves every link slice it
     // occupies, so a migration submitted while this one drains is quoted
-    // — and executed — behind (or interleaved around) it.
+    // — and executed — behind (or interleaved around) it.  The failure
+    // callback makes the transfer crash-consistent: an unannounced death
+    // of a source/destination, or a link fault stretching the plan past
+    // its deadline, aborts into the recovery path instead of pretending
+    // the context landed.
     if (options_.linkDataPlane) {
-        dataPlane_.submit(MigrationPlanner::transferSteps(pm.plan),
-                          params_.migrationSetupTime, pm.plan.linkScheduled);
+        TransferDataPlane::SubmitOptions so;
+        so.onFail = [this, fault_epoch](
+                        const TransferDataPlane::PlanFailure &failure) {
+            onMigrationFailed(fault_epoch, failure);
+        };
+        if (options_.migrationDeadlineFactor > 0.0) {
+            // Headroom over the quoted makespan: only a link fault that
+            // stretches the realized schedule can trip it.
+            so.deadline = options_.migrationDeadlineFactor *
+                          std::max(pm.plan.totalDuration, 1.0);
+        }
+        const auto committed = dataPlane_.submit(
+            MigrationPlanner::transferSteps(pm.plan),
+            params_.migrationSetupTime, pm.plan.linkScheduled,
+            std::move(so));
+        pm.planId = committed.planId;
     }
 
     // Activate as soon as the first affected replica's context is ready;
@@ -1014,6 +1064,8 @@ SpotServeSystem::activate()
     const long epoch = ++deployEpoch_;
 
     bool broken = false;
+    bool fault_broken = false;
+    const int salvage_blk = effectiveKvBlockTokens(pm.target);
     for (int d = 0; d < pm.target.dp; ++d) {
         // Revalidate the replica's instances: a preemption or release may
         // have hit a planned member while the migration ran (§4.2).
@@ -1024,15 +1076,32 @@ SpotServeSystem::activate()
             if (!inst || !inst->usable())
                 alive = false;
         }
-        if (!alive) {
+        // A replica whose context depended on a lost transfer step must
+        // not come up on garbage, even though its own instances live.
+        const bool failed = pm.hadFailure && !was_kept[d] &&
+                            d < static_cast<int>(pm.failedReplica.size()) &&
+                            pm.failedReplica[d];
+        if (!alive || failed) {
             // A kept pipeline's live batch is requeued with the rest.
+            if (pm.hadFailure) {
+                requestsRecovered_ +=
+                    static_cast<long>(pm.inherited[d].size());
+            }
             restartAndRequeue(removePipeline(d));
             restartAndRequeue(std::move(pm.inherited[d]));
             broken = true;
+            fault_broken = fault_broken || failed;
             continue;
         }
         if (was_kept[d])
             continue; // never stopped serving
+        if (pm.hadFailure) {
+            // Crash-consistent salvage: this replica's steps all landed
+            // before the fault, so its inherited cache context survives
+            // the aborted plan instead of recomputing.
+            for (const auto &r : pm.inherited[d])
+                salvagedBlocks_ += r.kvBlocksHeld(salvage_blk);
+        }
         if (pm.resumeAbs[d] <= sim_.now() + 1e-9) {
             if (!pm.inherited[d].empty())
                 loadBatch(d, std::move(pm.inherited[d]));
@@ -1056,12 +1125,142 @@ SpotServeSystem::activate()
 
     ++migrationsCompleted_;
     phase_ = Phase::Serving;
+    if (!pm.hadFailure)
+        migrationRetryCount_ = 0; // clean activation resets the backoff
     dispatchAll();
 
-    if (pendingReconfig_ || broken) {
+    if (fault_broken) {
+        // The repair reconfiguration is a bounded, backed-off retry.
+        pendingReconfig_ = false;
+        scheduleRetryEval();
+    } else if (pendingReconfig_ || broken) {
         pendingReconfig_ = false;
         scheduleEval();
     }
+}
+
+void
+SpotServeSystem::onMigrationFailed(
+    long epoch, const TransferDataPlane::PlanFailure &failure)
+{
+    if (epoch != migrationEpoch_ || phase_ != Phase::Migrating || !pending_)
+        return; // stale: that migration already activated or tore down
+    ++migrationAborts_;
+    auto &pm = *pending_;
+    pm.hadFailure = true;
+    pm.planId = -1; // the data plane already dropped the plan
+    sim::logWarn("t=" + std::to_string(sim_.now()) +
+                 " SpotServe: migration schedule failed (" +
+                 (failure.timedOut
+                      ? std::string("deadline")
+                      : "instance " +
+                            std::to_string(failure.failedInstance)) +
+                 "); recovering");
+
+    if (!options_.faultRecovery) {
+        coldRestartAfterFault();
+        return;
+    }
+
+    // Attribute the lost steps to the target replicas that depended on
+    // them (dpStepDeps): a replica whose steps all landed before the
+    // fault is salvageable and activates on schedule; one that depended
+    // on a lost step must requeue.  A timeout (or a plan without step
+    // attribution) dooms every non-kept replica.
+    const bool attributable = !failure.timedOut &&
+                              !pm.plan.dpStepDeps.empty() &&
+                              !failure.stepLanded.empty();
+    int compromised = 0;
+    int affected_total = 0;
+    for (int d = 0; d < pm.target.dp; ++d) {
+        if (pm.keptOldPipeline[d] >= 0)
+            continue; // kept replicas serve on their own resident context
+        ++affected_total;
+        bool bad = !attributable;
+        if (attributable &&
+            d < static_cast<int>(pm.plan.dpStepDeps.size())) {
+            for (const auto &stage : pm.plan.dpStepDeps[d]) {
+                for (int s : stage) {
+                    if (s >= 0 &&
+                        s < static_cast<int>(failure.stepLanded.size()) &&
+                        !failure.stepLanded[s]) {
+                        bad = true;
+                    }
+                }
+            }
+        }
+        if (bad) {
+            pm.failedReplica[d] = true;
+            ++compromised;
+        }
+    }
+    if (affected_total == 0 || compromised >= affected_total) {
+        // Nothing to salvage on the target side: fall back to the §4.2
+        // no-cache route by re-planning fresh (the retry's beginReconfig
+        // snapshots current holdings, where the dead source holds
+        // nothing), with the kept replicas serving through.
+        abortFailedMigration();
+    }
+    // Partial loss: the scheduled activation proceeds; activate()
+    // requeues the compromised replicas' work, salvages the rest, and
+    // schedules the backed-off repair reconfiguration.
+}
+
+void
+SpotServeSystem::abortFailedMigration()
+{
+    auto pm = std::move(*pending_);
+    pending_.reset();
+    migrationTailUntil_ = sim_.now();
+    if (pm.planId >= 0)
+        dataPlane_.cancelPlan(pm.planId);
+    for (auto &batch : pm.inherited) {
+        requestsRecovered_ += static_cast<long>(batch.size());
+        restartAndRequeue(std::move(batch));
+    }
+    // Kept replicas (if any) are still live inside the old deployment and
+    // keep serving through the retry; the scheduled activate() no-ops on
+    // the phase check.
+    phase_ = hasDeployment() ? Phase::Serving : Phase::Idle;
+    pendingReconfig_ = false;
+    dispatchAll();
+    scheduleRetryEval();
+}
+
+void
+SpotServeSystem::coldRestartAfterFault()
+{
+    auto pm = std::move(*pending_);
+    pending_.reset();
+    migrationTailUntil_ = sim_.now();
+    if (pm.planId >= 0)
+        dataPlane_.cancelPlan(pm.planId);
+    // The ablation still must not lose work — crash consistency of the
+    // request queue is an invariant, not a feature flag — but it gives
+    // up every kept replica and all landed context, then pays a cold
+    // deployment from scratch.
+    for (auto &batch : pm.inherited)
+        restartAndRequeue(std::move(batch));
+    suspendServing();
+    scheduleEval();
+}
+
+void
+SpotServeSystem::scheduleRetryEval()
+{
+    if (migrationRetryCount_ >= options_.migrationMaxRetries) {
+        // Bounded: beyond the retry budget stop thrashing, tear down and
+        // rebuild cold.
+        migrationRetryCount_ = 0;
+        suspendServing();
+        scheduleEval();
+        return;
+    }
+    ++migrationRetryCount_;
+    ++migrationRetries_;
+    const double delay = options_.migrationRetryBackoff *
+                         std::pow(2.0, migrationRetryCount_ - 1);
+    sim_.scheduleAfter(delay, [this] { scheduleEval(); });
 }
 
 void

@@ -175,6 +175,31 @@ struct SpotServeOptions
      */
     bool linkDataPlane = true;
 
+    /**
+     * Crash-consistent recovery from unannounced faults (hard
+     * preemptions and mid-migration deaths): when an in-flight transfer
+     * schedule dies, salvage the replicas whose context already landed,
+     * requeue the rest, and re-plan with bounded retry + exponential
+     * backoff.  Disable for the abort-and-cold-restart ablation: any
+     * mid-migration failure tears the whole deployment down and pays a
+     * fresh cold start.
+     */
+    bool faultRecovery = true;
+
+    /** Re-plan attempts after a failed migration before cold restart. */
+    int migrationMaxRetries = 3;
+
+    /** Base seconds of the exponential retry backoff (base * 2^k). */
+    double migrationRetryBackoff = 1.0;
+
+    /**
+     * Per-plan deadline as a multiple of the quoted link-schedule
+     * makespan: a transfer stretched past it by link faults is failed
+     * and re-planned instead of stalling the reconfiguration forever.
+     * 0 disables.
+     */
+    double migrationDeadlineFactor = 3.0;
+
     ControllerOptions controller{};
 };
 
@@ -216,8 +241,20 @@ class SpotServeSystem : public serving::BaseServingSystem
     /** Reconfigurations where at least one replica never stopped. */
     int partialReconfigs() const { return partialReconfigs_; }
     const SpotServeOptions &options() const { return options_; }
+    /** Migrations aborted by instance death, link fault, or deadline. */
+    long migrationAborts() const { return migrationAborts_; }
+    /** Re-plan rounds scheduled after migration failures. */
+    long migrationRetries() const { return migrationRetries_; }
+    /** Requests requeued through the failure-recovery paths. */
+    long requestsRecovered() const { return requestsRecovered_; }
+    /** KV blocks whose migrated context survived a failed plan. */
+    long salvagedBlocks() const { return salvagedBlocks_; }
+    /** Preemption notices currently outstanding (stale ones pruned). */
+    int activeNotices() const { return static_cast<int>(notices_.size()); }
     /** The migration transfer data plane (link busy state, counters). */
     const TransferDataPlane &dataPlane() const { return dataPlane_; }
+    /** Mutable data plane access (fault injection hooks). */
+    TransferDataPlane &dataPlaneMutable() { return dataPlane_; }
     /** Migrations whose schedule hit links still busy from another. */
     long contendedMigrations() const
     {
@@ -291,6 +328,22 @@ class SpotServeSystem : public serving::BaseServingSystem
     /** Migration (front) finished: install and resume. */
     void activate();
 
+    /** The in-flight transfer schedule died (kill/timeout): recover. */
+    void onMigrationFailed(long epoch,
+                           const TransferDataPlane::PlanFailure &failure);
+
+    /** Whole-plan abort: requeue all inherited work and re-plan. */
+    void abortFailedMigration();
+
+    /** faultRecovery = false ablation: tear down and cold restart. */
+    void coldRestartAfterFault();
+
+    /** Retry with exponential backoff (bounded; cold restart beyond). */
+    void scheduleRetryEval();
+
+    /** Drop notices whose instance is no longer awaiting preemption. */
+    void pruneStaleNotices();
+
     /** Cached tokens per live replica (inheritance ranking). */
     std::vector<double> pipelineCacheTokens() const;
 
@@ -348,11 +401,27 @@ class SpotServeSystem : public serving::BaseServingSystem
         std::vector<std::vector<engine::ActiveRequest>> inherited;
         /** Absolute per-replica progressive-resume times. */
         std::vector<sim::SimTime> resumeAbs;
+        /** Data-plane handle of the submitted schedule (-1: none). */
+        TransferDataPlane::PlanId planId = -1;
+        /** A fault hit the in-flight schedule. */
+        bool hadFailure = false;
+        /**
+         * failedReplica[d]: replica d's context depends on a transfer
+         * step that was lost — activate() requeues its inherited batch
+         * instead of bringing it up on garbage.
+         */
+        std::vector<bool> failedReplica;
     };
     std::optional<PendingMigration> pending_;
 
     /** Bumped at every activation; guards deferred replica start events. */
     long deployEpoch_ = 0;
+
+    /** Bumped at every startMigration; guards failure callbacks. */
+    long migrationEpoch_ = 0;
+
+    /** Consecutive failed re-plan rounds (reset on clean activation). */
+    int migrationRetryCount_ = 0;
 
     /** Fixed parallelism once chosen (controller ablation). */
     mutable std::optional<par::ParallelConfig> fixedParallelism_;
@@ -374,6 +443,10 @@ class SpotServeSystem : public serving::BaseServingSystem
     long pipelinesDrained_ = 0;
     long pipelinesKeptServing_ = 0;
     int partialReconfigs_ = 0;
+    long migrationAborts_ = 0;
+    long migrationRetries_ = 0;
+    long requestsRecovered_ = 0;
+    long salvagedBlocks_ = 0;
 };
 
 } // namespace core

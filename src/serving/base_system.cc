@@ -466,7 +466,21 @@ BaseServingSystem::restartAndRequeue(std::vector<engine::ActiveRequest> batch)
 {
     // Single-source restart semantics (resetForRestart) shared with the
     // eviction and drop paths, applied inside the request manager.
+    restartedRequeues_ += static_cast<long>(batch.size());
     requests_.requeueRestarted(std::move(batch));
+}
+
+long
+BaseServingSystem::liveKvRefs() const
+{
+    if (!hasDeployment())
+        return 0;
+    long refs = 0;
+    for (const auto &p : deployment().pipelines) {
+        if (p != nullptr && p->kvStore() != nullptr)
+            refs += p->kvStore()->totalLiveRefs();
+    }
+    return refs;
 }
 
 void

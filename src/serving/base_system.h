@@ -50,6 +50,23 @@ class BaseServingSystem : public ServingSystem
     std::optional<par::ParallelConfig> currentConfig() const;
 
     /**
+     * Requests that went through the shared restart path (progress reset
+     * and requeued) over the whole run.  Crash-consistency audit signal:
+     * every request a fault knocks off a pipeline must pass through here
+     * exactly as many times as it was knocked off.
+     */
+    long restartedRequeues() const { return restartedRequeues_; }
+
+    /**
+     * Live KV block references summed over every deployed replica's
+     * KvBlockStore (0 with prefix sharing off or no deployment).  Leak
+     * audit for the fault tests: once every request has completed or
+     * been rejected, any nonzero value is a reference a recovery path
+     * failed to release.
+     */
+    virtual long liveKvRefs() const;
+
+    /**
      * Observer forwarded to every pipeline's iteration-boundary callback
      * (tests assert the KV-budget invariant here; benches sample peaks).
      * Read at fire time, so it takes effect immediately for live
@@ -360,6 +377,7 @@ class BaseServingSystem : public ServingSystem
   private:
     std::optional<Deployment> deployment_;
     std::vector<ConfigChange> history_;
+    long restartedRequeues_ = 0;
     bool continuousBatching_ = true;
     bool kvBudgetAdmission_ = true;
     int prefillChunkTokens_ = 0;

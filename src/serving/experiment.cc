@@ -1,5 +1,8 @@
 #include "serving/experiment.h"
 
+#include "baselines/reparallelization_system.h"
+#include "baselines/rerouting_system.h"
+#include "cluster/fault_injector.h"
 #include "core/spotserve_system.h"
 #include "simcore/simulation.h"
 
@@ -30,6 +33,24 @@ runExperimentOn(sim::Executor &executor, const model::ModelSpec &spec,
     auto system = factory(executor, instances, requests);
     instances.setListener(system.get());
     instances.loadTrace(trace);
+
+    // The fault plane rides on the same executor seam as the trace
+    // replay; with no plan, nothing is scheduled and the run is
+    // byte-identical to a driver without it.
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (options.faultPlan != nullptr) {
+        injector = std::make_unique<sim::FaultInjector>(executor, instances,
+                                                        *options.faultPlan);
+        if (auto *spot = dynamic_cast<core::SpotServeSystem *>(system.get()))
+            injector->attachDataPlane(&spot->dataPlaneMutable());
+        else if (auto *repar = dynamic_cast<baselines::ReparallelizationSystem *>(
+                     system.get()))
+            injector->attachDataPlane(&repar->dataPlaneMutable());
+        else if (auto *rer =
+                     dynamic_cast<baselines::ReroutingSystem *>(system.get()))
+            injector->attachDataPlane(&rer->dataPlaneMutable());
+        injector->arm();
+    }
 
     for (const auto &req : workload) {
         executor.schedule(req.arrival, [&system, req] {
@@ -87,6 +108,16 @@ runExperimentOn(sim::Executor &executor, const model::ModelSpec &spec,
         result.migrationsCompleted = spot->migrationsCompleted();
         result.migrationMakespanTotal = spot->totalMigrationMakespan();
         result.contendedMigrations = spot->contendedMigrations();
+        result.migrationAborts = spot->migrationAborts();
+        result.migrationRetries = spot->migrationRetries();
+        result.requestsRecovered = spot->requestsRecovered();
+        result.salvagedBlocks = spot->salvagedBlocks();
+    }
+    result.hardPreemptions = instances.hardPreemptions();
+    if (const auto *base =
+            dynamic_cast<const BaseServingSystem *>(system.get())) {
+        result.restartedRequeues = base->restartedRequeues();
+        result.liveKvRefsAtEnd = base->liveKvRefs();
     }
     return result;
 }

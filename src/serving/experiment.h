@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "cluster/fault_plan.h"
 #include "cluster/trace_library.h"
 #include "serving/base_system.h"
 #include "serving/request_manager.h"
@@ -97,6 +98,27 @@ struct ExperimentResult
     long contendedMigrations = 0;
     /** @} */
 
+    /**
+     * Fault-plane diagnostics: unannounced (zero-notice) preemptions the
+     * cluster delivered, migration schedules that died mid-flight
+     * (instance kill or deadline), backed-off re-plans after such a
+     * death, requests whose lost context the recovery path requeued, KV
+     * blocks that landed before a fault and were salvaged instead of
+     * re-transferred, and total requests that crossed the shared restart
+     * path.  All zero in a fault-free run.
+     * @{ */
+    long hardPreemptions = 0;
+    long migrationAborts = 0;
+    long migrationRetries = 0;
+    long requestsRecovered = 0;
+    long salvagedBlocks = 0;
+    long restartedRequeues = 0;
+    /** Live KV block references still held when the run ended.  With
+     *  unfinished == 0 any nonzero value is a refcount a recovery path
+     *  leaked (resident requests are the only legitimate holders). */
+    long liveKvRefsAtEnd = 0;
+    /** @} */
+
     /** USD per generated output token. */
     double costPerToken() const
     {
@@ -120,6 +142,14 @@ struct ExperimentOptions
      * weight load, and the paper evaluates warmed-up serving.
      */
     sim::SimTime warmupCutoff = 120.0;
+
+    /**
+     * Optional fault plan replayed against the run by a seeded
+     * sim::FaultInjector (caller-owned; must outlive the run).  nullptr
+     * — the default — injects nothing and leaves the run byte-identical
+     * to a driver without the fault plane.
+     */
+    const cluster::FaultPlan *faultPlan = nullptr;
 };
 
 /**

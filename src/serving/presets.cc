@@ -96,6 +96,16 @@ runStable(const model::ModelSpec &spec,
           const cluster::AvailabilityTrace &trace,
           const std::string &system_name, std::uint64_t seed)
 {
+    return runStable(spec, trace, system_name, seed,
+                     serving::ExperimentOptions{});
+}
+
+serving::ExperimentResult
+runStable(const model::ModelSpec &spec,
+          const cluster::AvailabilityTrace &trace,
+          const std::string &system_name, std::uint64_t seed,
+          const serving::ExperimentOptions &options)
+{
     const cost::CostParams params = cost::CostParams::awsG4dn();
     const cost::SeqSpec seq{};
     const double rate = stableRate(spec);
@@ -106,7 +116,8 @@ runStable(const model::ModelSpec &spec,
 
     const auto factory =
         factoryByName(system_name, spec, params, seq, rate);
-    return serving::runExperiment(spec, params, trace, workload, factory);
+    return serving::runExperiment(spec, params, trace, workload, factory,
+                                  options);
 }
 
 } // namespace presets

@@ -65,6 +65,16 @@ serving::ExperimentResult
 runStable(const model::ModelSpec &spec, const cluster::AvailabilityTrace &trace,
           const std::string &system_name, std::uint64_t seed = 7);
 
+/**
+ * runStable with caller-supplied driver options — the seam the fault
+ * experiments use to attach a FaultPlan (and the regression tests use to
+ * prove an armed-but-empty fault plane leaves runs byte-identical).
+ */
+serving::ExperimentResult
+runStable(const model::ModelSpec &spec, const cluster::AvailabilityTrace &trace,
+          const std::string &system_name, std::uint64_t seed,
+          const serving::ExperimentOptions &options);
+
 } // namespace presets
 } // namespace spotserve
 

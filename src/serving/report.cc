@@ -19,14 +19,19 @@ writeSummaryCsv(std::ostream &os,
 {
     os << "model,trace,system,arrived,completed,unfinished,"
           "avg_s,p90_s,p95_s,p96_s,p97_s,p98_s,p99_s,"
-          "cost_usd,cost_per_token_usd\n";
+          "cost_usd,cost_per_token_usd,"
+          "hard_preemptions,migration_aborts,migration_retries,"
+          "requests_recovered,salvaged_blocks\n";
     for (const auto &r : results) {
         const auto s = r.latencies.summary();
         os << r.modelName << ',' << r.traceName << ',' << r.systemName
            << ',' << r.arrived << ',' << r.completed << ',' << r.unfinished
            << ',' << s.avg << ',' << s.p90 << ',' << s.p95 << ',' << s.p96
            << ',' << s.p97 << ',' << s.p98 << ',' << s.p99 << ','
-           << r.costUsd << ',' << r.costPerToken() << '\n';
+           << r.costUsd << ',' << r.costPerToken() << ','
+           << r.hardPreemptions << ',' << r.migrationAborts << ','
+           << r.migrationRetries << ',' << r.requestsRecovered << ','
+           << r.salvagedBlocks << '\n';
     }
 }
 

@@ -171,11 +171,21 @@ void SocketIngress::pollLoop()
         {
             std::lock_guard<std::mutex> lk(clientsMutex_);
             // Reap clients the driver thread marked dead (write error or
-            // outbox overflow) — only the poll thread closes fds.
+            // outbox overflow) — only the poll thread closes fds — and,
+            // when configured, clients whose peer has gone silent past
+            // the idle bound.
+            const auto now = std::chrono::steady_clock::now();
             std::vector<int> dead;
-            for (const auto &entry : clients_)
+            for (auto &entry : clients_) {
+                if (!entry.second.dead && options_.idleTimeoutMs > 0 &&
+                    now - entry.second.lastActivity >=
+                        std::chrono::milliseconds(options_.idleTimeoutMs)) {
+                    entry.second.dead = true;
+                    clientsDroppedIdle_.fetch_add(1);
+                }
                 if (entry.second.dead)
                     dead.push_back(entry.first);
+            }
             for (int fd : dead)
                 closeClientLocked(fd);
             for (const auto &entry : clients_) {
@@ -227,6 +237,7 @@ void SocketIngress::acceptClient()
         std::lock_guard<std::mutex> lk(clientsMutex_);
         Client client;
         client.fd = fd;
+        client.lastActivity = std::chrono::steady_clock::now();
         clients_.emplace(fd, std::move(client));
     }
     connectionsAccepted_.fetch_add(1);
@@ -250,6 +261,7 @@ bool SocketIngress::readClient(int fd)
         auto it = clients_.find(fd);
         if (it == clients_.end())
             return false;
+        it->second.lastActivity = std::chrono::steady_clock::now();
         it->second.inbox.append(buf, static_cast<std::size_t>(n));
         if (it->second.inbox.size() > options_.maxLineBytes) {
             protocolErrors_.fetch_add(1);

@@ -51,6 +51,7 @@
 #define SPOTSERVE_SERVING_SOCKET_INGRESS_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -91,6 +92,15 @@ class SocketIngress
          * clientsDroppedSlow()).
          */
         std::size_t maxOutboxBytes = 256 * 1024;
+        /**
+         * Disconnect a client that has not sent a complete byte of
+         * input for this long (milliseconds).  0 disables the reaper —
+         * the default, since interactive clients legitimately idle
+         * between requests; servers exposed beyond loopback opt in so
+         * abandoned connections cannot pin fds and outbox memory
+         * forever (see clientsDroppedIdle()).
+         */
+        long idleTimeoutMs = 0;
     };
 
     /**
@@ -125,6 +135,8 @@ class SocketIngress
     long protocolErrors() const { return protocolErrors_.load(); }
     /** Clients disconnected for not draining their result stream. */
     long clientsDroppedSlow() const { return clientsDroppedSlow_.load(); }
+    /** Clients disconnected by the idle reaper (Options::idleTimeoutMs). */
+    long clientsDroppedIdle() const { return clientsDroppedIdle_.load(); }
 
   private:
     struct Client
@@ -138,6 +150,12 @@ class SocketIngress
          * closes and reaps on its next iteration.
          */
         bool dead = false;
+        /**
+         * Last moment the peer delivered bytes (stamped on accept and
+         * every successful read).  Poll-thread only; compared against
+         * Options::idleTimeoutMs by the idle reaper.
+         */
+        std::chrono::steady_clock::time_point lastActivity;
     };
 
     void pollLoop();
@@ -188,6 +206,7 @@ class SocketIngress
     std::atomic<long> requestsInjected_{0};
     std::atomic<long> protocolErrors_{0};
     std::atomic<long> clientsDroppedSlow_{0};
+    std::atomic<long> clientsDroppedIdle_{0};
 
     /**
      * Kill switch captured (by shared_ptr) by the three observers

@@ -371,5 +371,37 @@ TEST_F(SlowReaderFixture, SlowReaderIsDisconnectedWithoutStallingTheEngine)
     EXPECT_EQ(lines.back().substr(0, 4), "done");
 }
 
+/** Same server, but with a short per-client idle timeout. */
+class IdleTimeoutFixture : public IngressFixture
+{
+  protected:
+    serving::SocketIngress::Options ingressOptions() const override
+    {
+        serving::SocketIngress::Options options;
+        options.idleTimeoutMs = 200;
+        return options;
+    }
+};
+
+TEST_F(IdleTimeoutFixture, SilentClientIsReapedAndActiveOneIsNot)
+{
+    // A connection that never sends a byte must not pin a poll slot
+    // forever: after idleTimeoutMs of silence the ingress reaps it and
+    // counts it under clientsDroppedIdle().
+    LineClient silent(ingress_->boundPort());
+    for (int i = 0; i < 200 && ingress_->clientsDroppedIdle() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_EQ(ingress_->clientsDroppedIdle(), 1);
+
+    // Activity resets the clock: a client that keeps talking (well past
+    // the timeout in wall time) stays connected through to completion.
+    LineClient chatty(ingress_->boundPort());
+    chatty.sendLine("gen 128 2");
+    const auto lines = chatty.readUntil("done");
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back().substr(0, 4), "done");
+    EXPECT_EQ(ingress_->clientsDroppedIdle(), 1);
+}
+
 } // namespace
 } // namespace spotserve
