@@ -29,8 +29,8 @@
 #ifndef SPOTSERVE_CORE_SPOTSERVE_SYSTEM_H
 #define SPOTSERVE_CORE_SPOTSERVE_SYSTEM_H
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "core/controller.h"
@@ -364,8 +364,14 @@ class SpotServeSystem : public serving::BaseServingSystem
     bool arrangingHalts_ = false;
     sim::SimTime migrationTailUntil_ = 0.0;
 
-    /** Active preemption notices: instance -> preemption time. */
-    std::unordered_map<cluster::InstanceId, sim::SimTime> notices_;
+    /**
+     * Active preemption notices: instance -> preemption time.  Ordered
+     * map on purpose: pruneStaleNotices() and the planning-deadline scan
+     * iterate it, and this map feeds the golden-hash timeline — an
+     * unordered container here is exactly the bug class the
+     * determinism lint's unordered-iteration rule bans in src/core.
+     */
+    std::map<cluster::InstanceId, sim::SimTime> notices_;
 
     /** In-flight reconfiguration state. */
     struct PendingMigration

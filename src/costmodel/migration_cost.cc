@@ -39,12 +39,15 @@ MigrationCostModel::wireTime(const std::vector<Transfer> &transfers) const
     }
 
     double nic_bottleneck = 0.0;
+    // SPOTSERVE_LINT_ALLOW(unordered-iteration): max is commutative — order cannot change the bottleneck
     for (const auto &[inst, bytes] : egress)
         nic_bottleneck = std::max(nic_bottleneck, bytes);
+    // SPOTSERVE_LINT_ALLOW(unordered-iteration): same order-independent max-reduce
     for (const auto &[inst, bytes] : ingress)
         nic_bottleneck = std::max(nic_bottleneck, bytes);
 
     double pcie_bottleneck = 0.0;
+    // SPOTSERVE_LINT_ALLOW(unordered-iteration): same order-independent max-reduce
     for (const auto &[inst, bytes] : local)
         pcie_bottleneck = std::max(pcie_bottleneck, bytes);
 

@@ -10,9 +10,9 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "serving/base_system.h"
 
@@ -34,6 +34,13 @@ void setNonBlocking(int fd)
         ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/** strerror(errno) without strerror: the static-buffer API is not
+ *  thread-safe (concurrency-mt-unsafe) and this file has two threads. */
+std::string errnoMessage()
+{
+    return std::error_code(errno, std::generic_category()).message();
+}
+
 } // namespace
 
 SocketIngress::SocketIngress(sim::Executor &executor, ServingSystem &system,
@@ -50,7 +57,15 @@ SocketIngress::SocketIngress(sim::Executor &executor, ServingSystem &system,
 {
 }
 
-SocketIngress::~SocketIngress() { stop(); }
+SocketIngress::~SocketIngress()
+{
+    // noexcept destructor: teardown failure must not escape
+    // (bugprone-exception-escape); the sockets die with the process.
+    try {
+        stop();
+    } catch (...) {
+    }
+}
 
 void SocketIngress::start()
 {
@@ -59,8 +74,7 @@ void SocketIngress::start()
 
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
-        throw std::runtime_error(std::string("socket(): ") +
-                                 std::strerror(errno));
+        throw std::runtime_error("socket(): " + errnoMessage());
 
     const int one = 1;
     ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -77,7 +91,7 @@ void SocketIngress::start()
     if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(listenFd_, options_.backlog) != 0) {
-        const std::string what = std::strerror(errno);
+        const std::string what = errnoMessage();
         closeFd(listenFd_);
         listenFd_ = -1;
         throw std::runtime_error("bind/listen on " + options_.bindAddress +
@@ -152,7 +166,7 @@ void SocketIngress::stop()
             base->setTokenObserver(nullptr);
     });
     {
-        std::lock_guard<std::mutex> lk(clientsMutex_);
+        sim::MutexLock lk(clientsMutex_);
         for (auto &entry : clients_)
             closeFd(entry.second.fd);
         clients_.clear();
@@ -169,7 +183,7 @@ void SocketIngress::pollLoop()
         std::vector<pollfd> fds;
         fds.push_back(pollfd{listenFd_, POLLIN, 0});
         {
-            std::lock_guard<std::mutex> lk(clientsMutex_);
+            sim::MutexLock lk(clientsMutex_);
             // Reap clients the driver thread marked dead (write error or
             // outbox overflow) — only the poll thread closes fds — and,
             // when configured, clients whose peer has gone silent past
@@ -211,7 +225,7 @@ void SocketIngress::pollLoop()
             bool drop = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
             if (!drop && (revents & POLLIN))
                 drop = !readClient(fds[i].fd);
-            std::lock_guard<std::mutex> lk(clientsMutex_);
+            sim::MutexLock lk(clientsMutex_);
             auto it = clients_.find(fds[i].fd);
             if (it == clients_.end())
                 continue;
@@ -234,7 +248,7 @@ void SocketIngress::acceptClient()
     // thread may ever park inside send()/recv() on a peer's behalf.
     setNonBlocking(fd);
     {
-        std::lock_guard<std::mutex> lk(clientsMutex_);
+        sim::MutexLock lk(clientsMutex_);
         Client client;
         client.fd = fd;
         client.lastActivity = std::chrono::steady_clock::now();
@@ -257,7 +271,7 @@ bool SocketIngress::readClient(int fd)
     // lock while doing so (the driver thread takes it to stream tokens).
     std::string inbox;
     {
-        std::lock_guard<std::mutex> lk(clientsMutex_);
+        sim::MutexLock lk(clientsMutex_);
         auto it = clients_.find(fd);
         if (it == clients_.end())
             return false;
@@ -285,7 +299,7 @@ bool SocketIngress::readClient(int fd)
 
     // Put any trailing partial line back for the next read.
     if (start < inbox.size()) {
-        std::lock_guard<std::mutex> lk(clientsMutex_);
+        sim::MutexLock lk(clientsMutex_);
         auto it = clients_.find(fd);
         if (it != clients_.end())
             it->second.inbox.insert(0, inbox.substr(start));
@@ -385,7 +399,7 @@ wl::RequestId SocketIngress::injectRequest(int fd, int input_tokens,
     const wl::RequestId id =
         static_cast<wl::RequestId>(nextRequestId_.fetch_add(1));
     {
-        std::lock_guard<std::mutex> lk(clientsMutex_);
+        sim::MutexLock lk(clientsMutex_);
         routes_[id] = fd;
     }
 
@@ -415,7 +429,7 @@ wl::RequestId SocketIngress::injectRequest(int fd, int input_tokens,
 
 void SocketIngress::sendToFd(int fd, const std::string &line)
 {
-    std::lock_guard<std::mutex> lk(clientsMutex_);
+    sim::MutexLock lk(clientsMutex_);
     auto it = clients_.find(fd);
     if (it == clients_.end() || it->second.dead)
         return;
@@ -454,7 +468,7 @@ void SocketIngress::sendToRequest(wl::RequestId id, const std::string &line,
 {
     int fd = -1;
     {
-        std::lock_guard<std::mutex> lk(clientsMutex_);
+        sim::MutexLock lk(clientsMutex_);
         auto it = routes_.find(id);
         if (it == routes_.end())
             return; // client gone (or simulation-fed request): drop

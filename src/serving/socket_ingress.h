@@ -54,7 +54,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -63,6 +62,7 @@
 #include "serving/request_manager.h"
 #include "serving/serving_system.h"
 #include "simcore/executor.h"
+#include "simcore/thread_annotations.h"
 
 namespace spotserve {
 namespace serving {
@@ -123,7 +123,7 @@ class SocketIngress
     void start();
 
     /** Join the poll thread and close every socket.  Idempotent. */
-    void stop();
+    void stop() SPOTSERVE_EXCLUDES(clientsMutex_);
 
     /** The port the listener bound (after start()). */
     int boundPort() const { return boundPort_.load(); }
@@ -158,16 +158,18 @@ class SocketIngress
         std::chrono::steady_clock::time_point lastActivity;
     };
 
-    void pollLoop();
-    void acceptClient();
+    void pollLoop() SPOTSERVE_EXCLUDES(clientsMutex_);
+    void acceptClient() SPOTSERVE_EXCLUDES(clientsMutex_);
     /** Read what is available; returns false when the peer closed. */
-    bool readClient(int fd);
+    bool readClient(int fd) SPOTSERVE_EXCLUDES(clientsMutex_);
     /** Parse and act on one complete request line from @p fd. */
-    void handleLine(int fd, const std::string &line);
+    void handleLine(int fd, const std::string &line)
+        SPOTSERVE_EXCLUDES(clientsMutex_);
     /** Inject one parsed request; returns its assigned id. */
     wl::RequestId injectRequest(int fd, int input_tokens, int output_tokens,
                                 int output_cap, int prefix_id = -1,
-                                int prefix_len = 0);
+                                int prefix_len = 0)
+        SPOTSERVE_EXCLUDES(clientsMutex_);
     /**
      * Queue a line (newline appended) for @p fd and flush as much as the
      * socket accepts without blocking.  Never blocks: the caller may be
@@ -175,13 +177,15 @@ class SocketIngress
      * the engine.  Marks the client dead on write error or outbox
      * overflow.
      */
-    void sendToFd(int fd, const std::string &line);
+    void sendToFd(int fd, const std::string &line)
+        SPOTSERVE_EXCLUDES(clientsMutex_);
     /** Drain @p client's outbox with non-blocking writes. */
-    void flushClientLocked(Client &client);
+    void flushClientLocked(Client &client)
+        SPOTSERVE_REQUIRES(clientsMutex_);
     /** Route a line to whichever client issued request @p id. */
     void sendToRequest(wl::RequestId id, const std::string &line,
-                       bool final_line);
-    void closeClientLocked(int fd);
+                       bool final_line) SPOTSERVE_EXCLUDES(clientsMutex_);
+    void closeClientLocked(int fd) SPOTSERVE_REQUIRES(clientsMutex_);
 
     sim::Executor &executor_;
     ServingSystem &system_;
@@ -196,10 +200,12 @@ class SocketIngress
     std::atomic<int> boundPort_{0};
 
     /** Guards clients_ and routes_ (poll thread vs driver thread). */
-    std::mutex clientsMutex_;
-    std::unordered_map<int, Client> clients_;
+    sim::Mutex clientsMutex_;
+    std::unordered_map<int, Client> clients_
+        SPOTSERVE_GUARDED_BY(clientsMutex_);
     /** request id -> issuing client fd (dropped on done/disconnect). */
-    std::unordered_map<wl::RequestId, int> routes_;
+    std::unordered_map<wl::RequestId, int> routes_
+        SPOTSERVE_GUARDED_BY(clientsMutex_);
 
     std::atomic<std::int64_t> nextRequestId_{0};
     std::atomic<long> connectionsAccepted_{0};

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Portable Clang Thread Safety Analysis annotations plus the annotated
+ * mutex primitives the genuinely multithreaded components build on.
+ *
+ * The deterministic simulator is single-threaded by construction; the two
+ * components that really run concurrent threads — sim::WallClockExecutor
+ * (driver thread vs cross-thread injection) and serving::SocketIngress
+ * (poll thread vs driver-thread streaming) — carry these annotations so
+ * lock-coverage gaps are *compile errors* under clang's
+ * `-Wthread-safety -Werror` (the CI static-analysis job), not races TSan
+ * has to catch on whatever path a test happens to exercise.
+ *
+ * Under GCC (or any compiler without the capability attributes) every
+ * macro expands to nothing and sim::Mutex degrades to a plain wrapper
+ * around std::mutex, so the regular build is unaffected.
+ *
+ * Why a wrapper mutex at all: thread safety analysis only sees
+ * acquisitions made through *annotated* functions.  libstdc++'s
+ * std::mutex/std::lock_guard are not annotated, so locking through them
+ * is invisible to the analysis and every guarded access would be flagged.
+ * sim::Mutex annotates lock()/unlock() and sim::MutexLock is the
+ * annotated scoped guard (with explicit lock()/unlock() for the
+ * executor's fire-callback-unlocked pattern).  sim::Mutex is a
+ * BasicLockable, so std::condition_variable_any can wait on it directly.
+ *
+ * Local build: clang -Wthread-safety is enabled automatically when
+ * clang is the compiler; -DSPOTSERVE_THREAD_SAFETY_WERROR=ON promotes
+ * the warnings to errors (what CI enforces).
+ */
+
+#ifndef SPOTSERVE_SIMCORE_THREAD_ANNOTATIONS_H
+#define SPOTSERVE_SIMCORE_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SPOTSERVE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPOTSERVE_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define SPOTSERVE_CAPABILITY(x) SPOTSERVE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires a capability for its lifetime. */
+#define SPOTSERVE_SCOPED_CAPABILITY SPOTSERVE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding the given capability. */
+#define SPOTSERVE_GUARDED_BY(x) SPOTSERVE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by the given capability. */
+#define SPOTSERVE_PT_GUARDED_BY(x) SPOTSERVE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the capability held. */
+#define SPOTSERVE_REQUIRES(...) \
+    SPOTSERVE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the capability NOT held. */
+#define SPOTSERVE_EXCLUDES(...) \
+    SPOTSERVE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the capability (and does not release it). */
+#define SPOTSERVE_ACQUIRE(...) \
+    SPOTSERVE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define SPOTSERVE_RELEASE(...) \
+    SPOTSERVE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when it returns @p ret. */
+#define SPOTSERVE_TRY_ACQUIRE(...) \
+    SPOTSERVE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Runtime assertion that the calling thread already holds the capability. */
+#define SPOTSERVE_ASSERT_CAPABILITY(x) \
+    SPOTSERVE_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returning a reference to the named capability. */
+#define SPOTSERVE_RETURN_CAPABILITY(x) \
+    SPOTSERVE_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch — use only with a comment explaining why. */
+#define SPOTSERVE_NO_THREAD_SAFETY_ANALYSIS \
+    SPOTSERVE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace spotserve {
+namespace sim {
+
+/**
+ * std::mutex with annotated lock()/unlock() so acquisitions are visible
+ * to thread safety analysis.  BasicLockable: usable directly with
+ * std::condition_variable_any (wait() unlocks and re-locks it — the
+ * transient release inside the wait is invisible to the analysis, which
+ * models the capability as held across the call; that is exactly the
+ * guarantee the caller observes).
+ */
+class SPOTSERVE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() SPOTSERVE_ACQUIRE() { impl_.lock(); }
+    void unlock() SPOTSERVE_RELEASE() { impl_.unlock(); }
+    bool try_lock() SPOTSERVE_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  private:
+    std::mutex impl_;
+};
+
+/**
+ * Annotated scoped guard for sim::Mutex.  Beyond plain RAII it supports
+ * the executor's drive loop, which releases the lock around every event
+ * callback: unlock()/lock() re-arm the guard explicitly and the
+ * destructor releases only if still held.
+ */
+class SPOTSERVE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) SPOTSERVE_ACQUIRE(mutex)
+        : mutex_(mutex), held_(true)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() SPOTSERVE_RELEASE()
+    {
+        if (held_)
+            mutex_.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Temporarily drop the lock (e.g. to fire a callback). */
+    void unlock() SPOTSERVE_RELEASE()
+    {
+        mutex_.unlock();
+        held_ = false;
+    }
+
+    /** Re-acquire after unlock(). */
+    void lock() SPOTSERVE_ACQUIRE()
+    {
+        mutex_.lock();
+        held_ = true;
+    }
+
+  private:
+    Mutex &mutex_;
+    bool held_;
+};
+
+} // namespace sim
+} // namespace spotserve
+
+#endif // SPOTSERVE_SIMCORE_THREAD_ANNOTATIONS_H

@@ -18,7 +18,13 @@ WallClockExecutor::WallClockExecutor() : WallClockExecutor(Options{}) {}
 
 WallClockExecutor::~WallClockExecutor()
 {
-    stop();
+    // Destructors are noexcept: a join failure here must not escape
+    // (bugprone-exception-escape); at this point the executor is dead
+    // either way.
+    try {
+        stop();
+    } catch (...) {
+    }
 }
 
 SimTime
@@ -44,7 +50,7 @@ WallClockExecutor::schedule(SimTime when, EventCallback fn)
     // among equally-overdue events).  Only reject nonsense.
     if (!(when == when))
         throw std::invalid_argument("WallClockExecutor::schedule: NaN time");
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     const EventId id = queue_.schedule(when, std::move(fn));
     cv_.notify_all();
     return id;
@@ -62,7 +68,7 @@ WallClockExecutor::scheduleAfter(SimTime delay, EventCallback fn)
 bool
 WallClockExecutor::cancel(EventId id)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     const bool cancelled = queue_.cancel(id);
     if (cancelled)
         cv_.notify_all();
@@ -72,14 +78,14 @@ WallClockExecutor::cancel(EventId id)
 bool
 WallClockExecutor::idle() const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     return queue_.empty();
 }
 
 std::uint64_t
 WallClockExecutor::drive(SimTime until, bool return_when_idle)
 {
-    std::unique_lock<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     std::uint64_t fired = 0;
     for (;;) {
         if (stopRequested_)
@@ -88,16 +94,18 @@ WallClockExecutor::drive(SimTime until, bool return_when_idle)
             if (return_when_idle)
                 break;
             // Server mode: park until work is injected or stop is asked.
-            cv_.wait(lk, [this] {
-                return stopRequested_ || !queue_.empty();
-            });
+            // Explicit re-check loop (not the predicate overload): the
+            // predicate would be a separate lambda the thread safety
+            // analysis cannot see the held lock inside.
+            while (!stopRequested_ && queue_.empty())
+                cv_.wait(mutex_);
             continue;
         }
         const SimTime next = queue_.nextTime();
         if (next > until) {
             if (return_when_idle)
                 break;
-            cv_.wait(lk); // an earlier injection or stop re-checks
+            cv_.wait(mutex_); // an earlier injection or stop re-checks
             continue;
         }
         const Clock::time_point deadline = realDeadline(next);
@@ -105,7 +113,7 @@ WallClockExecutor::drive(SimTime until, bool return_when_idle)
             // Sleep toward the deadline; an earlier injection, a cancel
             // of the head event, or stop wakes us and the loop
             // re-evaluates from scratch.
-            cv_.wait_until(lk, deadline);
+            cv_.wait_until(mutex_, deadline);
             continue;
         }
         auto ev = queue_.pop();
@@ -127,13 +135,13 @@ WallClockExecutor::run(SimTime until)
 bool
 WallClockExecutor::step()
 {
-    std::unique_lock<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     for (;;) {
         if (stopRequested_ || queue_.empty())
             return false;
         const Clock::time_point deadline = realDeadline(queue_.nextTime());
         if (Clock::now() < deadline) {
-            cv_.wait_until(lk, deadline);
+            cv_.wait_until(mutex_, deadline);
             continue;
         }
         auto ev = queue_.pop();
@@ -147,7 +155,7 @@ WallClockExecutor::step()
 void
 WallClockExecutor::start()
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (driverStarted_)
         throw std::logic_error("WallClockExecutor::start: already started");
     if (stopRequested_)
@@ -160,7 +168,7 @@ WallClockExecutor::start()
 void
 WallClockExecutor::requestStop()
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     stopRequested_ = true;
     cv_.notify_all();
 }
@@ -176,7 +184,7 @@ WallClockExecutor::stop()
 bool
 WallClockExecutor::running() const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     return driverStarted_ && !stopRequested_;
 }
 

@@ -25,11 +25,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "simcore/event_queue.h"
 #include "simcore/executor.h"
+#include "simcore/thread_annotations.h"
 
 namespace spotserve {
 namespace sim {
@@ -63,13 +63,15 @@ class WallClockExecutor : public Executor
      * order) — unlike the simulator, which rejects past times because it
      * could otherwise break determinism.  Thread-safe.
      */
-    EventId schedule(SimTime when, EventCallback fn) override;
+    EventId schedule(SimTime when, EventCallback fn) override
+        SPOTSERVE_EXCLUDES(mutex_);
 
     /** Schedule @p fn @p delay virtual seconds from now. Thread-safe. */
-    EventId scheduleAfter(SimTime delay, EventCallback fn) override;
+    EventId scheduleAfter(SimTime delay, EventCallback fn) override
+        SPOTSERVE_EXCLUDES(mutex_);
 
     /** Cancel a pending event; no-op after it fired. Thread-safe. */
-    bool cancel(EventId id) override;
+    bool cancel(EventId id) override SPOTSERVE_EXCLUDES(mutex_);
 
     /**
      * Drive events on the calling thread, sleeping out the real gaps,
@@ -78,12 +80,13 @@ class WallClockExecutor : public Executor
      * loop that must idle awaiting injected work.  Interruptible via
      * requestStop().
      */
-    std::uint64_t run(SimTime until = kTimeInfinity) override;
+    std::uint64_t run(SimTime until = kTimeInfinity) override
+        SPOTSERVE_EXCLUDES(mutex_);
 
     /** Sleep until the earliest event's deadline and fire it. */
-    bool step() override;
+    bool step() override SPOTSERVE_EXCLUDES(mutex_);
 
-    bool idle() const override;
+    bool idle() const override SPOTSERVE_EXCLUDES(mutex_);
 
     std::uint64_t eventsFired() const override { return eventsFired_; }
 
@@ -92,16 +95,16 @@ class WallClockExecutor : public Executor
      * their deadlines arrive and, unlike run(), parks when the queue is
      * empty until new work is injected or stop() is called.
      */
-    void start();
+    void start() SPOTSERVE_EXCLUDES(mutex_);
 
     /** Ask the driver (run(), step() or the start() thread) to exit. */
-    void requestStop();
+    void requestStop() SPOTSERVE_EXCLUDES(mutex_);
 
     /** requestStop() + join the driver thread.  Idempotent. */
-    void stop();
+    void stop() SPOTSERVE_EXCLUDES(mutex_);
 
     /** True while the start() driver thread is alive. */
-    bool running() const;
+    bool running() const SPOTSERVE_EXCLUDES(mutex_);
 
     const Options &options() const { return options_; }
 
@@ -116,18 +119,25 @@ class WallClockExecutor : public Executor
      * when the queue is empty: returns if @p return_when_idle, else waits
      * for injected work.  Exits on stop.
      */
-    std::uint64_t drive(SimTime until, bool return_when_idle);
+    std::uint64_t drive(SimTime until, bool return_when_idle)
+        SPOTSERVE_EXCLUDES(mutex_);
 
     Options options_;
     Clock::time_point start_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    EventQueue queue_;
-    bool stopRequested_ = false;
+    mutable Mutex mutex_;
+    /** condition_variable_any so it can wait on the annotated Mutex. */
+    std::condition_variable_any cv_;
+    EventQueue queue_ SPOTSERVE_GUARDED_BY(mutex_);
+    bool stopRequested_ SPOTSERVE_GUARDED_BY(mutex_) = false;
 
+    /**
+     * Not guarded: written once by start() (which holds the lock only
+     * for the started-flag handshake) and joined by stop() — which must
+     * NOT hold mutex_, or the driver could never drain and exit.
+     */
     std::thread driver_;
-    bool driverStarted_ = false;
+    bool driverStarted_ SPOTSERVE_GUARDED_BY(mutex_) = false;
 
     std::atomic<std::uint64_t> eventsFired_{0};
 };

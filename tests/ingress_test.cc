@@ -253,7 +253,14 @@ TEST_F(IngressFixture, PrefixDeclarationsFlowThroughAndBadOnesAreNonFatal)
     EXPECT_EQ(client.readUntil("done").back().substr(0, 4), "done");
     auto *base = dynamic_cast<serving::BaseServingSystem *>(system_.get());
     ASSERT_NE(base, nullptr);
-    EXPECT_GE(base->prefixHitsTotal(), 1);
+    // The stats counters are plain fields owned by the executor thread
+    // (boundary commits keep writing them after `done` reaches the
+    // wire), so read them on that thread instead of racing it from the
+    // test thread — TSan flags the direct read.
+    std::promise<long> hitsOnDriver;
+    executor_->scheduleAfter(
+        0.0, [&] { hitsOnDriver.set_value(base->prefixHitsTotal()); });
+    EXPECT_GE(hitsOnDriver.get_future().get(), 1);
 
     // Bare prefix=<id> declares the whole prompt as the class prefix.
     client.sendLine("gen 64 2 prefix=1");

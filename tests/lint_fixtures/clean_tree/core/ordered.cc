@@ -1,0 +1,15 @@
+// Clean-tree fixture: ordered containers iterate freely, unordered ones
+// answer membership probes only.
+#include <map>
+#include <unordered_set>
+
+double cleanTreePlanningScan()
+{
+    std::map<int, double> deadlines;
+    std::unordered_set<int> doomed;
+    double earliest = 1e300;
+    for (const auto &[id, at] : deadlines)
+        if (doomed.find(id) == doomed.end() && at < earliest)
+            earliest = at;
+    return earliest;
+}

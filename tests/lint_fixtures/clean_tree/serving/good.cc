@@ -1,0 +1,5 @@
+// Clean-tree fixture: nothing to report.
+int cleanTreeServingPath(int queued)
+{
+    return queued > 0 ? queued - 1 : 0;
+}

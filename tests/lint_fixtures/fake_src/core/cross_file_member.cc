@@ -1,0 +1,10 @@
+// ...and ITERATED here: the tree-wide name collection must connect them.
+#include "cross_file_member.h"
+
+int FixtureCrossFile::total() const
+{
+    int sum = 0;
+    for (const auto &entry : pendingByInstance_) // violation: member declared in .h
+        sum += entry.second;
+    return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: the unordered member is DECLARED here...
+#ifndef FIXTURE_CROSS_FILE_MEMBER_H
+#define FIXTURE_CROSS_FILE_MEMBER_H
+
+#include <unordered_map>
+
+struct FixtureCrossFile
+{
+    int total() const;
+    std::unordered_map<int, int> pendingByInstance_;
+};
+
+#endif

@@ -1,0 +1,15 @@
+// Fixture: unordered iteration in core/ — range-for and iterator walk.
+#include <unordered_map>
+#include <unordered_set>
+
+int fixtureCoreIteration()
+{
+    std::unordered_map<int, double> weights;
+    std::unordered_set<int> members;
+    double sum = 0.0;
+    for (const auto &[id, w] : weights)   // violation: range-for
+        sum += w;
+    for (auto it = members.begin(); it != members.end(); ++it) // violation: .begin()
+        sum += static_cast<double>(*it);
+    return static_cast<int>(sum);
+}

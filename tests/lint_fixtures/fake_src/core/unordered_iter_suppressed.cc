@@ -1,0 +1,12 @@
+// Fixture: unordered iteration in core/, suppressed with a reason.
+#include <unordered_map>
+
+double fixtureCoreSuppressed()
+{
+    std::unordered_map<int, double> loads;
+    double peak = 0.0;
+    // SPOTSERVE_LINT_ALLOW(unordered-iteration): fixture — order-independent max
+    for (const auto &[id, v] : loads)
+        peak = (v > peak) ? v : peak;
+    return peak;
+}

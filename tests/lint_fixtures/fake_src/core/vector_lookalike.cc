@@ -1,0 +1,13 @@
+// ...and this core/ file iterates a VECTOR with the same name: local
+// unordered names must not leak across files (members, with their
+// trailing underscore, do — see cross_file_member.*).
+#include <vector>
+
+int fixtureVectorScratch()
+{
+    std::vector<int> scratch = {1, 2, 3};
+    int sum = 0;
+    for (int v : scratch) // not a violation: this scratch is a vector
+        sum += v;
+    return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: the rule also covers costmodel/; unknown ALLOW rules are
+// themselves violations.
+#include <unordered_set>
+
+int fixtureCostmodelIteration()
+{
+    std::unordered_set<int> instances;
+    int count = 0;
+    for (int id : instances) // violation: range-for in costmodel/
+        count += id;
+    // SPOTSERVE_LINT_ALLOW(bogus-rule): violation — no such rule
+    return count;
+}

@@ -1,0 +1,19 @@
+// Fixture: clean file.  steady_clock and rand() in comments only; the
+// unordered_map is used for membership, never iterated — and iteration
+// rules do not apply outside core/ and costmodel/ anyway.
+#include <unordered_map>
+
+bool fixtureCleanLookup(int key)
+{
+    std::unordered_map<int, int> cache;
+    cache[key] = 1;
+    return cache.find(key) != cache.end();
+}
+
+int fixtureNamedLikeBanned(int time_budget, int randomize)
+{
+    // Identifiers merely containing banned substrings must not fire:
+    int uptime = time_budget;
+    int randomized = randomize;
+    return uptime + randomized;
+}

@@ -1,0 +1,9 @@
+// Fixture: this file's unordered LOCAL is named 'scratch'...
+#include <unordered_set>
+
+bool fixtureLocalScratch(int id)
+{
+    std::unordered_set<int> scratch;
+    scratch.insert(id);
+    return scratch.count(id) > 0;
+}

@@ -1,0 +1,12 @@
+// Fixture: the same sources, every one suppressed (both ALLOW forms).
+#include <chrono>
+#include <cstdlib>
+
+double fixtureSuppressedClockRead()
+{
+    auto t = std::chrono::steady_clock::now(); // SPOTSERVE_LINT_ALLOW(nondeterminism): fixture same-line suppression
+    // SPOTSERVE_LINT_ALLOW(nondeterminism): fixture previous-line suppression
+    int r = rand();
+    (void)t;
+    return static_cast<double>(r);
+}

@@ -1,0 +1,19 @@
+// Fixture: every line here seeds a nondeterminism violation.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+double fixtureClockRead()
+{
+    auto t = std::chrono::steady_clock::now();      // violation: steady_clock
+    auto w = std::chrono::system_clock::now();      // violation: system_clock
+    std::this_thread::sleep_for(std::chrono::seconds(1)); // 2x: this_thread + sleep_for
+    int r = rand();                                 // violation: rand()
+    std::random_device rd;                          // violation: random_device
+    long stamp = time(nullptr);                     // violation: time()
+    (void)t;
+    (void)w;
+    (void)rd;
+    return static_cast<double>(r + stamp);
+}

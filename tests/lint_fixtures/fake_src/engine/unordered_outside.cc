@@ -1,0 +1,11 @@
+// Fixture: unordered iteration OUTSIDE core//costmodel/ — allowed.
+#include <unordered_map>
+
+int fixtureSumOutsideScope()
+{
+    std::unordered_map<int, int> histogram;
+    int sum = 0;
+    for (const auto &entry : histogram)
+        sum += entry.second;
+    return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: naming Simulation at all in a header outside simcore/ is a
+// seam violation, even held by value.
+#ifndef FIXTURE_SEAM_HEADER_H
+#define FIXTURE_SEAM_HEADER_H
+
+namespace spotserve::sim { class Simulation; }
+
+struct FixtureSeamMember
+{
+    spotserve::sim::Simulation *engine;
+};
+
+#endif

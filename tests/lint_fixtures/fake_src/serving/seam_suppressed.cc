@@ -1,0 +1,5 @@
+// Fixture: seam violation, suppressed with a reason.
+namespace spotserve::sim { class Simulation; }
+
+// SPOTSERVE_LINT_ALLOW(seam): fixture — composition root needs the concrete type
+void fixtureSeamAllowed(spotserve::sim::Simulation &simulation);

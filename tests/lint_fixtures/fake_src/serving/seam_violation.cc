@@ -1,0 +1,5 @@
+// Fixture: seam violations — Simulation by reference and by pointer.
+namespace spotserve::sim { class Simulation; }
+
+void fixtureSeamRef(spotserve::sim::Simulation &simulation);
+void fixtureSeamPtr(spotserve::sim::Simulation *simulation);

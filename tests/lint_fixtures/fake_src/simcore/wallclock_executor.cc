@@ -1,0 +1,12 @@
+// Fixture: this path is on the nondeterminism allowlist AND inside
+// simcore/, so the clock read and the Simulation reference are fine.
+#include <chrono>
+
+namespace spotserve::sim { class Simulation; }
+
+double fixtureAllowlistedClockRead(spotserve::sim::Simulation &simulation)
+{
+    (void)simulation;
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * spotserve_lint CLI.  Registered as a ctest (so `ctest` fails on new
+ * violations) and run by the CI static-analysis job, which archives the
+ * --report output as the suppression-audit artifact.
+ *
+ *   spotserve_lint [--root <dir>] [--report <file>]
+ *
+ * Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/IO error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint/lint_core.h"
+
+int main(int argc, char **argv)
+{
+    std::string root = "src";
+    std::string report_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--report" && i + 1 < argc) {
+            report_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: spotserve_lint [--root <dir>] "
+                         "[--report <file>]\n";
+            return 0;
+        } else {
+            std::cerr << "spotserve_lint: unknown argument '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec)) {
+        std::cerr << "spotserve_lint: not a directory: " << root << "\n";
+        return 2;
+    }
+
+    const auto report = spotserve::lint::scanTree(root);
+    const std::string rendered = spotserve::lint::renderReport(report, root);
+    std::cout << rendered;
+
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (!out) {
+            std::cerr << "spotserve_lint: cannot write " << report_path
+                      << "\n";
+            return 2;
+        }
+        out << rendered;
+    }
+
+    return report.violations().empty() ? 0 : 1;
+}
